@@ -1,0 +1,95 @@
+(* Benchmark harness: regenerates every experiment table of EXPERIMENTS.md
+   (E1-E8) and then times the core operations with bechamel.
+
+   Usage: dune exec bench/main.exe            -- tables + timings
+          dune exec bench/main.exe -- tables  -- tables only
+          dune exec bench/main.exe -- timings -- timings only *)
+
+open Bechamel
+open Toolkit
+
+let pi_of n seed = Lb_core.Permutation.random (Lb_util.Rng.create seed) n
+
+(* One bechamel test per pipeline phase and per supporting system. *)
+let timing_tests =
+  let ya = Lb_algos.Yang_anderson.algorithm in
+  let bakery = Lb_algos.Bakery.algorithm in
+  let construct_ya n =
+    Test.make
+      ~name:(Printf.sprintf "construct yang_anderson n=%d" n)
+      (Staged.stage (fun () -> Lb_core.Construct.run ya ~n (pi_of n 1)))
+  in
+  let pipeline_bakery n =
+    Test.make
+      ~name:(Printf.sprintf "pipeline bakery n=%d" n)
+      (Staged.stage (fun () -> Lb_core.Pipeline.run bakery ~n (pi_of n 2)))
+  in
+  let encode_decode =
+    let c = Lb_core.Construct.run ya ~n:16 (pi_of 16 3) in
+    let e = Lb_core.Encode.encode c in
+    [
+      Test.make ~name:"encode yang_anderson n=16"
+        (Staged.stage (fun () -> Lb_core.Encode.encode c));
+      Test.make ~name:"decode yang_anderson n=16"
+        (Staged.stage (fun () -> Lb_core.Decode.run_bits ya ~n:16 e.Lb_core.Encode.bits));
+    ]
+  in
+  let runners =
+    [
+      Test.make ~name:"canonical greedy yang_anderson n=64"
+        (Staged.stage (fun () -> Lb_mutex.Canonical.run ya ~n:64));
+      Test.make ~name:"canonical rr bakery n=16"
+        (Staged.stage (fun () -> Lb_mutex.Canonical.run_round_robin bakery ~n:16));
+      Test.make ~name:"model check peterson2 n=2"
+        (Staged.stage (fun () ->
+             Lb_mutex.Model_check.explore Lb_algos.Peterson2.algorithm ~n:2));
+      Test.make ~name:"sc cost of rr bakery n=16"
+        (let exec =
+           (Lb_mutex.Canonical.run_round_robin bakery ~n:16).Lb_mutex.Canonical.exec
+         in
+         Staged.stage (fun () -> Lb_cost.State_change.cost bakery ~n:16 exec));
+      Test.make ~name:"workload poisson ya n=16"
+        (Staged.stage (fun () ->
+             Lb_mutex.Workload.run
+               ~pattern:(Lb_mutex.Workload.Poisson { seed = 7; mean_gap = 20.0 })
+               ~schedule:Lb_mutex.Workload.Round_robin ya ~n:16));
+      Test.make ~name:"adversary search ya n=8 (8 tries)"
+        (Staged.stage (fun () ->
+             Lb_mutex.Adversary.search ~tries:8 ~seed:3 ya ~n:8));
+    ]
+  in
+  Test.make_grouped ~name:"mutexlb"
+    ([ construct_ya 8; construct_ya 16; pipeline_bakery 8; pipeline_bakery 12 ]
+    @ encode_decode @ runners)
+
+let run_timings () =
+  print_endline "\n=== Timings (bechamel, monotonic clock) ===\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] timing_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let t =
+    Lb_util.Table.create ~title:"core operation timings"
+      [ ("benchmark", Lb_util.Table.Left); ("time/run", Lb_util.Table.Right) ]
+  in
+  List.iter
+    (fun (name, ols) ->
+      let cell =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) ->
+          if x > 1e6 then Printf.sprintf "%.2f ms" (x /. 1e6)
+          else if x > 1e3 then Printf.sprintf "%.2f us" (x /. 1e3)
+          else Printf.sprintf "%.0f ns" x
+        | Some [] | None -> "-"
+      in
+      Lb_util.Table.add_row t [ name; cell ])
+    (List.sort compare rows);
+  Lb_util.Table.print t
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "tables" || what = "all" then Lb_exp.Exp_all.run ();
+  if what = "timings" || what = "all" then run_timings ()

@@ -1,0 +1,414 @@
+(* mutexlb — command-line interface to the reproduction.
+
+   Subcommands:
+     list        the algorithm registry
+     run         execute an algorithm under a scheduler and report costs
+     check       bounded model checking (mutex safety + deadlock)
+     construct   run the paper's construction and dump its objects
+     pipeline    construct -> encode -> decode for one permutation
+     decode      decode a saved E_pi file back into an execution
+     certify     the Theorem 7.5 certificate over a permutation family
+     workload    arrival-pattern workloads and per-section costs
+     adversary   randomized search for expensive schedules
+     experiments regenerate the EXPERIMENTS.md tables *)
+
+open Cmdliner
+
+let find_algo name =
+  match Lb_algos.Registry.find name with
+  | Some a -> a
+  | None ->
+    Printf.eprintf "unknown algorithm %S; try `mutexlb list`\n" name;
+    exit 2
+
+(* ----------------------------- arguments ----------------------------- *)
+
+let algo_arg =
+  let doc = "Algorithm name (see `mutexlb list`)." in
+  Arg.(value & opt string "yang_anderson" & info [ "a"; "algo" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  let doc = "Number of processes." in
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (schedules, sampled permutations)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let perm_arg =
+  let doc =
+    "Permutation as comma-separated process indices, e.g. 2,0,1. Default: a \
+     seeded random permutation."
+  in
+  Arg.(value & opt (some string) None & info [ "p"; "perm" ] ~docv:"PERM" ~doc)
+
+let parse_perm ~n ~seed = function
+  | None -> Lb_core.Permutation.random (Lb_util.Rng.create seed) n
+  | Some s ->
+    let parts = String.split_on_char ',' s in
+    let arr = Array.of_list (List.map int_of_string parts) in
+    if Array.length arr <> n then begin
+      Printf.eprintf "permutation length %d does not match n=%d\n"
+        (Array.length arr) n;
+      exit 2
+    end;
+    Lb_core.Permutation.of_array arr
+
+(* ------------------------------- list -------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Lb_util.Table.create
+        [
+          ("name", Lb_util.Table.Left);
+          ("kind", Lb_util.Table.Left);
+          ("max n", Lb_util.Table.Left);
+          ("description", Lb_util.Table.Left);
+        ]
+    in
+    List.iter
+      (fun (a : Lb_shmem.Algorithm.t) ->
+        Lb_util.Table.add_row t
+          [
+            a.Lb_shmem.Algorithm.name;
+            (match a.Lb_shmem.Algorithm.kind with
+            | Lb_shmem.Algorithm.Registers_only -> "registers"
+            | Lb_shmem.Algorithm.Uses_rmw -> "rmw");
+            (match a.Lb_shmem.Algorithm.max_n with
+            | None -> "any"
+            | Some k -> string_of_int k);
+            a.Lb_shmem.Algorithm.description;
+          ])
+      Lb_algos.Registry.all;
+    Lb_util.Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the algorithm registry")
+    Term.(const run $ const ())
+
+(* -------------------------------- run -------------------------------- *)
+
+let sched_arg =
+  let doc = "Scheduler: greedy (SC-aware sequential), rr, or random." in
+  Arg.(
+    value
+    & opt (enum [ ("greedy", `Greedy); ("rr", `Rr); ("random", `Random) ]) `Greedy
+    & info [ "s"; "sched" ] ~docv:"SCHED" ~doc)
+
+let trace_arg =
+  let doc = "Print the full execution trace." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let save_arg =
+  let doc = "Write the artifact (trace or bits) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"FILE" ~doc)
+
+let run_cmd =
+  let run algo_name n sched seed trace save =
+    let algo = find_algo algo_name in
+    let outcome =
+      match sched with
+      | `Greedy -> Lb_mutex.Canonical.run algo ~n
+      | `Rr -> Lb_mutex.Canonical.run_round_robin algo ~n
+      | `Random -> Lb_mutex.Canonical.run_random ~seed algo ~n
+    in
+    let exec = outcome.Lb_mutex.Canonical.exec in
+    if trace then
+      Format.printf "%a@."
+        (Lb_shmem.Execution.pp_with_names (algo.Lb_shmem.Algorithm.registers ~n))
+        exec;
+    Printf.printf "algorithm      %s (n=%d)\n" algo_name n;
+    Printf.printf "enter order    %s\n"
+      (String.concat " "
+         (List.map string_of_int outcome.Lb_mutex.Canonical.enter_order));
+    Format.printf "costs          %a@." Lb_cost.Accounting.pp_breakdown
+      (Lb_cost.Accounting.breakdown algo ~n exec);
+    match save with
+    | None -> ()
+    | Some path ->
+      Lb_core.Trace_io.save ~path
+        (Lb_core.Trace_io.execution_to_string ~algo:algo_name ~n exec);
+      Printf.printf "trace saved    %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a canonical execution under a scheduler and report its costs")
+    Term.(const run $ algo_arg $ n_arg $ sched_arg $ seed_arg $ trace_arg $ save_arg)
+
+(* ------------------------------- check ------------------------------- *)
+
+let check_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R" ~doc:"Critical sections per process.")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"K" ~doc:"State budget.")
+  in
+  let run algo_name n rounds max_states =
+    let algo = find_algo algo_name in
+    let r = Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states in
+    Format.printf "%s n=%d rounds=%d: %a (%d states, %d transitions)@."
+      algo_name n rounds Lb_mutex.Model_check.pp_verdict
+      r.Lb_mutex.Model_check.verdict r.Lb_mutex.Model_check.states
+      r.Lb_mutex.Model_check.transitions;
+    (match r.Lb_mutex.Model_check.verdict with
+    | Lb_mutex.Model_check.Mutex_violation tr | Lb_mutex.Model_check.Deadlock tr ->
+      Format.printf "witness:@.%a@."
+        (Lb_shmem.Execution.pp_with_names (algo.Lb_shmem.Algorithm.registers ~n))
+        tr;
+      exit 1
+    | Lb_mutex.Model_check.Bound_exceeded _ -> exit 3
+    | Lb_mutex.Model_check.Verified -> ())
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Exhaustively model-check mutual exclusion at small n")
+    Term.(const run $ algo_arg $ n_arg $ rounds_arg $ max_states_arg)
+
+(* ----------------------------- construct ----------------------------- *)
+
+let construct_cmd =
+  let show_meta =
+    Arg.(value & flag & info [ "metasteps" ] ~doc:"Dump every metastep.")
+  in
+  let dot_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Export (M, \xe2\xaa\xaf) as Graphviz DOT.")
+  in
+  let run algo_name n seed perm show_meta dot =
+    let algo = find_algo algo_name in
+    let pi = parse_perm ~n ~seed perm in
+    let c = Lb_core.Construct.run algo ~n pi in
+    let exec = Lb_core.Linearize.execution c in
+    Format.printf "pi             %a@." Lb_core.Permutation.pp pi;
+    Printf.printf "metasteps      %d\n" (Lb_core.Metastep.count c.Lb_core.Construct.arena);
+    Printf.printf "linearization  %d steps\n" (Lb_shmem.Execution.length exec);
+    Printf.printf "SC cost        %d\n"
+      (Lb_cost.State_change.cost algo ~n exec);
+    Printf.printf "enter order    %s\n"
+      (String.concat " " (List.map string_of_int (Lb_shmem.Execution.crit_order exec)));
+    List.iter
+      (fun (label, r) ->
+        Printf.printf "%-34s %s\n" label
+          (match r with Ok () -> "ok" | Error e -> "FAIL: " ^ e))
+      (Lb_core.Verify.all c);
+    if show_meta then
+      Lb_core.Metastep.iter c.Lb_core.Construct.arena (fun m ->
+          Format.printf "%a@." Lb_core.Metastep.pp m);
+    match dot with
+    | None -> ()
+    | Some path ->
+      Lb_core.Dot.save ~path c;
+      Printf.printf "dot saved      %s (render: dot -Tsvg %s)\n" path path
+  in
+  Cmd.v
+    (Cmd.info "construct"
+       ~doc:"Run the paper's construction step (Fig. 1) for one permutation")
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perm_arg $ show_meta $ dot_arg)
+
+(* ------------------------------ pipeline ----------------------------- *)
+
+let pipeline_cmd =
+  let ascii_arg =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Print E_pi in the paper's ASCII notation.")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ] ~doc:"Narrate every decoder action (Fig. 3, live).")
+  in
+  let run algo_name n seed perm ascii save explain =
+    let algo = find_algo algo_name in
+    let pi = parse_perm ~n ~seed perm in
+    let r = Lb_core.Pipeline.run algo ~n pi in
+    if explain then begin
+      Printf.printf "--- decoder narration ---\n";
+      ignore
+        (Lb_core.Decode.run
+           ~trace:(fun e -> Format.printf "  %a@." Lb_core.Decode.pp_event e)
+           algo ~n r.Lb_core.Pipeline.encoding.Lb_core.Encode.cells);
+      Printf.printf "--- end narration ---\n"
+    end;
+    Format.printf "pi             %a@." Lb_core.Permutation.pp pi;
+    Printf.printf "SC cost        %d\n" r.Lb_core.Pipeline.cost;
+    Printf.printf "|E_pi|         %d bits (%.2f bits per cost unit)\n"
+      r.Lb_core.Pipeline.bits
+      (float_of_int r.Lb_core.Pipeline.bits /. float_of_int (max 1 r.Lb_core.Pipeline.cost));
+    Printf.printf "log2(n!)       %.1f bits\n" (Lb_core.Bounds.bits_needed n);
+    Printf.printf "decoded        %d steps, enter order %s\n"
+      (Lb_shmem.Execution.length r.Lb_core.Pipeline.decoded)
+      (String.concat " "
+         (List.map string_of_int (Lb_shmem.Execution.crit_order r.Lb_core.Pipeline.decoded)));
+    (match Lb_core.Pipeline.check algo ~n r with
+    | Ok () -> Printf.printf "checks         all passed\n"
+    | Error e ->
+      Printf.printf "checks         FAILED: %s\n" e;
+      exit 1);
+    if ascii then
+      Printf.printf "E_pi           %s\n" (Lb_core.Encode.to_ascii r.Lb_core.Pipeline.encoding);
+    match save with
+    | None -> ()
+    | Some path ->
+      Lb_core.Trace_io.save ~path
+        (Lb_core.Trace_io.bits_to_string ~algo:algo_name ~n
+           r.Lb_core.Pipeline.encoding.Lb_core.Encode.bits);
+      Printf.printf "bits saved     %s (decode with `mutexlb decode %s`)\n" path path
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Construct, encode and decode one permutation; verify the theorems")
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perm_arg $ ascii_arg
+          $ save_arg $ explain_arg)
+
+(* ------------------------------- decode ------------------------------- *)
+
+let decode_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"A bits file produced by `pipeline --save`.")
+  in
+  let run file =
+    let algo_name, n, bits =
+      Lb_core.Trace_io.bits_of_string (Lb_core.Trace_io.load ~path:file)
+    in
+    let algo = find_algo algo_name in
+    let decoded = Lb_core.Decode.run_bits algo ~n bits in
+    Printf.printf "algorithm      %s (n=%d), %d bits\n" algo_name n (Array.length bits);
+    Printf.printf "decoded        %d steps\n" (Lb_shmem.Execution.length decoded);
+    Printf.printf "enter order    %s\n"
+      (String.concat " "
+         (List.map string_of_int (Lb_shmem.Execution.crit_order decoded)));
+    Format.printf "costs          %a@." Lb_cost.Accounting.pp_breakdown
+      (Lb_cost.Accounting.breakdown algo ~n decoded)
+  in
+  Cmd.v
+    (Cmd.info "decode"
+       ~doc:"Decode a saved E_pi file back into an execution (Fig. 3)")
+    Term.(const run $ file_arg)
+
+(* ------------------------------ certify ------------------------------ *)
+
+let certify_cmd =
+  let perms_arg =
+    Arg.(value & opt int 24 & info [ "perms" ] ~docv:"K" ~doc:"Permutations to sample.")
+  in
+  let run algo_name n seed perms =
+    let algo = find_algo algo_name in
+    let pis, exhaustive =
+      if n <= 8 && Lb_util.Xmath.factorial n <= perms then
+        (Lb_core.Permutation.all n, true)
+      else
+        (Lb_core.Permutation.sample (Lb_util.Rng.create seed) ~n ~count:perms, false)
+    in
+    let cert = Lb_core.Pipeline.certify algo ~n ~perms:pis ~exhaustive () in
+    Format.printf "%a@." Lb_core.Bounds.pp_certificate cert
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Aggregate the Theorem 7.5 certificate over a permutation family")
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg)
+
+(* ------------------------------ workload ------------------------------ *)
+
+let workload_cmd =
+  let pattern_arg =
+    let doc = "Arrival pattern: all, staggered:GAP, bursts:SIZE:GAP, poisson:MEAN." in
+    Arg.(value & opt string "all" & info [ "pattern" ] ~docv:"PAT" ~doc)
+  in
+  let rounds_arg =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R" ~doc:"Sections per process.")
+  in
+  let parse_pattern s seed =
+    match String.split_on_char ':' s with
+    | [ "all" ] -> Lb_mutex.Workload.All_at_once
+    | [ "staggered"; gap ] -> Lb_mutex.Workload.Staggered (int_of_string gap)
+    | [ "bursts"; size; gap ] ->
+      Lb_mutex.Workload.Bursts
+        { size = int_of_string size; gap = int_of_string gap }
+    | [ "poisson"; mean ] ->
+      Lb_mutex.Workload.Poisson { seed; mean_gap = float_of_string mean }
+    | _ ->
+      Printf.eprintf "bad pattern %S\n" s;
+      exit 2
+  in
+  let run algo_name n seed pattern rounds =
+    let algo = find_algo algo_name in
+    let pattern = parse_pattern pattern seed in
+    let r =
+      Lb_mutex.Workload.run ~rounds ~pattern
+        ~schedule:(Lb_mutex.Workload.Random seed) algo ~n
+    in
+    Printf.printf "arrivals       %s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int r.Lb_mutex.Workload.arrivals)));
+    Printf.printf "SC total       %d (%.2f per section)\n"
+      r.Lb_mutex.Workload.sc_total r.Lb_mutex.Workload.sc_per_section;
+    Format.printf "costs          %a@." Lb_cost.Accounting.pp_breakdown
+      r.Lb_mutex.Workload.breakdown
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Run an arrival-pattern workload and report per-section costs")
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ pattern_arg $ rounds_arg)
+
+(* ------------------------------ adversary ----------------------------- *)
+
+let adversary_cmd =
+  let tries_arg =
+    Arg.(value & opt int 32 & info [ "tries" ] ~docv:"K" ~doc:"Random restarts.")
+  in
+  let run algo_name n seed tries =
+    let algo = find_algo algo_name in
+    let r = Lb_mutex.Adversary.search ~tries ~seed algo ~n in
+    Printf.printf "sequential     %d\n" r.Lb_mutex.Adversary.sequential_cost;
+    Printf.printf "adversary best %d (blow-up %.2f, %d tries)\n"
+      r.Lb_mutex.Adversary.best_cost
+      (float_of_int r.Lb_mutex.Adversary.best_cost
+      /. float_of_int (max 1 r.Lb_mutex.Adversary.sequential_cost))
+      r.Lb_mutex.Adversary.tries;
+    Printf.printf "log2(n!)       %.1f\n" (Lb_core.Bounds.bits_needed n)
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Search for expensive canonical executions with random restarts")
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ tries_arg)
+
+(* ---------------------------- experiments ----------------------------- *)
+
+let experiments_cmd =
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids, e.g. E1,E3.")
+  in
+  let run seed only =
+    match only with
+    | None -> Lb_exp.Exp_all.run ~seed ()
+    | Some ids ->
+      let wanted = String.split_on_char ',' ids in
+      List.iter
+        (fun id ->
+          match List.assoc_opt id Lb_exp.Exp_all.experiments with
+          | Some f -> f ~seed ()
+          | None ->
+            Printf.eprintf "unknown experiment %S\n" id;
+            exit 2)
+        wanted
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables")
+    Term.(const run $ seed_arg $ only_arg)
+
+let () =
+  let info =
+    Cmd.info "mutexlb" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of Fan & Lynch's Omega(n log n) mutual-exclusion lower \
+         bound"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; check_cmd; construct_cmd; pipeline_cmd;
+            decode_cmd; certify_cmd; workload_cmd; adversary_cmd;
+            experiments_cmd;
+          ]))

@@ -1,0 +1,109 @@
+(* Contention study: the workload from the paper's motivation — many
+   processes hammering one lock — across schedulers and cost models.
+   Shows why local-spin algorithms (the ones the O(n log n) upper bound
+   needs) matter: under contention, algorithms that spin across several
+   registers pay per probe in the SC model, while Yang-Anderson pays O(1)
+   per wake-up.
+
+     dune exec examples/contention_study.exe *)
+
+open Lb_util
+
+let algos =
+  [
+    Lb_algos.Yang_anderson.algorithm;
+    Lb_algos.Tournament.algorithm;
+    Lb_algos.Bakery.algorithm;
+    Lb_algos.Burns.algorithm;
+    Lb_algos.Lamport_fast.algorithm;
+    Lb_algos.Rmw_locks.ticket;
+  ]
+
+let () =
+  let n = 12 in
+  let rounds = 3 in
+
+  Printf.printf
+    "Workload: %d processes, %d critical sections each, three schedules.\n\n"
+    n rounds;
+
+  let t =
+    Table.create
+      ~title:"SC cost per critical section (lower is better)"
+      [
+        ("algo", Table.Left);
+        ("sequential", Table.Right);
+        ("round-robin", Table.Right);
+        ("random (mean of 5 seeds)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (algo : Lb_shmem.Algorithm.t) ->
+      let sections = n * rounds in
+      let per_cs exec =
+        float_of_int (Lb_cost.State_change.cost algo ~n exec)
+        /. float_of_int sections
+      in
+      let seq =
+        (* sequential baseline: one greedy canonical run, n sections *)
+        let exec = (Lb_mutex.Canonical.run algo ~n).Lb_mutex.Canonical.exec in
+        float_of_int (Lb_cost.State_change.cost algo ~n exec) /. float_of_int n
+      in
+      let rr =
+        per_cs
+          (Lb_mutex.Canonical.run_round_robin ~rounds algo ~n)
+            .Lb_mutex.Canonical.exec
+      in
+      let rand =
+        Stats.mean
+          (List.map
+             (fun seed ->
+               per_cs
+                 (Lb_mutex.Canonical.run_random ~seed ~rounds algo ~n)
+                   .Lb_mutex.Canonical.exec)
+             [ 1; 2; 3; 4; 5 ])
+      in
+      Table.add_row t
+        [
+          algo.Lb_shmem.Algorithm.name;
+          Table.cell_f seq;
+          Table.cell_f rr;
+          Table.cell_f rand;
+        ])
+    algos;
+  Table.print t;
+
+  let t2 =
+    Table.create
+      ~title:
+        "Same round-robin executions under the other models (total cost)"
+      [
+        ("algo", Table.Left);
+        ("raw", Table.Right);
+        ("SC", Table.Right);
+        ("CC", Table.Right);
+        ("DSM", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (algo : Lb_shmem.Algorithm.t) ->
+      let exec =
+        (Lb_mutex.Canonical.run_round_robin ~rounds algo ~n)
+          .Lb_mutex.Canonical.exec
+      in
+      let b = Lb_cost.Accounting.breakdown algo ~n exec in
+      Table.add_row t2
+        [
+          algo.Lb_shmem.Algorithm.name;
+          string_of_int b.Lb_cost.Accounting.shared_accesses;
+          string_of_int b.Lb_cost.Accounting.sc;
+          string_of_int b.Lb_cost.Accounting.cc;
+          string_of_int b.Lb_cost.Accounting.dsm;
+        ])
+    algos;
+  Table.print t2;
+
+  print_endline
+    "Yang-Anderson's per-CS SC cost stays near 6 ceil(log2 n) regardless of\n\
+     schedule; tournament (Peterson nodes) and bakery climb under contention\n\
+     because their waiting probes change local state every iteration."

@@ -1,0 +1,112 @@
+open Lb_shmem
+
+(* Register layout: choosing_i = i, number_i = n + i. *)
+let choosing i = i
+let number ~n i = n + i
+
+module State = struct
+  type pc =
+    | Start
+    | Begin_choose  (* write choosing[me] := 1 *)
+    | Scan of { j : int; best : int }  (* read number[j], track max *)
+    | Take_number of { best : int }  (* write number[me] := best+1 *)
+    | End_choose of { mine : int }  (* write choosing[me] := 0 *)
+    | Wait_choosing of { j : int; mine : int }  (* spin choosing[j] = 0 *)
+    | Wait_number of { j : int; mine : int }  (* spin number[j] clears me *)
+    | Enter of { mine : int }
+    | In_cs of { mine : int }
+    | Clear_number
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let next_j ~me j = if j + 1 = me then j + 2 else j + 1
+
+  (* first rival index, skipping me *)
+  let first_j ~me = if me = 0 then 1 else 0
+
+  let pending ~n ~me st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Begin_choose -> Step.Write (choosing me, 1)
+    | Scan { j; _ } -> Step.Read (number ~n j)
+    | Take_number { best } -> Step.Write (number ~n me, best + 1)
+    | End_choose _ -> Step.Write (choosing me, 0)
+    | Wait_choosing { j; _ } -> Step.Read (choosing j)
+    | Wait_number { j; _ } -> Step.Read (number ~n j)
+    | Enter _ -> Step.Crit Step.Enter
+    | In_cs _ -> Step.Crit Step.Exit
+    | Clear_number -> Step.Write (number ~n me, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  (* After finishing with rival j, move to the next rival or the CS. *)
+  let proceed ~n ~me ~mine j =
+    let j' = next_j ~me j in
+    if j' >= n then Enter { mine } else Wait_choosing { j = j'; mine }
+
+  let advance ~n ~me st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Begin_choose
+    | Begin_choose ->
+      Common.acked resp;
+      Scan { j = 0; best = 0 }
+    | Scan { j; best } ->
+      let best = max best (Common.got resp) in
+      if j + 1 >= n then Take_number { best } else Scan { j = j + 1; best }
+    | Take_number { best } ->
+      Common.acked resp;
+      End_choose { mine = best + 1 }
+    | End_choose { mine } ->
+      Common.acked resp;
+      if n = 1 then Enter { mine }
+      else Wait_choosing { j = first_j ~me; mine }
+    | Wait_choosing { j; mine } ->
+      if Common.got resp <> 0 then st (* spin: j is still choosing *)
+      else Wait_number { j; mine }
+    | Wait_number { j; mine } ->
+      let nj = Common.got resp in
+      if nj <> 0 && (nj < mine || (nj = mine && j < me)) then
+        st (* spin: j has priority *)
+      else proceed ~n ~me ~mine j
+    | Enter { mine } ->
+      Common.acked resp;
+      In_cs { mine }
+    | In_cs _ ->
+      Common.acked resp;
+      Clear_number
+    | Clear_number ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Begin_choose -> "begin_choose"
+    | Scan { j; best } -> Printf.sprintf "scan:%d:%d" j best
+    | Take_number { best } -> Printf.sprintf "take:%d" best
+    | End_choose { mine } -> Printf.sprintf "end_choose:%d" mine
+    | Wait_choosing { j; mine } -> Printf.sprintf "wait_ch:%d:%d" j mine
+    | Wait_number { j; mine } -> Printf.sprintf "wait_no:%d:%d" j mine
+    | Enter { mine } -> Printf.sprintf "enter:%d" mine
+    | In_cs { mine } -> Printf.sprintf "in_cs:%d" mine
+    | Clear_number -> "clear_number"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"bakery"
+    ~description:"Lamport's bakery algorithm (O(n) work per entry)"
+    ~registers:(fun ~n ->
+      Array.init (2 * n) (fun i ->
+          if i < n then Register.spec ~home:i (Printf.sprintf "choosing%d" i)
+          else Register.spec ~home:(i - n) (Printf.sprintf "number%d" (i - n))))
+    ~spawn:Spawn.spawn ()

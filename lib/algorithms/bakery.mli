@@ -1,0 +1,12 @@
+(** Lamport's bakery algorithm (1974).
+
+    Registers: per-process [choosing_i] and [number_i]. A process scans all
+    numbers to pick a larger one, then waits for every other process to (a)
+    finish choosing and (b) either hold no number or hold a
+    lexicographically larger (number, id). Both waits spin on a single
+    register at a time, so they are SC-discounted; the O(n) scan per
+    entry still makes every canonical execution cost Θ(n²) — the natural
+    register-based baseline the Ω(n log n) bound separates from
+    Yang–Anderson. *)
+
+val algorithm : Lb_shmem.Algorithm.t

@@ -1,0 +1,61 @@
+open Lb_shmem
+
+let lock = 0
+
+module State = struct
+  type pc = Start | Poll | Grab | Enter | In_cs | Release | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me:_ st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Poll -> Step.Read lock
+    | Grab -> Step.Write (lock, 1)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Release -> Step.Write (lock, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me:_ st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Poll
+    | Poll -> if Common.got resp = 0 then Grab else st (* spin *)
+    | Grab ->
+      Common.acked resp;
+      Enter
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Release
+    | Release ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Poll -> "poll"
+    | Grab -> "grab"
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Release -> "release"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"broken_spinlock"
+    ~description:"INTENTIONALLY BROKEN read-then-write spinlock (test oracle)"
+    ~registers:(fun ~n:_ -> [| Register.spec "lock" |])
+    ~spawn:Spawn.spawn ()

@@ -1,0 +1,10 @@
+(** A deliberately incorrect register-based "spinlock".
+
+    Each process reads a single [lock] register until it sees 0, then
+    writes 1 and enters. The read and the write are separate steps, so two
+    processes can both observe 0 and enter together. Included so that the
+    checker and the bounded model checker have a positive control: they
+    must find this violation (and do, at n = 2 within a handful of
+    states). Never use this algorithm for anything else. *)
+
+val algorithm : Lb_shmem.Algorithm.t

@@ -1,0 +1,94 @@
+open Lb_shmem
+
+let flag i = i
+
+module State = struct
+  type pc =
+    | Start
+    | Reset  (* flag[me] := 0, restart point *)
+    | Check_low1 of { j : int }  (* pre-raise scan of j < me *)
+    | Raise
+    | Check_low2 of { j : int }  (* post-raise scan of j < me *)
+    | Await_high of { j : int }  (* spin until flag[j] = 0, j > me *)
+    | Enter
+    | In_cs
+    | Lower
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Reset -> Step.Write (flag me, 0)
+    | Check_low1 { j } | Check_low2 { j } -> Step.Read (flag j)
+    | Raise -> Step.Write (flag me, 1)
+    | Await_high { j } -> Step.Read (flag j)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Lower -> Step.Write (flag me, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let after_check2 ~n ~me =
+    if me + 1 >= n then Enter else Await_high { j = me + 1 }
+
+  let advance ~n ~me st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Reset
+    | Reset ->
+      Common.acked resp;
+      if me = 0 then Raise else Check_low1 { j = 0 }
+    | Check_low1 { j } ->
+      if Common.got resp = 1 then Reset
+      else if j + 1 >= me then Raise
+      else Check_low1 { j = j + 1 }
+    | Raise ->
+      Common.acked resp;
+      if me = 0 then after_check2 ~n ~me else Check_low2 { j = 0 }
+    | Check_low2 { j } ->
+      if Common.got resp = 1 then Reset
+      else if j + 1 >= me then after_check2 ~n ~me
+      else Check_low2 { j = j + 1 }
+    | Await_high { j } ->
+      if Common.got resp = 1 then st (* spin on flag[j] *)
+      else if j + 1 >= n then Enter
+      else Await_high { j = j + 1 }
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Lower
+    | Lower ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Reset -> "reset"
+    | Check_low1 { j } -> Printf.sprintf "c1:%d" j
+    | Raise -> "raise"
+    | Check_low2 { j } -> Printf.sprintf "c2:%d" j
+    | Await_high { j } -> Printf.sprintf "aw:%d" j
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Lower -> "lower"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"burns"
+    ~description:"Burns' one-bit algorithm (deadlock-free, n flag bits)"
+    ~registers:(fun ~n ->
+      Array.init n (fun i -> Register.spec ~home:i (Printf.sprintf "flag%d" i)))
+    ~spawn:Spawn.spawn ()

@@ -1,0 +1,10 @@
+(** Burns' one-bit mutual exclusion algorithm.
+
+    One flag register per process. A process backs off and restarts while
+    any lower-indexed rival's flag is up (checked before and after raising
+    its own), then waits for every higher-indexed rival's flag to drop.
+    Space-optimal (n bits — cf. Burns & Lynch 1993, cited as [6]) and
+    deadlock-free, but not starvation-free; the waits at the last stage
+    spin on one register at a time, so they are SC-discounted. *)
+
+val algorithm : Lb_shmem.Algorithm.t

@@ -1,0 +1,20 @@
+open Lb_shmem
+
+let nil = 0
+let pid me = me + 1
+
+let unpid v =
+  if v <= 0 then invalid_arg "Common.unpid: not a pid";
+  v - 1
+
+let got = function
+  | Step.Got v -> v
+  | Step.Ack -> invalid_arg "Common.got: expected a value, got Ack"
+
+let acked = function
+  | Step.Ack -> ()
+  | Step.Got _ -> invalid_arg "Common.acked: expected Ack, got a value"
+
+let make ~name ~description ?(kind = Algorithm.Registers_only) ?max_n
+    ~registers ~spawn () =
+  { Algorithm.name; description; kind; registers; spawn; max_n }

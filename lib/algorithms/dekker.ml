@@ -1,0 +1,109 @@
+open Lb_shmem
+
+let flag me = me
+let turn = 2
+
+(* turn holds pid 1 or pid 2; initially pid of process 0 *)
+
+module State = struct
+  type pc =
+    | Start
+    | Raise_flag
+    | Check_rival  (* read flag[other]; 0 -> enter *)
+    | Read_turn  (* rival contending: who holds the turn? *)
+    | Lower_flag  (* not my turn: withdraw *)
+    | Await_turn  (* spin on turn until it is mine *)
+    | Reraise_flag
+    | Enter
+    | In_cs
+    | Pass_turn
+    | Clear_flag
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me st : Step.action =
+    let other = 1 - me in
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Raise_flag | Reraise_flag -> Step.Write (flag me, 1)
+    | Check_rival -> Step.Read (flag other)
+    | Read_turn | Await_turn -> Step.Read turn
+    | Lower_flag -> Step.Write (flag me, 0)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Pass_turn -> Step.Write (turn, Common.pid other)
+    | Clear_flag -> Step.Write (flag me, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Raise_flag
+    | Raise_flag ->
+      Common.acked resp;
+      Check_rival
+    | Check_rival -> if Common.got resp = 0 then Enter else Read_turn
+    | Read_turn ->
+      if Common.got resp = Common.pid me then
+        (* my turn: insist, rival will withdraw *)
+        Check_rival
+      else Lower_flag
+    | Lower_flag ->
+      Common.acked resp;
+      Await_turn
+    | Await_turn ->
+      (* single-variable spin: state is unchanged while the turn is not
+         mine, so the SC model charges only the final read *)
+      if Common.got resp = Common.pid me then Reraise_flag else Await_turn
+    | Reraise_flag ->
+      Common.acked resp;
+      Check_rival
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Pass_turn
+    | Pass_turn ->
+      Common.acked resp;
+      Clear_flag
+    | Clear_flag ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Raise_flag -> "raise_flag"
+    | Check_rival -> "check_rival"
+    | Read_turn -> "read_turn"
+    | Lower_flag -> "lower_flag"
+    | Await_turn -> "await_turn"
+    | Reraise_flag -> "reraise_flag"
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Pass_turn -> "pass_turn"
+    | Clear_flag -> "clear_flag"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"dekker"
+    ~description:"Dekker's two-process algorithm (turn-based withdrawal)"
+    ~max_n:2
+    ~registers:(fun ~n:_ ->
+      [|
+        Register.spec "flag0";
+        Register.spec "flag1";
+        Register.spec ~init:(Common.pid 0) "turn";
+      |])
+    ~spawn:Spawn.spawn ()

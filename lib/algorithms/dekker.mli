@@ -1,0 +1,10 @@
+(** Dekker's algorithm (1965) — the first correct two-process mutual
+    exclusion algorithm using only reads and writes.
+
+    Registers: [flag0], [flag1], [turn]. A contending process that does not
+    hold the turn withdraws its flag, waits for the turn, and retries; the
+    winner proceeds. The waits read single registers but the retry loop
+    changes local state, so contention is charged by all cost models. *)
+
+val algorithm : Lb_shmem.Algorithm.t
+(** Two processes only ([max_n = 2]). *)

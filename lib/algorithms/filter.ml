@@ -1,0 +1,106 @@
+open Lb_shmem
+
+(* Register layout: level_i = i (holds 0..n-1), victim_l = n + (l-1) for
+   levels l = 1..n-1 (holds a pid). *)
+let reg_level i = i
+let reg_victim ~n l = n + l - 1
+
+module State = struct
+  type pc =
+    | Start
+    | Set_level of { l : int }
+    | Set_victim of { l : int }
+    | Probe_level of { l : int; j : int }  (* read level_j *)
+    | Probe_victim of { l : int; j : int }  (* read victim_l *)
+    | Enter
+    | In_cs
+    | Clear_level
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n ~me st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Set_level { l } -> Step.Write (reg_level me, l)
+    | Set_victim { l } -> Step.Write (reg_victim ~n l, Common.pid me)
+    | Probe_level { j; _ } -> Step.Read (reg_level j)
+    | Probe_victim { l; _ } -> Step.Read (reg_victim ~n l)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Clear_level -> Step.Write (reg_level me, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let first_j ~me = if me = 0 then 1 else 0
+  let next_j ~me j = if j + 1 = me then j + 2 else j + 1
+
+  (* passed level l: climb or enter *)
+  let level_cleared ~n ~l =
+    if l + 1 > n - 1 then Enter else Set_level { l = l + 1 }
+
+  let start_probing ~n ~me ~l =
+    if n = 1 then Enter
+    else Probe_level { l; j = first_j ~me }
+
+  let advance ~n ~me st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      if n = 1 then Enter else Set_level { l = 1 }
+    | Set_level { l } ->
+      Common.acked resp;
+      Set_victim { l }
+    | Set_victim { l } ->
+      Common.acked resp;
+      start_probing ~n ~me ~l
+    | Probe_level { l; j } ->
+      if Common.got resp >= l then
+        (* j is at my level or higher: blocked unless the victim moved *)
+        Probe_victim { l; j }
+      else begin
+        let j' = next_j ~me j in
+        if j' >= n then level_cleared ~n ~l else Probe_level { l; j = j' }
+      end
+    | Probe_victim { l; j } ->
+      if Common.got resp = Common.pid me then
+        (* still the victim: re-probe the same rival *)
+        Probe_level { l; j }
+      else level_cleared ~n ~l
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      if n = 1 then Rem else Clear_level
+    | Clear_level ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Set_level { l } -> Printf.sprintf "sl%d" l
+    | Set_victim { l } -> Printf.sprintf "sv%d" l
+    | Probe_level { l; j } -> Printf.sprintf "pl%d:%d" l j
+    | Probe_victim { l; j } -> Printf.sprintf "pv%d:%d" l j
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Clear_level -> "clear"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"filter"
+    ~description:"Peterson's n-process filter lock (n-1 victim levels)"
+    ~registers:(fun ~n ->
+      Array.init (n + max 0 (n - 1)) (fun i ->
+          if i < n then Register.spec ~home:i (Printf.sprintf "level%d" i)
+          else Register.spec (Printf.sprintf "victim%d" (i - n + 1))))
+    ~spawn:Spawn.spawn ()

@@ -1,0 +1,10 @@
+(** Peterson's n-process filter lock.
+
+    Registers: [level_i] per process and [victim_l] per level. A process
+    climbs n−1 levels; at each level it is the victim until either no other
+    process is at that level or above, or a newer victim displaces it.
+    The wait re-scans all rivals' levels and the victim register, changing
+    state on every probe — a Θ(n²) algorithm that the SC model does not
+    forgive under contention. *)
+
+val algorithm : Lb_shmem.Algorithm.t

@@ -1,0 +1,129 @@
+open Lb_shmem
+
+(* Register layout: x = 0, y = 1, b_i = 2 + i. *)
+let reg_x = 0
+let reg_y = 1
+let reg_b i = 2 + i
+
+module State = struct
+  type pc =
+    | Start
+    | Set_b  (* b[me] := 1; also the restart point *)
+    | Set_x
+    | Read_y1
+    | Clear_b_y  (* y was taken: withdraw *)
+    | Await_y0  (* spin until y = 0, then restart *)
+    | Set_y
+    | Read_x
+    | Clear_b_x  (* lost the race on x: withdraw *)
+    | Scan_b of { j : int }  (* await b[j] = 0 for every j *)
+    | Read_y2
+    | Await_y0b  (* not the owner of y: wait for it to clear, restart *)
+    | Enter
+    | In_cs
+    | Clear_y
+    | Clear_b_exit
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Set_b -> Step.Write (reg_b me, 1)
+    | Set_x -> Step.Write (reg_x, Common.pid me)
+    | Read_y1 | Read_y2 | Await_y0 | Await_y0b -> Step.Read reg_y
+    | Clear_b_y | Clear_b_x -> Step.Write (reg_b me, 0)
+    | Set_y -> Step.Write (reg_y, Common.pid me)
+    | Read_x -> Step.Read reg_x
+    | Scan_b { j } -> Step.Read (reg_b j)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Clear_y -> Step.Write (reg_y, 0)
+    | Clear_b_exit -> Step.Write (reg_b me, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n ~me st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Set_b
+    | Set_b ->
+      Common.acked resp;
+      Set_x
+    | Set_x ->
+      Common.acked resp;
+      Read_y1
+    | Read_y1 -> if Common.got resp <> 0 then Clear_b_y else Set_y
+    | Clear_b_y ->
+      Common.acked resp;
+      Await_y0
+    | Await_y0 ->
+      if Common.got resp <> 0 then st (* spin on y *) else Set_b
+    | Set_y ->
+      Common.acked resp;
+      Read_x
+    | Read_x ->
+      if Common.got resp = Common.pid me then Enter (* fast path *)
+      else Clear_b_x
+    | Clear_b_x ->
+      Common.acked resp;
+      Scan_b { j = 0 }
+    | Scan_b { j } ->
+      if Common.got resp <> 0 then st (* spin on b[j] *)
+      else if j + 1 >= n then Read_y2
+      else Scan_b { j = j + 1 }
+    | Read_y2 ->
+      if Common.got resp = Common.pid me then Enter else Await_y0b
+    | Await_y0b ->
+      if Common.got resp <> 0 then st (* spin on y *) else Set_b
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Clear_y
+    | Clear_y ->
+      Common.acked resp;
+      Clear_b_exit
+    | Clear_b_exit ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Set_b -> "set_b"
+    | Set_x -> "set_x"
+    | Read_y1 -> "read_y1"
+    | Clear_b_y -> "clear_b_y"
+    | Await_y0 -> "await_y0"
+    | Set_y -> "set_y"
+    | Read_x -> "read_x"
+    | Clear_b_x -> "clear_b_x"
+    | Scan_b { j } -> Printf.sprintf "scan_b:%d" j
+    | Read_y2 -> "read_y2"
+    | Await_y0b -> "await_y0b"
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Clear_y -> "clear_y"
+    | Clear_b_exit -> "clear_b_exit"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"lamport_fast"
+    ~description:"Lamport's fast algorithm (constant-time solo entries)"
+    ~registers:(fun ~n ->
+      Array.init (2 + n) (fun i ->
+          if i = 0 then Register.spec "x"
+          else if i = 1 then Register.spec "y"
+          else Register.spec ~home:(i - 2) (Printf.sprintf "b%d" (i - 2))))
+    ~spawn:Spawn.spawn ()

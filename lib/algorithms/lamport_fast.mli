@@ -1,0 +1,11 @@
+(** Lamport's fast mutual exclusion algorithm (1987).
+
+    Registers: [x], [y] and one boolean [b_i] per process. In the absence
+    of contention a process takes a constant number of steps (write x,
+    check y, write y, check x) — the "fast path" that motivated the
+    algorithm. Under contention, losers withdraw, wait for [y] to clear
+    and restart, so the algorithm is deadlock-free but not
+    starvation-free. A useful contrast for the canonical-cost experiments:
+    fast solo entries, expensive contended ones. *)
+
+val algorithm : Lb_shmem.Algorithm.t

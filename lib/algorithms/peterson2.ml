@@ -1,0 +1,88 @@
+open Lb_shmem
+
+(* Register indices. *)
+let flag me = me (* flag0 = 0, flag1 = 1 *)
+let turn = 2
+
+module State = struct
+  type pc =
+    | Start
+    | Set_flag
+    | Set_turn
+    | Check_flag
+    | Check_turn
+    | Enter
+    | In_cs
+    | Clear_flag
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me st : Step.action =
+    let other = 1 - me in
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Set_flag -> Step.Write (flag me, 1)
+    | Set_turn -> Step.Write (turn, Common.pid other)
+    | Check_flag -> Step.Read (flag other)
+    | Check_turn -> Step.Read turn
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Clear_flag -> Step.Write (flag me, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me st resp : state =
+    let other = 1 - me in
+    match st with
+    | Start ->
+      Common.acked resp;
+      Set_flag
+    | Set_flag ->
+      Common.acked resp;
+      Set_turn
+    | Set_turn ->
+      Common.acked resp;
+      Check_flag
+    | Check_flag -> if Common.got resp = 0 then Enter else Check_turn
+    | Check_turn ->
+      (* blocked while the turn is still yielded to the rival *)
+      if Common.got resp = Common.pid other then Check_flag else Enter
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Clear_flag
+    | Clear_flag ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Set_flag -> "set_flag"
+    | Set_turn -> "set_turn"
+    | Check_flag -> "check_flag"
+    | Check_turn -> "check_turn"
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Clear_flag -> "clear_flag"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"peterson2"
+    ~description:"Peterson's two-process algorithm (two-variable spin)"
+    ~max_n:2
+    ~registers:(fun ~n:_ ->
+      [|
+        Register.spec "flag0"; Register.spec "flag1"; Register.spec "turn";
+      |])
+    ~spawn:Spawn.spawn ()

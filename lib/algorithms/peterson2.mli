@@ -1,0 +1,12 @@
+(** Peterson's classic two-process algorithm (1981).
+
+    Registers: [flag0], [flag1], [turn]. The trying protocol raises the own
+    flag, yields the turn, and then waits while the rival's flag is up and
+    the turn is still yielded. The wait alternates reads of two registers,
+    so — unlike Yang–Anderson — every busy-wait iteration changes local
+    state and is charged by the SC model. Included both as the building
+    block of {!Tournament} and as a contrast in the cost-model
+    experiments. *)
+
+val algorithm : Lb_shmem.Algorithm.t
+(** Two processes only ([max_n = 2]). *)

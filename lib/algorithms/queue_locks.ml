@@ -1,0 +1,292 @@
+open Lb_shmem
+
+(* ------------------------------------------------------------------ *)
+(* Anderson's array-based queue lock                                   *)
+(* registers: tail = 0; slots[k] = 1 + k, k in [0, n); slots[0] init 1 *)
+(* ------------------------------------------------------------------ *)
+
+let a_tail = 0
+let a_slot ~n:_ k = 1 + k
+
+module Anderson_state = struct
+  type pc =
+    | Start
+    | Draw
+    | Wait of { slot : int }
+    | Enter of { slot : int }
+    | In_cs of { slot : int }
+    | Clear of { slot : int }
+    | Pass of { slot : int }
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n ~me:_ st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Draw -> Step.Rmw (a_tail, Step.Fetch_add 1)
+    | Wait { slot } -> Step.Read (a_slot ~n slot)
+    | Enter _ -> Step.Crit Step.Enter
+    | In_cs _ -> Step.Crit Step.Exit
+    | Clear { slot } -> Step.Write (a_slot ~n slot, 0)
+    | Pass { slot } -> Step.Write (a_slot ~n ((slot + 1) mod n), 1)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n ~me:_ st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Draw
+    | Draw -> Wait { slot = Common.got resp mod n }
+    | Wait { slot } ->
+      if Common.got resp = 1 then Enter { slot } else st (* spin on slot *)
+    | Enter { slot } ->
+      Common.acked resp;
+      In_cs { slot }
+    | In_cs { slot } ->
+      Common.acked resp;
+      Clear { slot }
+    | Clear { slot } ->
+      Common.acked resp;
+      Pass { slot }
+    | Pass _ ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Draw -> "draw"
+    | Wait { slot } -> Printf.sprintf "wait:%d" slot
+    | Enter { slot } -> Printf.sprintf "enter:%d" slot
+    | In_cs { slot } -> Printf.sprintf "in_cs:%d" slot
+    | Clear { slot } -> Printf.sprintf "clear:%d" slot
+    | Pass { slot } -> Printf.sprintf "pass:%d" slot
+    | Rem -> "rem"
+end
+
+module Anderson_spawn = Proc.Make_spawn (Anderson_state)
+
+let anderson =
+  Common.make ~name:"anderson_queue"
+    ~description:"Anderson's array queue lock (fetch-add slot, baton passing)"
+    ~kind:Algorithm.Uses_rmw
+    ~registers:(fun ~n ->
+      Array.init (n + 1) (fun i ->
+          if i = 0 then Register.spec "tail"
+          else Register.spec ~init:(if i = 1 then 1 else 0)
+                 (Printf.sprintf "slot%d" (i - 1))))
+    ~spawn:Anderson_spawn.spawn ()
+
+(* ------------------------------------------------------------------ *)
+(* MCS                                                                 *)
+(* registers: tail = 0 (pid or nil); next[i] = 1 + i (pid or nil);     *)
+(* locked[i] = 1 + n + i (1 = must wait)                               *)
+(* ------------------------------------------------------------------ *)
+
+let m_tail = 0
+let m_next ~n:_ i = 1 + i
+let m_locked ~n i = 1 + n + i
+
+module Mcs_state = struct
+  type pc =
+    | Start
+    | Clear_next
+    | Swap_tail
+    | Set_locked of { pred : int }  (* pred is a pid *)
+    | Link of { pred : int }
+    | Spin
+    | Enter
+    | In_cs
+    | Read_next
+    | Cas_tail
+    | Await_next
+    | Release of { succ : int }  (* succ is a pid *)
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n ~me st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Clear_next -> Step.Write (m_next ~n me, Common.nil)
+    | Swap_tail -> Step.Rmw (m_tail, Step.Swap (Common.pid me))
+    | Set_locked _ -> Step.Write (m_locked ~n me, 1)
+    | Link { pred } -> Step.Write (m_next ~n (Common.unpid pred), Common.pid me)
+    | Spin -> Step.Read (m_locked ~n me)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Read_next | Await_next -> Step.Read (m_next ~n me)
+    | Cas_tail ->
+      Step.Rmw (m_tail, Step.Cas { expect = Common.pid me; replace = Common.nil })
+    | Release { succ } -> Step.Write (m_locked ~n (Common.unpid succ), 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Clear_next
+    | Clear_next ->
+      Common.acked resp;
+      Swap_tail
+    | Swap_tail ->
+      let pred = Common.got resp in
+      if pred = Common.nil then Enter else Set_locked { pred }
+    | Set_locked { pred } ->
+      Common.acked resp;
+      Link { pred }
+    | Link _ ->
+      Common.acked resp;
+      Spin
+    | Spin -> if Common.got resp = 0 then Enter else st (* local spin *)
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Read_next
+    | Read_next ->
+      let succ = Common.got resp in
+      if succ = Common.nil then Cas_tail else Release { succ }
+    | Cas_tail ->
+      if Common.got resp = Common.pid me then Rem (* detached: queue empty *)
+      else Await_next (* a successor is mid-enqueue: wait for the link *)
+    | Await_next ->
+      let succ = Common.got resp in
+      if succ = Common.nil then st (* spin until the link appears *)
+      else Release { succ }
+    | Release _ ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Clear_next -> "clear_next"
+    | Swap_tail -> "swap_tail"
+    | Set_locked { pred } -> Printf.sprintf "set_locked:%d" pred
+    | Link { pred } -> Printf.sprintf "link:%d" pred
+    | Spin -> "spin"
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Read_next -> "read_next"
+    | Cas_tail -> "cas_tail"
+    | Await_next -> "await_next"
+    | Release { succ } -> Printf.sprintf "release:%d" succ
+    | Rem -> "rem"
+end
+
+module Mcs_spawn = Proc.Make_spawn (Mcs_state)
+
+let mcs =
+  Common.make ~name:"mcs"
+    ~description:"MCS queue lock (swap/CAS; spins on own homed node)"
+    ~kind:Algorithm.Uses_rmw
+    ~registers:(fun ~n ->
+      Array.init ((2 * n) + 1) (fun i ->
+          if i = 0 then Register.spec "tail"
+          else if i <= n then
+            Register.spec ~home:(i - 1) (Printf.sprintf "next%d" (i - 1))
+          else
+            Register.spec ~home:(i - n - 1)
+              (Printf.sprintf "locked%d" (i - n - 1))))
+    ~spawn:Mcs_spawn.spawn ()
+
+(* ------------------------------------------------------------------ *)
+(* CLH                                                                 *)
+(* registers: tail = 0 (node index, init n); nodes[k] = 1 + k for      *)
+(* k in [0, n] (1 = busy, 0 = free); process me starts owning node me  *)
+(* ------------------------------------------------------------------ *)
+
+let c_tail = 0
+let c_node k = 1 + k
+
+module Clh_state = struct
+  type pc =
+    | Start of { mine : int }
+    | Mark of { mine : int }
+    | Swap of { mine : int }
+    | Spin of { mine : int; pred : int }
+    | Enter of { mine : int; pred : int }
+    | In_cs of { mine : int; pred : int }
+    | Free of { mine : int; pred : int }
+    | Rem of { next : int }  (* recycled node for the next round *)
+
+  type state = pc
+
+  let initial ~n:_ ~me = Start { mine = me }
+
+  let pending ~n:_ ~me:_ st : Step.action =
+    match st with
+    | Start _ -> Step.Crit Step.Try
+    | Mark { mine } -> Step.Write (c_node mine, 1)
+    | Swap { mine } -> Step.Rmw (c_tail, Step.Swap mine)
+    | Spin { pred; _ } -> Step.Read (c_node pred)
+    | Enter _ -> Step.Crit Step.Enter
+    | In_cs _ -> Step.Crit Step.Exit
+    | Free { mine; _ } -> Step.Write (c_node mine, 0)
+    | Rem _ -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me:_ st resp : state =
+    match st with
+    | Start { mine } ->
+      Common.acked resp;
+      Mark { mine }
+    | Mark { mine } ->
+      Common.acked resp;
+      Swap { mine }
+    | Swap { mine } -> Spin { mine; pred = Common.got resp }
+    | Spin { mine; pred } ->
+      if Common.got resp = 0 then Enter { mine; pred }
+      else st (* spin on the predecessor's node *)
+    | Enter { mine; pred } ->
+      Common.acked resp;
+      In_cs { mine; pred }
+    | In_cs { mine; pred } ->
+      Common.acked resp;
+      Free { mine; pred }
+    | Free { pred; _ } ->
+      Common.acked resp;
+      (* recycle the predecessor's now-free node for the next round *)
+      Rem { next = pred }
+    | Rem { next } ->
+      Common.acked resp;
+      Start { mine = next }
+
+  let repr (st : state) =
+    match st with
+    | Start { mine } -> Printf.sprintf "start:%d" mine
+    | Mark { mine } -> Printf.sprintf "mark:%d" mine
+    | Swap { mine } -> Printf.sprintf "swap:%d" mine
+    | Spin { mine; pred } -> Printf.sprintf "spin:%d:%d" mine pred
+    | Enter { mine; pred } -> Printf.sprintf "enter:%d:%d" mine pred
+    | In_cs { mine; pred } -> Printf.sprintf "in_cs:%d:%d" mine pred
+    | Free { mine; pred } -> Printf.sprintf "free:%d:%d" mine pred
+    | Rem { next } -> Printf.sprintf "rem:%d" next
+
+end
+
+module Clh_spawn = Proc.Make_spawn (Clh_state)
+
+let clh =
+  Common.make ~name:"clh"
+    ~description:"CLH queue lock (swap; spins on predecessor's node)"
+    ~kind:Algorithm.Uses_rmw
+    ~registers:(fun ~n ->
+      Array.init (n + 2) (fun i ->
+          if i = 0 then Register.spec ~init:n "tail"
+          else if i - 1 < n then
+            Register.spec ~home:(i - 1) (Printf.sprintf "node%d" (i - 1))
+          else Register.spec (Printf.sprintf "node%d" (i - 1))))
+    ~spawn:Clh_spawn.spawn ()

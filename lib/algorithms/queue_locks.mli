@@ -1,0 +1,25 @@
+(** Queue locks built on read-modify-write primitives — the classical
+    local-spin locks of the CC/DSM literature ([8], [11] in the paper's
+    bibliography), here as further instances of the §8 "stronger
+    primitives" extension. All are FIFO and spin on a single register,
+    so they are SC-cheap; they differ in {e which} register is spun on,
+    which the CC and DSM models tell apart. *)
+
+val anderson : Lb_shmem.Algorithm.t
+(** Anderson's array-based queue lock: fetch-and-add assigns a slot in a
+    circular array; each waiter spins on its own slot; release passes the
+    baton to the next slot. Slots migrate between processes, so the spin
+    is cache-local (CC) but not home-local (DSM). *)
+
+val mcs : Lb_shmem.Algorithm.t
+(** Mellor-Crummey & Scott: swap on a tail pointer builds an explicit
+    queue; each waiter spins on a flag in its {e own} queue node (homed at
+    the waiter — local in both CC and DSM); release follows the [next]
+    pointer, using compare-and-swap to detach when no successor is
+    visible yet. *)
+
+val clh : Lb_shmem.Algorithm.t
+(** Craig / Landin-Hagersten: swap on a tail of {e implicit} queue nodes;
+    each waiter spins on its predecessor's node and recycles that node for
+    its next acquisition — local in CC, remote in DSM (the spun-on node
+    belongs to the predecessor). *)

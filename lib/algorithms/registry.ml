@@ -1,0 +1,45 @@
+open Lb_shmem
+
+let faulty = [ Broken_spinlock.algorithm; Yang_anderson_flat.algorithm ]
+
+let all =
+  [
+    Yang_anderson.algorithm;
+    Tournament.algorithm;
+    Bakery.algorithm;
+    Filter.algorithm;
+    Burns.algorithm;
+    Lamport_fast.algorithm;
+    Szymanski.algorithm;
+    Peterson2.algorithm;
+    Dekker.algorithm;
+    Rmw_locks.test_and_set;
+    Rmw_locks.test_and_test_and_set;
+    Rmw_locks.ticket;
+    Queue_locks.anderson;
+    Queue_locks.mcs;
+    Queue_locks.clh;
+  ]
+  @ faulty
+
+let correct =
+  List.filter
+    (fun a -> not (List.memq a faulty))
+    all
+
+let register_based = List.filter Algorithm.registers_only correct
+
+let scalable =
+  List.filter (fun a -> a.Algorithm.max_n = None) register_based
+
+let find name = List.find_opt (fun a -> a.Algorithm.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some a -> a
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown algorithm %S; known: %s" name
+         (String.concat ", " (List.map (fun a -> a.Algorithm.name) all)))
+
+let names () = List.map (fun a -> a.Algorithm.name) all

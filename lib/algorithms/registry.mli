@@ -1,0 +1,31 @@
+(** The algorithm registry: every mutex algorithm in the reproduction,
+    addressable by name for the CLI, tests and experiment drivers. *)
+
+val all : Lb_shmem.Algorithm.t list
+(** Every algorithm, including the RMW extensions and the faulty
+    controls. *)
+
+val faulty : Lb_shmem.Algorithm.t list
+(** The deliberately incorrect algorithms ([broken_spinlock] and the
+    [yang_anderson_flat] ablation) — positive controls for the checkers;
+    never use these as locks. *)
+
+val correct : Lb_shmem.Algorithm.t list
+(** Every correct algorithm (excludes {!faulty}). *)
+
+val register_based : Lb_shmem.Algorithm.t list
+(** Correct algorithms in the paper's model (registers only) — the inputs
+    accepted by the lower-bound pipeline. *)
+
+val scalable : Lb_shmem.Algorithm.t list
+(** Correct register-based algorithms that support any [n] (excludes the
+    two-process-only algorithms). *)
+
+val find : string -> Lb_shmem.Algorithm.t option
+(** Look up by [Algorithm.name]. *)
+
+val find_exn : string -> Lb_shmem.Algorithm.t
+(** Like {!find}; raises [Invalid_argument] with a message listing the
+    registry on failure. *)
+
+val names : unit -> string list

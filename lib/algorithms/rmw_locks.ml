@@ -1,0 +1,191 @@
+open Lb_shmem
+
+(* ------------------------------------------------------------------ *)
+(* Test-and-set                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Tas_state = struct
+  type pc = Start | Attempt | Enter | In_cs | Release | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me:_ st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Attempt -> Step.Rmw (0, Step.Test_and_set)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Release -> Step.Write (0, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me:_ st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Attempt
+    | Attempt -> if Common.got resp = 0 then Enter else st (* retry *)
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Release
+    | Release ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Attempt -> "attempt"
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Release -> "release"
+    | Rem -> "rem"
+end
+
+module Tas_spawn = Proc.Make_spawn (Tas_state)
+
+let test_and_set =
+  Common.make ~name:"tas" ~description:"test-and-set lock (RMW every probe)"
+    ~kind:Algorithm.Uses_rmw
+    ~registers:(fun ~n:_ -> [| Register.spec "lock" |])
+    ~spawn:Tas_spawn.spawn ()
+
+(* ------------------------------------------------------------------ *)
+(* Test-and-test-and-set                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Ttas_state = struct
+  type pc = Start | Poll | Attempt | Enter | In_cs | Release | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me:_ st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Poll -> Step.Read 0
+    | Attempt -> Step.Rmw (0, Step.Test_and_set)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Release -> Step.Write (0, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me:_ st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Poll
+    | Poll -> if Common.got resp = 0 then Attempt else st (* read spin *)
+    | Attempt -> if Common.got resp = 0 then Enter else Poll (* lost race *)
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Release
+    | Release ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Poll -> "poll"
+    | Attempt -> "attempt"
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Release -> "release"
+    | Rem -> "rem"
+end
+
+module Ttas_spawn = Proc.Make_spawn (Ttas_state)
+
+let test_and_test_and_set =
+  Common.make ~name:"ttas"
+    ~description:"test-and-test-and-set lock (read spin, then RMW)"
+    ~kind:Algorithm.Uses_rmw
+    ~registers:(fun ~n:_ -> [| Register.spec "lock" |])
+    ~spawn:Ttas_spawn.spawn ()
+
+(* ------------------------------------------------------------------ *)
+(* Ticket lock                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reg_next = 0
+let reg_serving = 1
+
+module Ticket_state = struct
+  type pc =
+    | Start
+    | Draw  (* fetch_add next *)
+    | Wait of { ticket : int }  (* spin on serving *)
+    | Enter of { ticket : int }
+    | In_cs of { ticket : int }
+    | Bump of { ticket : int }  (* serving := ticket + 1 *)
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me:_ st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Draw -> Step.Rmw (reg_next, Step.Fetch_add 1)
+    | Wait _ -> Step.Read reg_serving
+    | Enter _ -> Step.Crit Step.Enter
+    | In_cs _ -> Step.Crit Step.Exit
+    | Bump { ticket } -> Step.Write (reg_serving, ticket + 1)
+    | Rem -> Step.Crit Step.Rem
+
+  let advance ~n:_ ~me:_ st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Draw
+    | Draw -> Wait { ticket = Common.got resp }
+    | Wait { ticket } ->
+      if Common.got resp = ticket then Enter { ticket } else st (* spin *)
+    | Enter { ticket } ->
+      Common.acked resp;
+      In_cs { ticket }
+    | In_cs { ticket } ->
+      Common.acked resp;
+      Bump { ticket }
+    | Bump _ ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Draw -> "draw"
+    | Wait { ticket } -> Printf.sprintf "wait:%d" ticket
+    | Enter { ticket } -> Printf.sprintf "enter:%d" ticket
+    | In_cs { ticket } -> Printf.sprintf "in_cs:%d" ticket
+    | Bump { ticket } -> Printf.sprintf "bump:%d" ticket
+    | Rem -> "rem"
+end
+
+module Ticket_spawn = Proc.Make_spawn (Ticket_state)
+
+let ticket =
+  Common.make ~name:"ticket"
+    ~description:"ticket lock (fetch-and-add; FIFO; single-register spin)"
+    ~kind:Algorithm.Uses_rmw
+    ~registers:(fun ~n:_ -> [| Register.spec "next"; Register.spec "serving" |])
+    ~spawn:Ticket_spawn.spawn ()

@@ -1,0 +1,19 @@
+(** Locks built on read-modify-write primitives — the "stronger memory
+    primitives" extension the paper sketches in §8.
+
+    These are outside the register-only model of the lower bound (the
+    pipeline rejects them) but run under all cost models, showing where the
+    Ω(n log n) separation does and does not apply. *)
+
+val test_and_set : Lb_shmem.Algorithm.t
+(** Plain test-and-set lock: every acquisition attempt is an RMW on the
+    single [lock] word — maximal coherence traffic under contention. *)
+
+val test_and_test_and_set : Lb_shmem.Algorithm.t
+(** Test-and-test-and-set: spin with plain reads (cache-friendly), attempt
+    the RMW only after observing the lock free. *)
+
+val ticket : Lb_shmem.Algorithm.t
+(** Ticket lock: one [fetch_add] to draw a ticket, then a single-register
+    spin on [serving] — FIFO-fair and SC-cheap, but the shared [serving]
+    register still broadcasts an invalidation to every waiter in CC. *)

@@ -1,0 +1,124 @@
+open Lb_shmem
+
+let flag i = i
+
+(* Flag values: 0 outside, 1 waiting to enter the waiting room, 2 waiting
+   for the door to close, 3 standing in the doorway, 4 inside with the
+   door closed. *)
+
+module State = struct
+  type pc =
+    | Start
+    | Announce  (* flag[me] := 1 *)
+    | Door_scan of { j : int }  (* await flag[j] < 3 for every j *)
+    | Doorway  (* flag[me] := 3 *)
+    | Check_waiting of { j : int }  (* any flag[j] = 1 ? *)
+    | Back_off  (* flag[me] := 2 *)
+    | Watch_door of { j : int }  (* cycle until some flag[j] = 4 *)
+    | Close_door  (* flag[me] := 4 *)
+    | Enter_scan of { j : int }  (* await flag[j] < 2 for j < me *)
+    | Enter
+    | In_cs
+    | Exit_scan of { j : int }  (* await flag[j] < 2 or > 3 for j > me *)
+    | Reset
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n:_ ~me st : Step.action =
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Announce -> Step.Write (flag me, 1)
+    | Door_scan { j } | Check_waiting { j } | Watch_door { j }
+    | Enter_scan { j } | Exit_scan { j } -> Step.Read (flag j)
+    | Doorway -> Step.Write (flag me, 3)
+    | Back_off -> Step.Write (flag me, 2)
+    | Close_door -> Step.Write (flag me, 4)
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Reset -> Step.Write (flag me, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let after_close ~me = if me = 0 then Enter else Enter_scan { j = 0 }
+
+  let after_cs ~n ~me =
+    if me + 1 >= n then Reset else Exit_scan { j = me + 1 }
+
+  let advance ~n ~me st resp : state =
+    match st with
+    | Start ->
+      Common.acked resp;
+      Announce
+    | Announce ->
+      Common.acked resp;
+      Door_scan { j = 0 }
+    | Door_scan { j } ->
+      if Common.got resp >= 3 then st (* spin: the door is closing *)
+      else if j + 1 >= n then Doorway
+      else Door_scan { j = j + 1 }
+    | Doorway ->
+      Common.acked resp;
+      Check_waiting { j = 0 }
+    | Check_waiting { j } ->
+      if j <> me && Common.got resp = 1 then Back_off
+      else if j + 1 >= n then Close_door
+      else Check_waiting { j = j + 1 }
+    | Back_off ->
+      Common.acked resp;
+      Watch_door { j = 0 }
+    | Watch_door { j } ->
+      if Common.got resp = 4 then Close_door
+      else Watch_door { j = (j + 1) mod n } (* cycle: any 4 will do *)
+    | Close_door ->
+      Common.acked resp;
+      after_close ~me
+    | Enter_scan { j } ->
+      if Common.got resp >= 2 then st (* spin: j has precedence *)
+      else if j + 1 >= me then Enter
+      else Enter_scan { j = j + 1 }
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      after_cs ~n ~me
+    | Exit_scan { j } ->
+      let v = Common.got resp in
+      if v = 2 || v = 3 then st (* spin: j is mid-doorway *)
+      else if j + 1 >= n then Reset
+      else Exit_scan { j = j + 1 }
+    | Reset ->
+      Common.acked resp;
+      Rem
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Announce -> "announce"
+    | Door_scan { j } -> Printf.sprintf "door:%d" j
+    | Doorway -> "doorway"
+    | Check_waiting { j } -> Printf.sprintf "check:%d" j
+    | Back_off -> "back_off"
+    | Watch_door { j } -> Printf.sprintf "watch:%d" j
+    | Close_door -> "close"
+    | Enter_scan { j } -> Printf.sprintf "enter_scan:%d" j
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Exit_scan { j } -> Printf.sprintf "exit_scan:%d" j
+    | Reset -> "reset"
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"szymanski"
+    ~description:"Szymanski's waiting-room algorithm (5-valued flags)"
+    ~registers:(fun ~n ->
+      Array.init n (fun i -> Register.spec ~home:i (Printf.sprintf "flag%d" i)))
+    ~spawn:Spawn.spawn ()

@@ -1,0 +1,11 @@
+(** Szymanski's mutual exclusion algorithm (1988).
+
+    One five-valued flag register per process; the protocol is the famous
+    "waiting room with a door": processes gather while the door is open
+    (flags 1), close it behind the last entrant (flags 3/4), and then
+    enter the critical section in process-id order. Linear-time entry
+    with a single register per process, and — unlike the bakery — bounded
+    register values. All waits spin on one register at a time except the
+    door-watch, which cycles over flags looking for a 4. *)
+
+val algorithm : Lb_shmem.Algorithm.t

@@ -1,0 +1,118 @@
+open Lb_shmem
+
+let levels ~n = Lb_util.Xmath.ceil_log2 (max n 2)
+
+(* node v: flag[v][0], flag[v][1], turn[v] at (v-1)*3 .. (v-1)*3+2 *)
+let reg_flag ~v side = ((v - 1) * 3) + side
+let reg_turn ~v = ((v - 1) * 3) + 2
+let leaf ~l me = Lb_util.Xmath.pow 2 l + me
+let node_at ~l me k = leaf ~l me lsr k
+let side_at ~l me k = (leaf ~l me lsr (k - 1)) land 1
+
+(* turn register holds side+1 (0 = never written) *)
+let turn_token side = side + 1
+
+module State = struct
+  type entry_pc = Set_flag | Set_turn | Check_flag | Check_turn
+
+  type pc =
+    | Start
+    | Entry of { k : int; epc : entry_pc }
+    | Enter
+    | In_cs
+    | Exit_ of { k : int }
+    | Rem
+
+  type state = pc
+
+  let initial ~n:_ ~me:_ = Start
+
+  let pending ~n ~me st : Step.action =
+    let l = levels ~n in
+    match st with
+    | Start -> Step.Crit Step.Try
+    | Entry { k; epc } -> (
+      let v = node_at ~l me k in
+      let s = side_at ~l me k in
+      match epc with
+      | Set_flag -> Step.Write (reg_flag ~v s, 1)
+      | Set_turn -> Step.Write (reg_turn ~v, turn_token (1 - s))
+      | Check_flag -> Step.Read (reg_flag ~v (1 - s))
+      | Check_turn -> Step.Read (reg_turn ~v))
+    | Enter -> Step.Crit Step.Enter
+    | In_cs -> Step.Crit Step.Exit
+    | Exit_ { k } ->
+      let v = node_at ~l me k in
+      let s = side_at ~l me k in
+      Step.Write (reg_flag ~v s, 0)
+    | Rem -> Step.Crit Step.Rem
+
+  let node_won ~l ~k =
+    if k = l then Enter else Entry { k = k + 1; epc = Set_flag }
+
+  let advance ~n ~me st resp : state =
+    let l = levels ~n in
+    match st with
+    | Start ->
+      Common.acked resp;
+      Entry { k = 1; epc = Set_flag }
+    | Entry { k; epc } -> (
+      let s = side_at ~l me k in
+      let continue epc = Entry { k; epc } in
+      match epc with
+      | Set_flag ->
+        Common.acked resp;
+        continue Set_turn
+      | Set_turn ->
+        Common.acked resp;
+        continue Check_flag
+      | Check_flag ->
+        if Common.got resp = 0 then node_won ~l ~k else continue Check_turn
+      | Check_turn ->
+        (* blocked while the turn is still yielded to the other side *)
+        if Common.got resp = turn_token (1 - s) then continue Check_flag
+        else node_won ~l ~k)
+    | Enter ->
+      Common.acked resp;
+      In_cs
+    | In_cs ->
+      Common.acked resp;
+      Exit_ { k = l }
+    | Exit_ { k } ->
+      Common.acked resp;
+      if k = 1 then Rem else Exit_ { k = k - 1 }
+    | Rem ->
+      Common.acked resp;
+      Start
+
+  let repr (st : state) =
+    match st with
+    | Start -> "start"
+    | Entry { k; epc } ->
+      Printf.sprintf "e%d:%s" k
+        (match epc with
+        | Set_flag -> "sf"
+        | Set_turn -> "st"
+        | Check_flag -> "cf"
+        | Check_turn -> "ct")
+    | Enter -> "enter"
+    | In_cs -> "in_cs"
+    | Exit_ { k } -> Printf.sprintf "x%d" k
+    | Rem -> "rem"
+end
+
+module Spawn = Proc.Make_spawn (State)
+
+let algorithm =
+  Common.make ~name:"tournament"
+    ~description:"Peterson tournament tree (two-variable spins at each node)"
+    ~registers:(fun ~n ->
+      let l = levels ~n in
+      let internal = Lb_util.Xmath.pow 2 l - 1 in
+      Array.init (3 * internal) (fun i ->
+          let v = (i / 3) + 1 in
+          match i mod 3 with
+          | 0 -> Register.spec (Printf.sprintf "F%d_0" v)
+          | 1 -> Register.spec (Printf.sprintf "F%d_1" v)
+          | _ -> Register.spec (Printf.sprintf "U%d" v)))
+    ~spawn:Spawn.spawn ()

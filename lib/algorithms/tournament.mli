@@ -1,0 +1,11 @@
+(** Peterson–Fischer tournament tree: Peterson's two-process algorithm at
+    every node of a binary arbitration tree.
+
+    Structurally the same tree as {!Yang_anderson}, but each node's wait
+    alternates between the rival's flag and the node's turn register, so a
+    blocked process changes local state on every probe — the SC model
+    charges its whole wait. Canonical (contention-free) executions still
+    cost Θ(n log n); contended schedules are much more expensive than
+    Yang–Anderson's, which is exactly the gap experiment E4 shows. *)
+
+val algorithm : Lb_shmem.Algorithm.t

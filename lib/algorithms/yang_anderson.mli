@@ -1,0 +1,18 @@
+(** Yang and Anderson's local-spin mutual exclusion algorithm (1995) —
+    the algorithm the paper cites as the matching O(n log n) upper bound
+    for the state change cost model (§1, §2).
+
+    Processes climb a binary arbitration tree of height ⌈log₂ n⌉. Each
+    internal node [v] runs a three-variable two-process protocol over
+    [C v 0], [C v 1] (announcement cells for the two subtrees) and [T v]
+    (a tie-breaker); a blocked process spins on its {e own} per-process
+    register [P i], which its rival updates to wake it. Because every
+    busy-wait reads a single register whose value it is waiting to see
+    change, the SC model charges O(1) per node visit, hence O(log n) per
+    entry and O(n log n) per canonical execution. [P i] is homed at
+    process [i] for the DSM model. *)
+
+val algorithm : Lb_shmem.Algorithm.t
+
+val levels : n:int -> int
+(** Height of the arbitration tree: [⌈log₂ (max n 2)⌉]. *)

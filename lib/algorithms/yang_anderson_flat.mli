@@ -1,0 +1,14 @@
+(** ABLATION: Yang–Anderson with a single spin register per process
+    (instead of one per (process, level)).
+
+    This variant is {e deliberately faulty}. When a process's node rival
+    loses a race and performs its wake-up write [P rival := 1] after the
+    rival has already climbed to a higher tree node (and reset the same
+    register for the {e new} competition), the stale write corrupts the
+    higher-level hand-shake and the tree deadlocks — the bounded model
+    checker exhibits a 33-step witness at n = 3. The shipped
+    {!Yang_anderson} therefore uses per-(process, level) spin registers;
+    this module exists so the ablation is reproducible (DESIGN.md §4,
+    experiment `mutexlb check -a yang_anderson_flat -n 3`). *)
+
+val algorithm : Lb_shmem.Algorithm.t

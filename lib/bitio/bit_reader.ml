@@ -1,0 +1,35 @@
+type t = { data : bool array; mutable pos : int }
+
+exception Exhausted
+
+let of_bool_array data = { data; pos = 0 }
+let of_writer w = of_bool_array (Bit_writer.to_bool_array w)
+
+let pos t = t.pos
+let remaining t = Array.length t.data - t.pos
+let at_end t = remaining t = 0
+
+let bit t =
+  if t.pos >= Array.length t.data then raise Exhausted;
+  let b = t.data.(t.pos) in
+  t.pos <- t.pos + 1;
+  b
+
+let bits t ~width =
+  if width < 0 || width > 62 then invalid_arg "Bit_reader.bits: width";
+  let acc = ref 0 in
+  for _ = 1 to width do
+    acc := (!acc lsl 1) lor (if bit t then 1 else 0)
+  done;
+  !acc
+
+let gamma t =
+  let k = ref 0 in
+  while not (bit t) do
+    incr k
+  done;
+  (* we consumed the leading 1 of the binary representation *)
+  let rest = bits t ~width:!k in
+  (1 lsl !k) lor rest
+
+let gamma0 t = gamma t - 1

@@ -1,0 +1,32 @@
+(** Sequential reader over a bit stream produced by {!Bit_writer}.
+
+    The paper's decoding step consumes the encoding one cell at a time; this
+    reader provides exactly the inverse primitives of the writer. *)
+
+type t
+
+exception Exhausted
+(** Raised when reading past the end of the stream. *)
+
+val of_bool_array : bool array -> t
+
+val of_writer : Bit_writer.t -> t
+(** Reader over the exact bits of the writer (no padding). *)
+
+val pos : t -> int
+(** Bits consumed so far. *)
+
+val remaining : t -> int
+
+val at_end : t -> bool
+
+val bit : t -> bool
+
+val bits : t -> width:int -> int
+(** [bits t ~width] reads [width] bits, most significant first. *)
+
+val gamma : t -> int
+(** Inverse of {!Bit_writer.gamma}; returns an integer [>= 1]. *)
+
+val gamma0 : t -> int
+(** Inverse of {!Bit_writer.gamma0}; returns an integer [>= 0]. *)

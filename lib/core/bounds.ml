@@ -1,0 +1,30 @@
+let bits_needed n = Lb_util.Xmath.log2_factorial n
+let average_bits_needed n = Float.max 0.0 (Lb_util.Xmath.log2_factorial n -. 2.0)
+let nlogn = Lb_util.Xmath.n_log2_n
+
+type certificate = {
+  algo : string;
+  n : int;
+  perms : int;
+  exhaustive : bool;
+  max_cost : int;
+  min_cost : int;
+  mean_cost : float;
+  max_bits : int;
+  mean_bits : float;
+  bits_per_cost : float;
+  lower_bound_bits : float;
+  distinct : bool;
+}
+
+let pp_certificate ppf c =
+  Format.fprintf ppf
+    "@[<v>%s n=%d (%d perms%s):@,\
+     cost: max=%d min=%d mean=%.1f@,\
+     bits: max=%d mean=%.1f (max bits/cost %.2f)@,\
+     needed: log2(perms)=%.1f log2(n!)=%.1f nlog2n=%.1f@,\
+     distinct decodes: %b@]"
+    c.algo c.n c.perms
+    (if c.exhaustive then ", exhaustive" else "")
+    c.max_cost c.min_cost c.mean_cost c.max_bits c.mean_bits c.bits_per_cost
+    c.lower_bound_bits (bits_needed c.n) (nlogn c.n) c.distinct

@@ -1,0 +1,40 @@
+(** The information-theoretic yardsticks of the lower bound (§4, §7.3).
+
+    The decoder maps the set [{E_pi}] of encodings injectively onto [n!]
+    distinct executions, so some encoding has at least [log2 (n!)] bits;
+    combined with [|E_pi| = O(C(alpha_pi))] (Theorem 6.2) this forces
+    [max_pi C(alpha_pi) = Omega(n log n)]. *)
+
+val bits_needed : int -> float
+(** [bits_needed n = log2 (n!)] — the minimum worst-case length of any
+    injective encoding of [S_n]. *)
+
+val average_bits_needed : int -> float
+(** The paper's footnote 10: even the {e average} encoding length over
+    [S_n] is [Omega(n log n)]; this returns [log2 (n!) - 2] (a standard
+    Kraft-inequality bound on the average codeword length, up to an
+    additive constant). *)
+
+val nlogn : int -> float
+(** [n * log2 n], the asymptotic comparison curve. *)
+
+type certificate = {
+  algo : string;
+  n : int;
+  perms : int;  (** number of permutations examined *)
+  exhaustive : bool;  (** whether all of [S_n] was examined *)
+  max_cost : int;  (** max over pi of C(alpha_pi) *)
+  min_cost : int;
+  mean_cost : float;
+  max_bits : int;  (** max over pi of |E_pi| *)
+  mean_bits : float;
+  bits_per_cost : float;  (** max over pi of |E_pi| / C(alpha_pi) *)
+  lower_bound_bits : float;  (** log2 (#perms examined) *)
+  distinct : bool;  (** decoded executions pairwise distinct *)
+}
+(** An empirical instance of Theorem 7.5: if [distinct] holds then
+    [max_bits >= lower_bound_bits] must hold (pigeonhole), and the chain
+    [max_cost >= max_bits / c >= lower_bound_bits / c] exhibits the
+    Omega(n log n) bound with the measured constant [c = bits_per_cost]. *)
+
+val pp_certificate : Format.formatter -> certificate -> unit

@@ -1,0 +1,251 @@
+open Lb_shmem
+module Vec = Lb_util.Vec
+
+exception
+  Unsupported_primitive of {
+    algo : string;
+    who : int;
+    action : Step.action;
+  }
+
+exception
+  Stage_stuck of {
+    algo : string;
+    pi : Permutation.t;
+    stage : int;
+    detail : string;
+  }
+
+type t = {
+  algo : Algorithm.t;
+  n : int;
+  pi : Permutation.t;
+  arena : Metastep.arena;
+  order : Poset.t;
+  proc_meta : Metastep.id array array;
+  write_chain : (Step.reg, Metastep.id array) Hashtbl.t;
+}
+
+(* Mutable state shared by all stages. *)
+type builder = {
+  algo_ : Algorithm.t;
+  n_ : int;
+  pi_ : Permutation.t;
+  arena_ : Metastep.arena;
+  order_ : Poset.t;
+  chains : (Step.reg, Metastep.id Vec.t) Hashtbl.t;  (* write metasteps per reg *)
+  reads_on : (Step.reg, Metastep.id Vec.t) Hashtbl.t;  (* read metasteps per reg *)
+  proc_meta_ : Metastep.id Vec.t array;
+}
+
+(* Per-stage state: the incremental prefix linearization Plin(M, ⪯, m').
+   The executed set is always exactly the down-set of m', so the paper's
+   "µ ⋠ m'" is "not executed". *)
+type stage_state = {
+  sys : System.t;
+  executed : (Metastep.id, unit) Hashtbl.t;
+  mutable m' : Metastep.id;
+}
+
+let vec_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = Vec.create () in
+    Hashtbl.replace tbl key v;
+    v
+
+(* Execute (replay) every unexecuted metastep in the down-set of [m], in
+   deterministic topological order; this extends Plin after m' advanced. *)
+let extend b st m =
+  let fresh =
+    Poset.down_set_stopping b.order_ m ~stop:(Hashtbl.mem st.executed)
+  in
+  match fresh with
+  | [] -> ()
+  | _ ->
+    let ordered = Poset.topo_sort b.order_ fresh in
+    List.iter
+      (fun id ->
+        Hashtbl.replace st.executed id ();
+        List.iter
+          (fun step -> ignore (System.apply st.sys step))
+          (Metastep.seq (Metastep.get b.arena_ id)))
+      ordered
+
+(* Advance the stage onto metastep [mid] (just created or joined): order it
+   after m', record it in [who]'s chain, execute its down-set. *)
+let advance_onto b st ~who mid =
+  if st.m' >= 0 then Poset.add_edge b.order_ st.m' mid;
+  Vec.push b.proc_meta_.(who) mid;
+  st.m' <- mid;
+  extend b st mid
+
+(* The first write metastep on [reg] not yet executed, if any. The chain is
+   ⪯-totally ordered (Lemma 5.3), so this is the paper's min_⪯. *)
+let first_unexecuted_write b st reg =
+  let chain = vec_of b.chains reg in
+  let rec go i =
+    if i >= Vec.length chain then None
+    else begin
+      let id = Vec.get chain i in
+      if Hashtbl.mem st.executed id then go (i + 1) else Some id
+    end
+  in
+  go 0
+
+(* All unexecuted write metasteps on [reg], in ⪯ order. *)
+let unexecuted_writes b st reg =
+  Vec.to_list
+    (Vec.filter
+       (fun id -> not (Hashtbl.mem st.executed id))
+       (vec_of b.chains reg))
+
+let unexecuted_reads b st reg =
+  Vec.to_list
+    (Vec.filter
+       (fun id -> not (Hashtbl.mem st.executed id))
+       (vec_of b.reads_on reg))
+
+let stage_fuel = 1_000_000
+
+(* One stage of Construct (the paper's Generate): insert all steps of the
+   stage's process until it completes its exit section. *)
+let generate b ~stage =
+  let j = Permutation.process_at b.pi_ stage in
+  let st =
+    {
+      sys = System.init b.algo_ ~n:b.n_;
+      executed = Hashtbl.create 256;
+      m' = -1;
+    }
+  in
+  let stuck detail =
+    raise
+      (Stage_stuck { algo = b.algo_.Algorithm.name; pi = b.pi_; stage; detail })
+  in
+  (* line 8: the initial try metastep *)
+  let m_try = Metastep.new_crit b.arena_ ~crit:(Step.step j (Step.Crit Step.Try)) in
+  Poset.add_element b.order_ m_try.Metastep.id;
+  advance_onto b st ~who:j m_try.Metastep.id;
+  let fuel = ref stage_fuel in
+  let running = ref true in
+  while !running do
+    decr fuel;
+    if !fuel < 0 then stuck "out of fuel (livelock in construction?)";
+    let e = System.pending_of st.sys j in
+    match e with
+    | Step.Rmw _ ->
+      raise
+        (Unsupported_primitive
+           { algo = b.algo_.Algorithm.name; who = j; action = e })
+    | Step.Crit c ->
+      (* lines 37-39: critical steps get singleton metasteps *)
+      let m = Metastep.new_crit b.arena_ ~crit:(Step.step j e) in
+      Poset.add_element b.order_ m.Metastep.id;
+      advance_onto b st ~who:j m.Metastep.id;
+      if c = Step.Rem then running := false
+    | Step.Write (l, _) -> (
+      let step = Step.step j e in
+      match first_unexecuted_write b st l with
+      | Some mw ->
+        (* lines 15-17: hide the write inside mw, where the winning write
+           (by a lower-indexed process) overwrites it *)
+        Metastep.add_write_step (Metastep.get b.arena_ mw) step;
+        advance_onto b st ~who:j mw
+      | None ->
+        (* lines 18-26: new write metastep, ordered after the maximal
+           outstanding reads on l, which become its prereads *)
+        let m = Metastep.new_write b.arena_ ~reg:l ~win:step in
+        Poset.add_element b.order_ m.Metastep.id;
+        Vec.push (vec_of b.chains l) m.Metastep.id;
+        let mr = Poset.maximal_among b.order_ (unexecuted_reads b st l) in
+        if mr <> [] then begin
+          m.Metastep.pread <- mr;
+          List.iter
+            (fun mu ->
+              let mu_m = Metastep.get b.arena_ mu in
+              (match mu_m.Metastep.pread_of with
+              | None -> mu_m.Metastep.pread_of <- Some m.Metastep.id
+              | Some other ->
+                stuck
+                  (Printf.sprintf
+                     "read metastep %d would be a preread of both %d and %d"
+                     mu other m.Metastep.id));
+              Poset.add_edge b.order_ mu m.Metastep.id)
+            mr
+        end;
+        advance_onto b st ~who:j m.Metastep.id)
+    | Step.Read l -> (
+      let step = Step.step j e in
+      (* lines 28-31: join the first outstanding write metastep on l whose
+         value would change j's state *)
+      let wakes id =
+        System.peek_after_read st.sys j (Metastep.value (Metastep.get b.arena_ id))
+      in
+      match List.find_opt wakes (unexecuted_writes b st l) with
+      | Some msw ->
+        Metastep.add_read_step (Metastep.get b.arena_ msw) step;
+        advance_onto b st ~who:j msw
+      | None ->
+        (* lines 32-35: new singleton read metastep; the read itself must
+           change the state, otherwise the process is stuck forever and
+           the algorithm is not livelock-free *)
+        if not (System.peek_after_read st.sys j st.sys.System.regs.(l)) then
+          stuck
+            (Printf.sprintf
+               "p%d busy-waits on r%d but no outstanding write wakes it" j l);
+        let m = Metastep.new_read b.arena_ ~reg:l ~read:step in
+        Poset.add_element b.order_ m.Metastep.id;
+        Vec.push (vec_of b.reads_on l) m.Metastep.id;
+        advance_onto b st ~who:j m.Metastep.id)
+  done
+
+let run_stages algo ~n ~stages pi =
+  if Permutation.n pi <> n then invalid_arg "Construct.run: |pi| <> n";
+  if stages < 0 || stages > n then invalid_arg "Construct.run_stages: stages";
+  if not (Algorithm.supports algo n) then
+    invalid_arg "Construct.run: n unsupported by algorithm";
+  if not (Algorithm.registers_only algo) then
+    raise
+      (Unsupported_primitive
+         { algo = algo.Algorithm.name; who = -1; action = Step.Rmw (0, Step.Test_and_set) });
+  let b =
+    {
+      algo_ = algo;
+      n_ = n;
+      pi_ = pi;
+      arena_ = Metastep.create_arena ();
+      order_ = Poset.create ();
+      chains = Hashtbl.create 64;
+      reads_on = Hashtbl.create 64;
+      proc_meta_ = Array.init n (fun _ -> Vec.create ());
+    }
+  in
+  for stage = 0 to stages - 1 do
+    generate b ~stage
+  done;
+  let write_chain = Hashtbl.create (Hashtbl.length b.chains) in
+  Hashtbl.iter (fun reg v -> Hashtbl.replace write_chain reg (Vec.to_array v)) b.chains;
+  {
+    algo;
+    n;
+    pi;
+    arena = b.arena_;
+    order = b.order_;
+    proc_meta = Array.map Vec.to_array b.proc_meta_;
+    write_chain;
+  }
+
+let metasteps_of t i = t.proc_meta.(i)
+
+let pc t p m =
+  let chain = t.proc_meta.(p) in
+  let rec go q =
+    if q >= Array.length chain then raise Not_found
+    else if chain.(q) = m then q + 1
+    else go (q + 1)
+  in
+  go 0
+
+let run algo ~n pi = run_stages algo ~n ~stages:n pi

@@ -1,0 +1,80 @@
+(** The construction step (paper §5, Figure 1).
+
+    [run algo ~n pi] executes the n-stage construction: stage [k] inserts
+    the steps of process [pi_k+1] into the growing set of metasteps [M]
+    and partial order [⪯], placing each write either inside an existing
+    write metastep (where the eventual winner overwrites it) or as a new
+    write metastep ordered after the maximal outstanding reads on its
+    register, and each read either inside the first outstanding write
+    metastep whose value would change the reader's state, or as a new
+    singleton read metastep. The result is that in every linearization of
+    [(M, ⪯)] the processes complete their critical sections once each, in
+    the order [pi], and no process ever reads a value written by a
+    process ordered after it in [pi].
+
+    Implementation notes (documented deviations: none — but two
+    refinements the paper leaves implicit):
+    {ul
+    {- Within a stage, the prefix linearization [Plin(M, ⪯, m')] is
+       maintained {e incrementally}: each time [m'] advances, exactly the
+       newly-reachable down-set is appended in deterministic topological
+       order (smallest metastep id first) and replayed on a live
+       {!Lb_shmem.System.t}. The set of executed metasteps always equals
+       the down-set of [m'], so the paper's "[µ ⋠ m']" tests become
+       executed-set membership tests.}
+    {- The replay validates every emitted step against the automaton's
+       pending action, so a construction bug cannot silently produce a
+       sequence that is not an execution of the algorithm.}} *)
+
+exception
+  Unsupported_primitive of {
+    algo : string;
+    who : int;
+    action : Lb_shmem.Step.action;
+  }
+(** Raised when the algorithm performs a non-register shared-memory action
+    (the lower bound covers registers only; see §8 for extensions). *)
+
+exception
+  Stage_stuck of {
+    algo : string;
+    pi : Permutation.t;
+    stage : int;
+    detail : string;
+  }
+(** Raised when a stage exceeds its fuel or a read can neither join a
+    write metastep nor change the reader's state — for a livelock-free
+    algorithm this indicates a bug in the algorithm, not the
+    construction. *)
+
+type t = {
+  algo : Lb_shmem.Algorithm.t;
+  n : int;
+  pi : Permutation.t;
+  arena : Metastep.arena;  (** the metasteps M (= M_n) *)
+  order : Poset.t;  (** the partial order ⪯ (= ⪯_n) *)
+  proc_meta : Metastep.id array array;
+      (** [proc_meta.(i)] — the metasteps containing process [i], in
+          [⪯]-order (they form a chain); gives the encoder's [Pc] *)
+  write_chain : (Lb_shmem.Step.reg, Metastep.id array) Hashtbl.t;
+      (** per register, its write metasteps in [⪯]-order (Lemma 5.3) *)
+}
+
+val run : Lb_shmem.Algorithm.t -> n:int -> Permutation.t -> t
+(** Run the full construction. The algorithm must be register-based and
+    support [n] processes. *)
+
+val run_stages :
+  Lb_shmem.Algorithm.t -> n:int -> stages:int -> Permutation.t -> t
+(** Run only the first [stages] stages, producing [(M_i, ⪯_i)] for
+    [i = stages]: only processes [pi_1 .. pi_stages] take steps. Used to
+    check Lemma 5.4 — a process cannot distinguish linearizations from
+    later stages: for [i <= j <= k],
+    [Lin(M_j)|pi_i = Lin(M_k)|pi_i]. *)
+
+val metasteps_of : t -> int -> Metastep.id array
+(** Chain of metasteps containing the given process. *)
+
+val pc : t -> int -> Metastep.id -> int
+(** [pc t p m] is the paper's [Pc(p, m)]: the 1-based position of
+    metastep [m] within process [p]'s chain. Raises [Not_found]. *)

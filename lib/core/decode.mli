@@ -1,0 +1,70 @@
+(** The decoding step (paper §7, Figure 3).
+
+    [run algo ~n cells] rebuilds a linearization of [(M, ⪯)] from the
+    encoding alone. The decoder maintains the execution [alpha] built so
+    far (replayed on a live {!Lb_shmem.System.t}, which yields every
+    process's pending step — the paper's [e_i = delta(alpha, i)]); it
+    repeatedly consumes the next cell of every process that is not
+    waiting, executes [C]/[SR]/[PR] cells immediately, collects [W]/[R]
+    cells into per-register candidate sets, and fires a write metastep
+    when its signature's preread/read/write counts are all matched —
+    appending the non-winning writes, then the winner's write, then the
+    reads, exactly one [Seq] expansion of a minimal unexecuted metastep.
+
+    Documented deviations from the paper's pseudocode (see DESIGN.md):
+    {ul
+    {- Fig. 3 line 4 pre-appends try_1 ... try_n even though every try
+       step also has a [C] cell; we start from the empty execution and let
+       the [C] cells introduce them.}
+    {- A reader whose register has no installed signature yet (its
+       metastep's winner cell has not been consumed — Fig. 3 line 19 just
+       skips it, leaving it waiting forever) is {e parked} and re-examined
+       every time a signature is installed on that register.}
+    {- The paper's defensive while-loops (lines 11-12 etc.) are replaced
+       by strict assertions: every critical step has its own [C] cell, so
+       a process's pending step always matches its next cell's type.}} *)
+
+exception
+  Decode_error of {
+    detail : string;
+    consumed : int;  (** total cells consumed before the failure *)
+  }
+(** Raised on malformed input or when no progress is possible — neither
+    happens for the output of {!Encode.encode} on a {!Construct.run}
+    result; the exception exists for the negative tests. *)
+
+type event =
+  | Cell_consumed of { who : int; pc : int; cell : Encode.cell }
+      (** the decoder read process [who]'s [pc]-th cell (1-based) *)
+  | Executed_immediately of { who : int; step : Lb_shmem.Step.t }
+      (** a C/SR/PR cell's step was appended straight away *)
+  | Waiting of { who : int; reg : Lb_shmem.Step.reg }
+      (** a W/R cell put [who] into the wait set for [reg] *)
+  | Parked of { who : int; reg : Lb_shmem.Step.reg }
+      (** a reader could not be admitted yet (no signature, or the
+          signature's value would not change its state) *)
+  | Admitted of { who : int; reg : Lb_shmem.Step.reg }
+      (** a parked or fresh reader joined the register's read set *)
+  | Signature_installed of { reg : Lb_shmem.Step.reg; winner : int; s : Signature.t }
+  | Fired of { reg : Lb_shmem.Step.reg; winner : int; steps : int }
+      (** a complete write metastep was appended ([steps] steps) *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val run :
+  ?trace:(event -> unit) ->
+  ?scan_order:int array ->
+  Lb_shmem.Algorithm.t -> n:int -> Encode.cell array array ->
+  Lb_shmem.Execution.t
+(** Decode from a parsed cell table. [trace] observes every decoder
+    action (used by the CLI's [--explain]). [scan_order] permutes the
+    order in which the main loop polls processes; the decoded execution's
+    per-process projections are invariant under it (the nondeterminism
+    tolerated by Lemma 7.2) — the test suite checks this. *)
+
+val run_bits :
+  Lb_shmem.Algorithm.t -> n:int -> bool array -> Lb_shmem.Execution.t
+(** Decode from the binary string [E_pi] (parses, then {!run}). This plus
+    the algorithm's transition function is the {e only} input — the
+    decoder never sees [pi], which is what makes the counting argument of
+    Theorem 7.5 work. *)

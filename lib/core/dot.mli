@@ -1,0 +1,13 @@
+(** Graphviz export of the constructed [(M, ⪯)].
+
+    Renders every metastep as a node (write metasteps labelled with
+    register, winner and signature; reads and criticals compactly) and
+    every covering edge of [⪯] as an arrow; preread edges are dashed.
+    Feed the output to [dot -Tsvg] to {e see} the partial order the
+    encoding serializes. *)
+
+val of_construction : Construct.t -> string
+(** The DOT source. Only covering (transitively-reduced) edges are drawn,
+    so the picture stays readable. *)
+
+val save : path:string -> Construct.t -> unit

@@ -1,0 +1,202 @@
+open Lb_shmem
+module Bw = Lb_bitio.Bit_writer
+module Br = Lb_bitio.Bit_reader
+
+type cell =
+  | Cell_r
+  | Cell_w
+  | Cell_wsig of Signature.t
+  | Cell_pr
+  | Cell_sr
+  | Cell_c
+
+let cell_to_string = function
+  | Cell_r -> "R"
+  | Cell_w -> "W"
+  | Cell_wsig s -> Format.asprintf "W,%a" Signature.pp s
+  | Cell_pr -> "PR"
+  | Cell_sr -> "SR"
+  | Cell_c -> "C"
+
+type t = { n : int; cells : cell array array; bits : bool array }
+
+(* 3-bit cell tags; END closes a column (the paper's '$'). Cells are
+   self-delimiting, so no '#' is needed in the binary form. *)
+let tag_r = 0
+and tag_w = 1
+and tag_wsig = 2
+and tag_pr = 3
+and tag_sr = 4
+and tag_c = 5
+and tag_end = 6
+
+(* The cell of process [i] in metastep [m]. *)
+let cell_of (m : Metastep.t) i =
+  match m.Metastep.kind with
+  | Metastep.Crit_meta -> Cell_c
+  | Metastep.Read_meta -> (
+    match m.Metastep.pread_of with Some _ -> Cell_pr | None -> Cell_sr)
+  | Metastep.Write_meta ->
+    if Metastep.winner m = i then Cell_wsig (Signature.of_metastep m)
+    else (
+      match (Metastep.step_of m i).Step.action with
+      | Step.Read _ -> Cell_r
+      | Step.Write _ -> Cell_w
+      | Step.Rmw _ | Step.Crit _ ->
+        invalid_arg "Encode.cell_of: bad step in write metastep")
+
+let write_cell bw = function
+  | Cell_r -> Bw.bits bw ~value:tag_r ~width:3
+  | Cell_w -> Bw.bits bw ~value:tag_w ~width:3
+  | Cell_wsig s ->
+    Bw.bits bw ~value:tag_wsig ~width:3;
+    Bw.gamma0 bw s.Signature.prereads;
+    Bw.gamma0 bw s.Signature.reads;
+    Bw.gamma bw s.Signature.writes
+  | Cell_pr -> Bw.bits bw ~value:tag_pr ~width:3
+  | Cell_sr -> Bw.bits bw ~value:tag_sr ~width:3
+  | Cell_c -> Bw.bits bw ~value:tag_c ~width:3
+
+let encode (c : Construct.t) =
+  let n = c.Construct.n in
+  let cells =
+    Array.init n (fun i ->
+        Array.map
+          (fun mid -> cell_of (Metastep.get c.Construct.arena mid) i)
+          (Construct.metasteps_of c i))
+  in
+  let bw = Bw.create () in
+  Array.iter
+    (fun column ->
+      Array.iter (write_cell bw) column;
+      Bw.bits bw ~value:tag_end ~width:3)
+    cells;
+  { n; cells; bits = Bw.to_bool_array bw }
+
+let length_bits t = Array.length t.bits
+
+let to_ascii t =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun column ->
+      Array.iter
+        (fun cell ->
+          Buffer.add_string buf (cell_to_string cell);
+          Buffer.add_char buf '#')
+        column;
+      Buffer.add_char buf '$')
+    t.cells;
+  Buffer.contents buf
+
+let cell_of_string s =
+  match s with
+  | "R" -> Cell_r
+  | "W" -> Cell_w
+  | "PR" -> Cell_pr
+  | "SR" -> Cell_sr
+  | "C" -> Cell_c
+  | _ ->
+    (* winner cell: W,PR<x>R<y>W<z> *)
+    (try Scanf.sscanf s "W,PR%dR%dW%d" (fun prereads reads writes ->
+         if prereads < 0 || reads < 0 || writes < 1 then
+           invalid_arg "Encode.of_ascii: bad signature counts";
+         Cell_wsig { Signature.prereads; reads; writes })
+     with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+       invalid_arg (Printf.sprintf "Encode.of_ascii: bad cell %S" s))
+
+let of_ascii s =
+  (* columns terminated by '$'; cells terminated by '#' *)
+  let columns = String.split_on_char '$' s in
+  let columns =
+    match List.rev columns with
+    | "" :: rest -> List.rev rest
+    | _ -> invalid_arg "Encode.of_ascii: missing final '$'"
+  in
+  Array.of_list
+    (List.map
+       (fun column ->
+         let cells = String.split_on_char '#' column in
+         let cells =
+           match List.rev cells with
+           | "" :: rest -> List.rev rest
+           | [] -> []
+           | _ -> invalid_arg "Encode.of_ascii: cell not '#'-terminated"
+         in
+         Array.of_list (List.map cell_of_string cells))
+       columns)
+
+let parse ~n bits =
+  let br = Br.of_bool_array bits in
+  let columns =
+    Array.init n (fun _ ->
+        let cells = ref [] in
+        let rec go () =
+          let tag = Br.bits br ~width:3 in
+          if tag = tag_end then ()
+          else begin
+            let cell =
+              if tag = tag_r then Cell_r
+              else if tag = tag_w then Cell_w
+              else if tag = tag_wsig then begin
+                let prereads = Br.gamma0 br in
+                let reads = Br.gamma0 br in
+                let writes = Br.gamma br in
+                Cell_wsig { Signature.prereads; reads; writes }
+              end
+              else if tag = tag_pr then Cell_pr
+              else if tag = tag_sr then Cell_sr
+              else if tag = tag_c then Cell_c
+              else invalid_arg (Printf.sprintf "Encode.parse: bad tag %d" tag)
+            in
+            cells := cell :: !cells;
+            go ()
+          end
+        in
+        go ();
+        Array.of_list (List.rev !cells))
+  in
+  if not (Br.at_end br) then invalid_arg "Encode.parse: trailing bits";
+  columns
+
+type stats = {
+  metasteps : int;
+  crit_cells : int;
+  sr_cells : int;
+  pr_cells : int;
+  r_cells : int;
+  w_cells : int;
+  wsig_cells : int;
+  signature_bits : int;
+  total_bits : int;
+}
+
+let stats (c : Construct.t) t =
+  let crit = ref 0
+  and sr = ref 0
+  and pr = ref 0
+  and r = ref 0
+  and w = ref 0
+  and wsig = ref 0
+  and sig_bits = ref 0 in
+  Array.iter
+    (Array.iter (function
+      | Cell_c -> incr crit
+      | Cell_sr -> incr sr
+      | Cell_pr -> incr pr
+      | Cell_r -> incr r
+      | Cell_w -> incr w
+      | Cell_wsig s ->
+        incr wsig;
+        sig_bits := !sig_bits + Signature.encoded_bits s))
+    t.cells;
+  {
+    metasteps = Metastep.count c.Construct.arena;
+    crit_cells = !crit;
+    sr_cells = !sr;
+    pr_cells = !pr;
+    r_cells = !r;
+    w_cells = !w;
+    wsig_cells = !wsig;
+    signature_bits = !sig_bits;
+    total_bits = length_bits t;
+  }

@@ -1,0 +1,62 @@
+(** The encoding step (paper §6, Figure 2).
+
+    The encoder walks every process's chain of metasteps and writes one
+    {e cell} per (process, position): the type of the process's step in
+    that metastep, plus — when the process is the metastep's winner — the
+    metastep's {!Signature.t}. Columns are concatenated process by process
+    (the paper's [#]/[$] separators become self-delimiting binary tags).
+
+    Two concrete renderings of the same table are provided: the exact
+    binary string [E_pi] whose length in bits the theorems bound, and the
+    paper's human-readable ASCII form. *)
+
+type cell =
+  | Cell_r  (** a read step inside a write metastep *)
+  | Cell_w  (** a non-winning write step *)
+  | Cell_wsig of Signature.t  (** the winning write, with the signature *)
+  | Cell_pr  (** a read metastep that is some write metastep's preread *)
+  | Cell_sr  (** a standalone read metastep *)
+  | Cell_c  (** a critical step *)
+
+val cell_to_string : cell -> string
+(** The paper's notation: [R], [W], [W,PRxRyWz], [PR], [SR], [C]. *)
+
+type t = {
+  n : int;
+  cells : cell array array;  (** [cells.(i).(q)] — process i's q-th cell *)
+  bits : bool array;  (** the binary string E_pi *)
+}
+
+val encode : Construct.t -> t
+
+val length_bits : t -> int
+(** |E_pi| in bits — the quantity of Theorems 6.2 and 7.5. *)
+
+val to_ascii : t -> string
+(** The paper's rendering: cells separated by [#], columns by [$]. *)
+
+val of_ascii : string -> cell array array
+(** Parse the paper's ASCII rendering back into a cell table (the number
+    of columns is the number of [$] terminators). Raises
+    [Invalid_argument] on malformed input. Round-trips with {!to_ascii};
+    the decoder accepts the result, so the paper's exact string format is
+    fully functional, not just display. *)
+
+val parse : n:int -> bool array -> cell array array
+(** Inverse of the binary rendering; the decoder's only input. Raises
+    [Invalid_argument] on malformed input. *)
+
+type stats = {
+  metasteps : int;
+  crit_cells : int;
+  sr_cells : int;
+  pr_cells : int;
+  r_cells : int;
+  w_cells : int;
+  wsig_cells : int;
+  signature_bits : int;  (** bits spent on signatures *)
+  total_bits : int;
+}
+
+val stats : Construct.t -> t -> stats
+(** Cell-type anatomy of an encoding (experiment E5). *)

@@ -1,0 +1,65 @@
+open Lb_shmem
+
+let metastep_order (c : Construct.t) =
+  Poset.topo_sort c.Construct.order (Poset.elements c.Construct.order)
+
+let of_metastep_order (c : Construct.t) ids =
+  let exec = Execution.create () in
+  List.iter
+    (fun id ->
+      List.iter (Execution.append exec)
+        (Metastep.seq (Metastep.get c.Construct.arena id)))
+    ids;
+  exec
+
+let execution c = of_metastep_order c (metastep_order c)
+
+let random_metastep_order rng (c : Construct.t) =
+  let order = c.Construct.order in
+  let xs = Poset.elements order in
+  let indeg = Hashtbl.create (List.length xs) in
+  List.iter
+    (fun x -> Hashtbl.replace indeg x (List.length (Poset.preds order x)))
+    xs;
+  let ready = ref (List.filter (fun x -> Hashtbl.find indeg x = 0) xs) in
+  let out = ref [] in
+  while !ready <> [] do
+    let arr = Array.of_list !ready in
+    let x = Lb_util.Rng.pick rng arr in
+    ready := List.filter (fun y -> y <> x) !ready;
+    out := x :: !out;
+    List.iter
+      (fun y ->
+        let d = Hashtbl.find indeg y - 1 in
+        Hashtbl.replace indeg y d;
+        if d = 0 then ready := y :: !ready)
+      (Poset.succs order x)
+  done;
+  if List.length !out <> List.length xs then
+    invalid_arg "Linearize.random_metastep_order: cycle";
+  List.rev !out
+
+let shuffled rng steps =
+  let arr = Array.of_list steps in
+  Lb_util.Rng.shuffle rng arr;
+  Array.to_list arr
+
+(* Random instance of the paper's Seq: writes (random order), winning
+   write, reads (random order). *)
+let random_seq rng (m : Metastep.t) =
+  match m.Metastep.kind with
+  | Metastep.Crit_meta -> Metastep.seq m
+  | Metastep.Read_meta -> shuffled rng m.Metastep.reads
+  | Metastep.Write_meta ->
+    shuffled rng m.Metastep.writes
+    @ (match m.Metastep.win with Some w -> [ w ] | None -> [])
+    @ shuffled rng m.Metastep.reads
+
+let random_execution rng (c : Construct.t) =
+  let exec = Execution.create () in
+  List.iter
+    (fun id ->
+      List.iter (Execution.append exec)
+        (random_seq rng (Metastep.get c.Construct.arena id)))
+    (random_metastep_order rng c);
+  exec

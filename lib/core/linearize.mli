@@ -1,0 +1,25 @@
+(** Linearizations of the constructed [(M, ⪯)] (paper's [Lin], Fig. 1).
+
+    A linearization totally orders the metasteps consistently with [⪯] and
+    expands each metastep via [Seq] (writes, then the winning write, then
+    reads). The paper's procedures are nondeterministic; {!execution} is
+    the canonical deterministic instance (smallest-id-first everywhere) and
+    {!random_execution} draws another instance — Lemma 6.1 promises all of
+    them have the same SC cost, which the test suite checks by sampling. *)
+
+val metastep_order : Construct.t -> Metastep.id list
+(** The canonical topological order of all metasteps. *)
+
+val execution : Construct.t -> Lb_shmem.Execution.t
+(** The canonical linearization [alpha_pi], as an execution. *)
+
+val random_metastep_order : Lb_util.Rng.t -> Construct.t -> Metastep.id list
+(** A topological order drawn by choosing uniformly among ready metasteps. *)
+
+val random_execution : Lb_util.Rng.t -> Construct.t -> Lb_shmem.Execution.t
+(** A random linearization: random total order {e and} random expansion of
+    each metastep (non-winning writes and reads in random order, the
+    winning write still last among writes, reads still after it). *)
+
+val of_metastep_order : Construct.t -> Metastep.id list -> Lb_shmem.Execution.t
+(** Expand a given metastep order with the deterministic [Seq]. *)

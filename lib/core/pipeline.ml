@@ -1,0 +1,117 @@
+open Lb_shmem
+
+type result = {
+  pi : Permutation.t;
+  construction : Construct.t;
+  encoding : Encode.t;
+  canonical : Execution.t;
+  decoded : Execution.t;
+  cost : int;
+  bits : int;
+}
+
+let run algo ~n pi =
+  let construction = Construct.run algo ~n pi in
+  let encoding = Encode.encode construction in
+  let canonical = Linearize.execution construction in
+  let decoded = Decode.run_bits algo ~n encoding.Encode.bits in
+  {
+    pi;
+    construction;
+    encoding;
+    canonical;
+    decoded;
+    cost = Lb_cost.State_change.cost algo ~n canonical;
+    bits = Encode.length_bits encoding;
+  }
+
+let ( let* ) = Result.bind
+
+let check_execution algo ~n ~what pi exec =
+  let* () =
+    match Lb_mutex.Checker.check_algorithm algo ~n exec with
+    | Ok () -> Ok ()
+    | Error (`Violation v) ->
+      Error
+        (Printf.sprintf "%s: %s" what (Lb_mutex.Checker.violation_to_string v))
+    | Error (`Mismatch m) -> Error (Printf.sprintf "%s: replay: %s" what m)
+  in
+  let* () =
+    let sections = Lb_mutex.Checker.completed_sections ~n exec in
+    if Array.for_all (fun c -> c = 1) sections then Ok ()
+    else Error (Printf.sprintf "%s: not every process completed once" what)
+  in
+  let order = Execution.crit_order exec in
+  if order = Array.to_list (Permutation.to_array pi) then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s: CS order %s differs from pi %s" what
+         (String.concat "," (List.map string_of_int order))
+         (Permutation.to_string pi))
+
+let check algo ~n r =
+  let* () = check_execution algo ~n ~what:"canonical" r.pi r.canonical in
+  let* () = check_execution algo ~n ~what:"decoded" r.pi r.decoded in
+  let* () =
+    let rec go i =
+      if i >= n then Ok ()
+      else if
+        List.equal Step.equal
+          (Execution.projection r.decoded i)
+          (Execution.projection r.canonical i)
+      then go (i + 1)
+      else Error (Printf.sprintf "projection of p%d differs" i)
+    in
+    go 0
+  in
+  let* () =
+    let dc = Lb_cost.State_change.cost algo ~n r.decoded in
+    if dc = r.cost then Ok ()
+    else Error (Printf.sprintf "decoded cost %d <> canonical cost %d" dc r.cost)
+  in
+  let* () =
+    if r.bits > 0 then Ok () else Error "empty encoding"
+  in
+  let reparsed = Encode.parse ~n r.encoding.Encode.bits in
+  if reparsed = r.encoding.Encode.cells then Ok ()
+  else Error "cells do not round-trip through the binary form"
+
+let run_checked algo ~n pi =
+  let r = run algo ~n pi in
+  match check algo ~n r with
+  | Ok () -> r
+  | Error e ->
+    failwith
+      (Printf.sprintf "pipeline check failed (%s, n=%d, pi=%s): %s"
+         algo.Algorithm.name n (Permutation.to_string pi) e)
+
+let certify algo ~n ~perms ?(exhaustive = false) () =
+  let results = List.map (fun pi -> run_checked algo ~n pi) perms in
+  let costs = List.map (fun r -> r.cost) results in
+  let bits = List.map (fun r -> r.bits) results in
+  let fingerprints = List.map (fun r -> Execution.fingerprint r.decoded) results in
+  let distinct =
+    List.length (List.sort_uniq compare fingerprints) = List.length fingerprints
+  in
+  let fmean xs =
+    List.fold_left ( +. ) 0.0 (List.map float_of_int xs)
+    /. float_of_int (List.length xs)
+  in
+  {
+    Bounds.algo = algo.Algorithm.name;
+    n;
+    perms = List.length perms;
+    exhaustive;
+    max_cost = List.fold_left max 0 costs;
+    min_cost = List.fold_left min max_int costs;
+    mean_cost = fmean costs;
+    max_bits = List.fold_left max 0 bits;
+    mean_bits = fmean bits;
+    bits_per_cost =
+      List.fold_left
+        (fun acc r ->
+          Float.max acc (float_of_int r.bits /. float_of_int (max 1 r.cost)))
+        0.0 results;
+    lower_bound_bits = Lb_util.Xmath.log2 (float_of_int (List.length perms));
+    distinct;
+  }

@@ -1,0 +1,48 @@
+(** End-to-end construct → encode → decode runs and their verification
+    (the spine of Theorem 7.5).
+
+    [run algo ~n pi] performs the full chain of §5–§7 for one permutation
+    and returns every intermediate object; [check] validates all the
+    properties the theorems assert of them. [certify] sweeps a family of
+    permutations and assembles the numerical {!Bounds.certificate}. *)
+
+type result = {
+  pi : Permutation.t;
+  construction : Construct.t;
+  encoding : Encode.t;  (** E_pi *)
+  canonical : Lb_shmem.Execution.t;  (** the deterministic linearization *)
+  decoded : Lb_shmem.Execution.t;  (** Decode(E_pi) *)
+  cost : int;  (** C(alpha_pi), SC cost of the canonical linearization *)
+  bits : int;  (** |E_pi| *)
+}
+
+val run : Lb_shmem.Algorithm.t -> n:int -> Permutation.t -> result
+
+val check : Lb_shmem.Algorithm.t -> n:int -> result -> (unit, string) Result.t
+(** Verifies, returning the first failure:
+    {ol
+    {- the canonical linearization is a well-formed, mutually-exclusive
+       execution in which every process completes exactly one critical
+       section (Theorem 5.5 via {!Lb_mutex.Checker});}
+    {- processes enter their critical sections in the order [pi]
+       (Theorem 5.5);}
+    {- the decoded execution satisfies the same;}
+    {- decode and the canonical linearization agree per process:
+       [decoded|i = canonical|i] for every [i] (both are linearizations
+       of [(M, ⪯)], Lemma 5.4 / Theorem 7.4);}
+    {- their SC costs agree (Lemma 6.1);}
+    {- [|E_pi| > 0] and the parsed cells round-trip.}} *)
+
+val run_checked : Lb_shmem.Algorithm.t -> n:int -> Permutation.t -> result
+(** {!run} followed by {!check}; raises [Failure] on a check failure. *)
+
+val certify :
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  perms:Permutation.t list ->
+  ?exhaustive:bool ->
+  unit ->
+  Bounds.certificate
+(** Run the checked pipeline for every permutation and aggregate the
+    certificate. [distinct] is established by fingerprinting every decoded
+    execution. *)

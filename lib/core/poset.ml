@@ -1,0 +1,156 @@
+module Vec = Lb_util.Vec
+
+type t = {
+  order : int Vec.t;  (* registration order *)
+  present : (int, unit) Hashtbl.t;
+  preds : (int, int list ref) Hashtbl.t;
+  succs : (int, int list ref) Hashtbl.t;
+  edges : (int * int, unit) Hashtbl.t;
+}
+
+exception Cycle of int * int
+
+let create () =
+  {
+    order = Vec.create ();
+    present = Hashtbl.create 64;
+    preds = Hashtbl.create 64;
+    succs = Hashtbl.create 64;
+    edges = Hashtbl.create 64;
+  }
+
+let add_element t id =
+  if Hashtbl.mem t.present id then invalid_arg "Poset.add_element: duplicate";
+  Hashtbl.replace t.present id ();
+  Hashtbl.replace t.preds id (ref []);
+  Hashtbl.replace t.succs id (ref []);
+  Vec.push t.order id
+
+let mem t id = Hashtbl.mem t.present id
+let cardinal t = Vec.length t.order
+let elements t = Vec.to_list t.order
+
+let check t id =
+  if not (mem t id) then
+    invalid_arg (Printf.sprintf "Poset: unknown element %d" id)
+
+let preds t id =
+  check t id;
+  !(Hashtbl.find t.preds id)
+
+let succs t id =
+  check t id;
+  !(Hashtbl.find t.succs id)
+
+(* BFS over direct successors *)
+let reaches t a b =
+  if a = b then true
+  else begin
+    let visited = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.push a queue;
+    Hashtbl.replace visited a ();
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun y ->
+          if y = b then found := true
+          else if not (Hashtbl.mem visited y) then begin
+            Hashtbl.replace visited y ();
+            Queue.push y queue
+          end)
+        (succs t x)
+    done;
+    !found
+  end
+
+let leq t a b =
+  check t a;
+  check t b;
+  reaches t a b
+
+let add_edge t a b =
+  check t a;
+  check t b;
+  if a <> b && not (Hashtbl.mem t.edges (a, b)) then begin
+    if reaches t b a then raise (Cycle (a, b));
+    Hashtbl.replace t.edges (a, b) ();
+    let sa = Hashtbl.find t.succs a and pb = Hashtbl.find t.preds b in
+    sa := b :: !sa;
+    pb := a :: !pb
+  end
+
+let down_set_stopping t m ~stop =
+  check t m;
+  if stop m then []
+  else begin
+    let visited = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.push m queue;
+    Hashtbl.replace visited m ();
+    let out = ref [ m ] in
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun y ->
+          if (not (Hashtbl.mem visited y)) && not (stop y) then begin
+            Hashtbl.replace visited y ();
+            out := y :: !out;
+            Queue.push y queue
+          end)
+        (preds t x)
+    done;
+    !out
+  end
+
+let down_set t m = down_set_stopping t m ~stop:(fun _ -> false)
+
+let maximal_among t xs =
+  List.filter
+    (fun x -> not (List.exists (fun y -> x <> y && leq t x y) xs))
+    xs
+
+let minimal_among t xs =
+  List.filter
+    (fun x -> not (List.exists (fun y -> x <> y && leq t y x) xs))
+    xs
+
+let topo_sort t xs =
+  let inset = Hashtbl.create (List.length xs) in
+  List.iter (fun x -> Hashtbl.replace inset x ()) xs;
+  let indeg = Hashtbl.create (List.length xs) in
+  List.iter
+    (fun x ->
+      let d =
+        List.length (List.filter (fun p -> Hashtbl.mem inset p) (preds t x))
+      in
+      Hashtbl.replace indeg x d)
+    xs;
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  List.iter (fun x -> if Hashtbl.find indeg x = 0 then ready := Iset.add x !ready) xs;
+  let out = ref [] in
+  let count = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let x = Iset.min_elt !ready in
+    ready := Iset.remove x !ready;
+    out := x :: !out;
+    incr count;
+    List.iter
+      (fun y ->
+        if Hashtbl.mem inset y then begin
+          let d = Hashtbl.find indeg y - 1 in
+          Hashtbl.replace indeg y d;
+          if d = 0 then ready := Iset.add y !ready
+        end)
+      (succs t x)
+  done;
+  if !count <> List.length xs then
+    invalid_arg "Poset.topo_sort: input not acyclic or contains duplicates";
+  List.rev !out
+
+let is_chain t xs =
+  List.for_all
+    (fun x -> List.for_all (fun y -> leq t x y || leq t y x) xs)
+    xs

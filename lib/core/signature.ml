@@ -1,0 +1,20 @@
+type t = { prereads : int; reads : int; writes : int }
+
+let of_metastep (m : Metastep.t) =
+  if m.Metastep.kind <> Metastep.Write_meta then
+    invalid_arg "Signature.of_metastep: not a write metastep";
+  {
+    prereads = List.length m.Metastep.pread;
+    reads = List.length m.Metastep.reads;
+    writes = List.length m.Metastep.writes + 1;
+  }
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t = Format.fprintf ppf "PR%dR%dW%d" t.prereads t.reads t.writes
+
+let gamma_bits v = (2 * Lb_util.Xmath.floor_log2 v) + 1
+let gamma0_bits v = gamma_bits (v + 1)
+
+let encoded_bits t =
+  gamma0_bits t.prereads + gamma0_bits t.reads + gamma_bits t.writes

@@ -1,0 +1,22 @@
+(** Metastep signatures (paper §6): the per-winner record of how many
+    prereads, reads and writes a write metastep contains — the string
+    [PR^x R^y W^z] of Fig. 2, line 9. The signature deliberately does not
+    identify processes, registers or values; the decoder reconstructs those
+    from the algorithm's transition function. *)
+
+type t = {
+  prereads : int;  (** |pread(m)| *)
+  reads : int;  (** |read(m)| *)
+  writes : int;  (** |write(m)| + 1, i.e. including the winning write *)
+}
+
+val of_metastep : Metastep.t -> t
+(** Signature of a write metastep; raises [Invalid_argument] otherwise. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's notation, e.g. [PR2R3W4]. *)
+
+val encoded_bits : t -> int
+(** Exact number of bits the binary encoding spends on this signature. *)

@@ -1,0 +1,157 @@
+open Lb_shmem
+
+exception Parse_error of { line : int; detail : string }
+
+let fail line detail = raise (Parse_error { line; detail })
+
+(* ------------------------------ actions ------------------------------ *)
+
+let action_to_string (a : Step.action) =
+  match a with
+  | Step.Read r -> Printf.sprintf "read %d" r
+  | Step.Write (r, v) -> Printf.sprintf "write %d %d" r v
+  | Step.Rmw (r, Step.Test_and_set) -> Printf.sprintf "tas %d" r
+  | Step.Rmw (r, Step.Fetch_add v) -> Printf.sprintf "fadd %d %d" r v
+  | Step.Rmw (r, Step.Swap v) -> Printf.sprintf "swap %d %d" r v
+  | Step.Rmw (r, Step.Cas { expect; replace }) ->
+    Printf.sprintf "cas %d %d %d" r expect replace
+  | Step.Crit c -> Step.crit_name c
+
+let action_of_tokens line = function
+  | [ "read"; r ] -> Step.Read (int_of_string r)
+  | [ "write"; r; v ] -> Step.Write (int_of_string r, int_of_string v)
+  | [ "tas"; r ] -> Step.Rmw (int_of_string r, Step.Test_and_set)
+  | [ "fadd"; r; v ] -> Step.Rmw (int_of_string r, Step.Fetch_add (int_of_string v))
+  | [ "swap"; r; v ] -> Step.Rmw (int_of_string r, Step.Swap (int_of_string v))
+  | [ "cas"; r; e; p ] ->
+    Step.Rmw
+      ( int_of_string r,
+        Step.Cas { expect = int_of_string e; replace = int_of_string p } )
+  | [ "try" ] -> Step.Crit Step.Try
+  | [ "enter" ] -> Step.Crit Step.Enter
+  | [ "exit" ] -> Step.Crit Step.Exit
+  | [ "rem" ] -> Step.Crit Step.Rem
+  | toks -> fail line ("bad action: " ^ String.concat " " toks)
+
+(* ------------------------------ headers ------------------------------ *)
+
+let parse_header ~magic lines =
+  match lines with
+  | first :: rest when first = magic ^ " 1" -> rest
+  | first :: _ -> fail 1 (Printf.sprintf "bad magic %S (want %S 1)" first magic)
+  | [] -> fail 1 "empty input"
+
+let parse_meta lines =
+  match lines with
+  | algo_line :: n_line :: rest -> (
+    match
+      (String.split_on_char ' ' algo_line, String.split_on_char ' ' n_line)
+    with
+    | [ "algo"; name ], [ "n"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> (name, n, rest)
+      | Some _ | None -> fail 3 "bad n")
+    | _ -> fail 2 "expected `algo <name>` then `n <int>`")
+  | _ -> fail 2 "missing header lines"
+
+(* ----------------------------- executions ---------------------------- *)
+
+let execution_to_string ~algo ~n exec =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "mutexlb-trace 1\n";
+  Buffer.add_string buf (Printf.sprintf "algo %s\n" algo);
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  Lb_util.Vec.iter
+    (fun (s : Step.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "step %d %s\n" s.Step.who (action_to_string s.Step.action)))
+    exec;
+  Buffer.contents buf
+
+let non_empty_lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+
+let execution_of_string s =
+  let lines = non_empty_lines s in
+  let rest = parse_header ~magic:"mutexlb-trace" lines in
+  let algo, n, rest = parse_meta rest in
+  let exec = Execution.create () in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 4 in
+      match String.split_on_char ' ' line with
+      | "step" :: who :: action_tokens -> (
+        match int_of_string_opt who with
+        | Some who when who >= 0 && who < n ->
+          Execution.append exec (Step.step who (action_of_tokens lineno action_tokens))
+        | Some _ | None -> fail lineno "bad process index")
+      | _ -> fail lineno ("expected a step line, got " ^ line))
+    rest;
+  (algo, n, exec)
+
+(* ------------------------------- bits -------------------------------- *)
+
+let bits_to_string ~algo ~n bits =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "mutexlb-bits 1\n";
+  Buffer.add_string buf (Printf.sprintf "algo %s\n" algo);
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  Buffer.add_string buf (Printf.sprintf "bits %d " (Array.length bits));
+  let nibble = ref 0 and count = ref 0 in
+  Array.iter
+    (fun b ->
+      nibble := (!nibble lsl 1) lor (if b then 1 else 0);
+      incr count;
+      if !count = 4 then begin
+        Buffer.add_char buf "0123456789abcdef".[!nibble];
+        nibble := 0;
+        count := 0
+      end)
+    bits;
+  if !count > 0 then begin
+    let padded = !nibble lsl (4 - !count) in
+    Buffer.add_char buf "0123456789abcdef".[padded]
+  end;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let bits_of_string s =
+  let lines = non_empty_lines s in
+  let rest = parse_header ~magic:"mutexlb-bits" lines in
+  let algo, n, rest = parse_meta rest in
+  match rest with
+  | [ bits_line ] -> (
+    match String.split_on_char ' ' bits_line with
+    | [ "bits"; count; hex ] -> (
+      match int_of_string_opt count with
+      | Some total when total >= 0 ->
+        if String.length hex <> (total + 3) / 4 then fail 4 "hex length mismatch";
+        let out = Array.make total false in
+        for i = 0 to total - 1 do
+          let c = hex.[i / 4] in
+          let v =
+            match c with
+            | '0' .. '9' -> Char.code c - Char.code '0'
+            | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+            | _ -> fail 4 "bad hex digit"
+          in
+          out.(i) <- (v lsr (3 - (i mod 4))) land 1 = 1
+        done;
+        (algo, n, out)
+      | Some _ | None -> fail 4 "bad bit count")
+    | _ -> fail 4 "expected `bits <count> <hex>`")
+  | _ -> fail 4 "expected exactly one bits line"
+
+(* -------------------------------- files ------------------------------ *)
+
+let save ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,38 @@
+(** Textual serialization of executions and encodings.
+
+    A stable, human-diffable line format so experiment artifacts (witness
+    traces, constructed executions, the bit strings E_pi) can be saved,
+    inspected and re-verified later:
+
+    {v
+    mutexlb-trace 1
+    algo yang_anderson
+    n 4
+    step 0 try
+    step 0 write 3 1
+    step 2 read 0
+    ...
+    v}
+
+    Encodings serialize as [mutexlb-bits 1] followed by the bit string in
+    hex with an exact bit count. Parsers reject malformed input with a
+    line number. *)
+
+exception Parse_error of { line : int; detail : string }
+
+val execution_to_string :
+  algo:string -> n:int -> Lb_shmem.Execution.t -> string
+
+val execution_of_string :
+  string -> string * int * Lb_shmem.Execution.t
+(** Returns (algorithm name, n, execution). The caller resolves the name
+    against its registry and may replay-validate. *)
+
+val bits_to_string : algo:string -> n:int -> bool array -> string
+
+val bits_of_string : string -> string * int * bool array
+
+val save : path:string -> string -> unit
+(** Write a serialized artifact to a file. *)
+
+val load : path:string -> string

@@ -1,0 +1,75 @@
+open Lb_shmem
+
+type t = { n : int; sees : bool array array }
+
+let of_execution algo ~n exec =
+  let nregs = Array.length (algo.Algorithm.registers ~n) in
+  let last_writer = Array.make nregs (-1) in
+  let sees = Array.init n (fun _ -> Array.make n false) in
+  let sys = System.init algo ~n in
+  Lb_util.Vec.iter
+    (fun (s : Step.t) ->
+      (match s.Step.action with
+      | Step.Read reg ->
+        let w = last_writer.(reg) in
+        if w >= 0 && w <> s.Step.who then sees.(s.Step.who).(w) <- true
+      | Step.Write (reg, _) -> last_writer.(reg) <- s.Step.who
+      | Step.Rmw (reg, _) ->
+        (* an rmw both observes and writes *)
+        let w = last_writer.(reg) in
+        if w >= 0 && w <> s.Step.who then sees.(s.Step.who).(w) <- true;
+        last_writer.(reg) <- s.Step.who
+      | Step.Crit _ -> ());
+      ignore (System.apply sys s))
+    exec;
+  { n; sees }
+
+let direct t ~seer ~seen = t.sees.(seer).(seen)
+
+let closure t =
+  let c = Array.map Array.copy t.sees in
+  for k = 0 to t.n - 1 do
+    for i = 0 to t.n - 1 do
+      for j = 0 to t.n - 1 do
+        if c.(i).(k) && c.(k).(j) then c.(i).(j) <- true
+      done
+    done
+  done;
+  c
+
+let sees_transitively t ~seer ~seen = (closure t).(seer).(seen)
+
+let chain t pi =
+  let c = closure t in
+  let rec go k =
+    k + 1 >= t.n
+    || c.(Permutation.process_at pi (k + 1)).(Permutation.process_at pi k)
+       && go (k + 1)
+  in
+  t.n <= 1 || go 0
+
+let respects t pi =
+  let c = closure t in
+  let ok = ref true in
+  for j = 0 to t.n - 1 do
+    for i = 0 to t.n - 1 do
+      if c.(j).(i) && not (Permutation.lower_or_equal pi i j) then ok := false
+    done
+  done;
+  !ok
+
+let edge_count t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a b -> if b then a + 1 else a) acc row)
+    0 t.sees
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for j = 0 to t.n - 1 do
+    let seen =
+      List.filter (fun i -> t.sees.(j).(i)) (List.init t.n Fun.id)
+    in
+    Format.fprintf ppf "p%d sees {%s}@," j
+      (String.concat ", " (List.map (fun i -> "p" ^ string_of_int i) seen))
+  done;
+  Format.fprintf ppf "@]"

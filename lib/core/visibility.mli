@@ -1,0 +1,54 @@
+(** The visibility graph of an execution — the paper's §1 intuition made
+    executable.
+
+    Process [j] {e sees} process [i] when [j] performs a read returning a
+    value whose last writer is [i]. The paper argues that for all n
+    processes to enter the critical section without colliding, the
+    visibility graph must contain a directed chain covering all
+    processes — "if there exist two processes, neither of which sees the
+    other, then an adversary can make both enter the critical section at
+    the same time" — and that specifying such a chain takes
+    [log2 (n!) = Omega(n log n)] bits, which is the information the
+    processes must collectively acquire.
+
+    On the executions built by {!Construct}, two facts are checkable and
+    are exercised by the test suite:
+    {ul
+    {- {e invisibility}: no process ever sees a process ordered after it
+       in pi (that is how the construction hides higher-indexed
+       processes);}
+    {- {e the chain}: under the transitive closure of "sees", each
+       process of stage k+1 sees the process of stage k, so the chain
+       pi_1 <- pi_2 <- ... <- pi_n exists.}} *)
+
+type t = {
+  n : int;
+  sees : bool array array;  (** [sees.(j).(i)]: j directly saw i *)
+}
+
+val of_execution :
+  Lb_shmem.Algorithm.t -> n:int -> Lb_shmem.Execution.t -> t
+(** Replays the execution tracking each register's last writer; every read
+    by [j] of a register last written by [i <> j] adds the edge [j sees
+    i]. Initial values have no writer and produce no edge. *)
+
+val direct : t -> seer:int -> seen:int -> bool
+
+val closure : t -> bool array array
+(** Transitive closure of the sees relation ([closure.(j).(i)]: j sees i
+    possibly through intermediaries). *)
+
+val sees_transitively : t -> seer:int -> seen:int -> bool
+
+val chain : t -> Permutation.t -> bool
+(** [chain t pi] — does each stage-(k+1) process transitively see the
+    stage-k process? This is the directed visibility chain on all n
+    processes from the paper's counting argument. *)
+
+val respects : t -> Permutation.t -> bool
+(** No process sees (even transitively) a process of a later stage — the
+    invisibility invariant of the construction (cf. Lemma 5.4). *)
+
+val edge_count : t -> int
+
+val pp : Format.formatter -> t -> unit

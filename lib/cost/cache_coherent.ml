@@ -1,0 +1,72 @@
+open Lb_shmem
+
+type stats = {
+  read_hits : int;
+  read_misses : int;
+  writes : int;
+  invalidations : int;
+}
+
+type sim = {
+  valid : bool array array;  (** [valid.(p).(r)]: does [p] cache [r]? *)
+  per_proc : int array;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable writes : int;
+  mutable invalidations : int;
+}
+
+let simulate algo ~n alpha =
+  let nregs = Array.length (algo.Algorithm.registers ~n) in
+  let sim =
+    {
+      valid = Array.init n (fun _ -> Array.make nregs false);
+      per_proc = Array.make n 0;
+      read_hits = 0;
+      read_misses = 0;
+      writes = 0;
+      invalidations = 0;
+    }
+  in
+  let charge p = sim.per_proc.(p) <- sim.per_proc.(p) + 1 in
+  let do_write p r =
+    sim.writes <- sim.writes + 1;
+    charge p;
+    for q = 0 to n - 1 do
+      if q <> p && sim.valid.(q).(r) then begin
+        sim.valid.(q).(r) <- false;
+        sim.invalidations <- sim.invalidations + 1
+      end
+    done;
+    sim.valid.(p).(r) <- true
+  in
+  (* replay only to validate the execution; the cache simulation itself
+     depends on the step sequence alone *)
+  ignore
+    (Execution.fold_outcomes algo ~n alpha ~init:()
+       ~f:(fun () _sys (step : Step.t) _outcome ->
+         let p = step.Step.who in
+         match step.Step.action with
+         | Step.Read r ->
+           if sim.valid.(p).(r) then sim.read_hits <- sim.read_hits + 1
+           else begin
+             sim.read_misses <- sim.read_misses + 1;
+             charge p;
+             sim.valid.(p).(r) <- true
+           end
+         | Step.Write (r, _) -> do_write p r
+         | Step.Rmw (r, _) -> do_write p r
+         | Step.Crit _ -> ()));
+  sim
+
+let per_process algo ~n alpha = (simulate algo ~n alpha).per_proc
+let cost algo ~n alpha = Array.fold_left ( + ) 0 (per_process algo ~n alpha)
+
+let stats algo ~n alpha =
+  let sim = simulate algo ~n alpha in
+  {
+    read_hits = sim.read_hits;
+    read_misses = sim.read_misses;
+    writes = sim.writes;
+    invalidations = sim.invalidations;
+  }

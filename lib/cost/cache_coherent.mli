@@ -1,0 +1,25 @@
+(** The cache coherent (CC) cost model, of which the paper's SC model is a
+    simplification (§3.3).
+
+    We simulate an invalidation-based write-through protocol: each process
+    has a cache holding copies of registers. A read hits (free) when the
+    reader holds a valid copy and misses (one unit, copy installed)
+    otherwise. A write always costs one unit, installs a copy at the
+    writer, and invalidates every other copy. Rmw operations are writes.
+    Under this accounting a process may busy-wait on {e several} cached
+    registers for free — the extra generosity the paper notes the CC model
+    has over SC. *)
+
+val cost : Lb_shmem.Algorithm.t -> n:int -> Lb_shmem.Execution.t -> int
+
+val per_process :
+  Lb_shmem.Algorithm.t -> n:int -> Lb_shmem.Execution.t -> int array
+
+type stats = {
+  read_hits : int;
+  read_misses : int;
+  writes : int;
+  invalidations : int;  (** total copies invalidated by writes *)
+}
+
+val stats : Lb_shmem.Algorithm.t -> n:int -> Lb_shmem.Execution.t -> stats

@@ -1,0 +1,29 @@
+open Lb_shmem
+
+let scan algo ~n alpha =
+  let specs = algo.Algorithm.registers ~n in
+  let per_proc = Array.make n 0 in
+  let total_accesses = ref 0 in
+  ignore
+    (Execution.fold_outcomes algo ~n alpha ~init:()
+       ~f:(fun () _sys (step : Step.t) _outcome ->
+         match Step.reg_of step.Step.action with
+         | None -> ()
+         | Some r ->
+           incr total_accesses;
+           let remote =
+             match specs.(r).Register.home with
+             | None -> true
+             | Some h -> h <> step.Step.who
+           in
+           if remote then
+             per_proc.(step.Step.who) <- per_proc.(step.Step.who) + 1));
+  (per_proc, !total_accesses)
+
+let per_process algo ~n alpha = fst (scan algo ~n alpha)
+let cost algo ~n alpha = Array.fold_left ( + ) 0 (per_process algo ~n alpha)
+
+let remote_fraction algo ~n alpha =
+  let per_proc, total = scan algo ~n alpha in
+  if total = 0 then nan
+  else float_of_int (Array.fold_left ( + ) 0 per_proc) /. float_of_int total

@@ -1,0 +1,20 @@
+(** The distributed shared memory (DSM) cost model (§3.3 context).
+
+    Each register lives at a fixed home node; an access is a {e remote
+    memory reference} (one unit) unless the accessing process is the
+    register's home. Registers without a declared home (see
+    {!Lb_shmem.Register.spec}) live in global memory: every access to them
+    is remote. Local-spin algorithms such as Yang–Anderson declare their
+    spin variables homed at the spinning process and hence busy-wait for
+    free here; algorithms that spin on shared variables pay per
+    iteration. *)
+
+val cost : Lb_shmem.Algorithm.t -> n:int -> Lb_shmem.Execution.t -> int
+
+val per_process :
+  Lb_shmem.Algorithm.t -> n:int -> Lb_shmem.Execution.t -> int array
+
+val remote_fraction :
+  Lb_shmem.Algorithm.t -> n:int -> Lb_shmem.Execution.t -> float
+(** Remote accesses divided by total shared accesses ([nan] when the
+    execution performs none). *)

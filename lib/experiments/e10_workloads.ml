@@ -1,0 +1,58 @@
+open Lb_util
+module W = Lb_mutex.Workload
+
+let patterns ~n =
+  [
+    ("all-at-once", W.All_at_once);
+    ("staggered", W.Staggered (40 * Lb_util.Xmath.ceil_log2 (max 2 n)));
+    ("bursts of 4", W.Bursts { size = 4; gap = 160 });
+    ("poisson", W.Poisson { seed = 77; mean_gap = 30.0 });
+  ]
+
+let table ?(n = 16) ?(rounds = 2) ~algos () =
+  let pats = patterns ~n in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E10. SC cost per critical section by arrival pattern (n=%d, %d \
+            sections each, round-robin)"
+           n rounds)
+      (("algo", Table.Left)
+      :: List.map (fun (label, _) -> (label, Table.Right)) pats)
+  in
+  List.iter
+    (fun (algo : Lb_shmem.Algorithm.t) ->
+      if Lb_shmem.Algorithm.supports algo n then
+        Table.add_row t
+          (algo.Lb_shmem.Algorithm.name
+          :: List.map
+               (fun (_, pattern) ->
+                 match
+                   W.run ~rounds ~pattern ~schedule:W.Round_robin algo ~n
+                 with
+                 | r -> Table.cell_f r.W.sc_per_section
+                 | exception Lb_shmem.Runner.Out_of_fuel _ -> ">2M")
+               pats))
+    algos;
+  t
+
+let run ?seed:_ () =
+  Exp_common.heading "E10" "arrival patterns and the price of contention";
+  Table.print
+    (table
+       ~algos:
+         [
+           Lb_algos.Yang_anderson.algorithm;
+           Lb_algos.Tournament.algorithm;
+           Lb_algos.Bakery.algorithm;
+           Lb_algos.Filter.algorithm;
+           Lb_algos.Szymanski.algorithm;
+           Lb_algos.Queue_locks.mcs;
+           Lb_algos.Rmw_locks.ticket;
+         ]
+       ());
+  print_endline
+    "Reading: staggered arrivals approach the sequential canonical rate\n\
+     (Yang-Anderson: 6 ceil(log2 n)); synchronized arrivals show each\n\
+     algorithm's contention overhead under the SC model."

@@ -1,0 +1,13 @@
+(** Experiment E10 — arrival patterns: how demand shape changes SC cost.
+
+    Per-critical-section SC cost of each algorithm under four arrival
+    patterns (everyone at once, staggered, bursty, Poisson), all with a
+    fair round-robin scheduler. Staggering approximates the sequential
+    canonical executions the lower-bound construction builds; all-at-once
+    is the contended extreme. *)
+
+val table :
+  ?n:int -> ?rounds:int ->
+  algos:Lb_shmem.Algorithm.t list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

@@ -1,0 +1,16 @@
+(** Experiment E11 — the §8 direction: do the constructed executions stay
+    expensive under the cache-coherent model?
+
+    The paper closes by claiming the technique "extends with minor
+    modifications to the cache coherent cost model" (a report "in
+    preparation"). We cannot reproduce an unpublished proof, but we can
+    measure its conclusion's premise: the very executions [alpha_pi] the
+    construction builds, re-accounted under CC (and DSM), still grow like
+    n log n for Yang–Anderson and remain within a constant factor of
+    their SC cost across algorithms. *)
+
+val table :
+  ?seed:int ->
+  algos:Lb_shmem.Algorithm.t list -> ns:int list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

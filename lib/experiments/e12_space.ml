@@ -1,0 +1,58 @@
+open Lb_util
+
+let default_ns = [ 2; 4; 8; 16; 32; 64; 128 ]
+
+let table ?(ns = default_ns) ~algos () =
+  let t =
+    Table.create
+      ~title:
+        "E12. Shared registers used vs the Burns-Lynch minimum of n ([6])"
+      (("algo", Table.Left)
+      :: List.map (fun n -> (Printf.sprintf "n=%d" n, Table.Right)) ns
+      @ [ ("asymptotic", Table.Left) ])
+  in
+  let asymptotic algo =
+    (* classify by nearest growth curve between the two largest n *)
+    match List.rev ns with
+    | b :: a :: _ when Lb_shmem.Algorithm.supports algo b ->
+      let count n = Array.length (algo.Lb_shmem.Algorithm.registers ~n) in
+      let fa = float_of_int a and fb = float_of_int b in
+      let growth = float_of_int (count b) /. float_of_int (count a) in
+      let candidates =
+        [
+          ("O(1)", 1.0);
+          ("Theta(log n)", Xmath.log2 fb /. Xmath.log2 fa);
+          ("Theta(n)", fb /. fa);
+          ("Theta(n log n)", Xmath.n_log2_n b /. Xmath.n_log2_n a);
+          ("Theta(n^2)", fb *. fb /. (fa *. fa));
+        ]
+      in
+      fst
+        (List.fold_left
+           (fun (best, d) (label, r) ->
+             let d' = Float.abs (log (growth /. r)) in
+             if d' < d then (label, d') else (best, d))
+           ("?", infinity) candidates)
+    | _ -> "-"
+  in
+  List.iter
+    (fun (algo : Lb_shmem.Algorithm.t) ->
+      Table.add_row t
+        ((algo.Lb_shmem.Algorithm.name
+         :: List.map
+              (fun n ->
+                if Lb_shmem.Algorithm.supports algo n then
+                  string_of_int (Array.length (algo.Lb_shmem.Algorithm.registers ~n))
+                else "-")
+              ns)
+        @ [ asymptotic algo ]))
+    algos;
+  t
+
+let run ?seed:_ () =
+  Exp_common.heading "E12" "register space vs the Burns-Lynch n-register bound";
+  Table.print (table ~algos:Lb_algos.Registry.scalable ());
+  print_endline
+    "Reading: burns meets the n-register lower bound exactly; bakery uses\n\
+     2n; yang_anderson pays n ceil(log2 n) spin cells plus 3 per tree node\n\
+     (the price of SC-cheap local spinning); lamport_fast uses n + 2."

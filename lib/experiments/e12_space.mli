@@ -1,0 +1,12 @@
+(** Experiment E12 — register space, against Burns & Lynch's bound
+    (reference [6] of the paper: any n-process mutex algorithm needs at
+    least n shared registers).
+
+    Counts the registers each algorithm declares as a function of n and
+    reports the ratio to the Burns–Lynch minimum of n. Burns' one-bit
+    algorithm meets the bound exactly; the arbitration trees and queue
+    locks pay a constant factor; Lamport's fast algorithm pays n + 2. *)
+
+val table : ?ns:int list -> algos:Lb_shmem.Algorithm.t list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

@@ -1,0 +1,14 @@
+(** Experiment E13 — fairness: how often does each algorithm let a
+    late-comer overtake a longer-waiting process?
+
+    Livelock freedom — all the paper requires (§3.2) — permits unbounded
+    overtaking. Measured on contended random-schedule executions: FIFO
+    locks (ticket, anderson_queue, mcs, clh) and the bakery admit zero
+    overtakes; the arbitration trees admit a few (tree-order, not
+    arrival-order); Burns' and Lamport's fast algorithm bypass freely. *)
+
+val table :
+  ?n:int -> ?rounds:int -> ?seeds:int list ->
+  algos:Lb_shmem.Algorithm.t list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

@@ -1,0 +1,18 @@
+(** Experiment E1 — Theorem 7.5: the Ω(n log n) lower-bound certificate.
+
+    For each algorithm and each [n], run the checked construct → encode →
+    decode pipeline over a family of permutations (all of [S_n] when
+    feasible, otherwise a sample) and report: the maximum and mean SC cost
+    [C(alpha_pi)], the maximum encoding length [|E_pi|] in bits, the
+    information-theoretic requirement [log2 (#perms)] and [log2 (n!)], the
+    comparison curve [n log2 n], and whether all decoded executions were
+    pairwise distinct (the premise of the pigeonhole step). *)
+
+val table :
+  ?seed:int -> ?budget:int ->
+  algos:Lb_shmem.Algorithm.t list -> ns:int list -> unit -> Lb_util.Table.t
+(** [budget] (default 24) caps the permutations per (algo, n). *)
+
+val run : ?seed:int -> unit -> unit
+(** Print the default instance: YA, bakery, filter and tournament over
+    n in 2..12. *)

@@ -1,0 +1,12 @@
+(** Experiment E2 — Theorem 6.2: |E_pi| = O(C(alpha_pi)).
+
+    Sweeps (algorithm, n, pi) and reports the distribution of the ratio
+    |E_pi| / C(alpha_pi) in bits per SC cost unit. The theorem predicts a
+    constant independent of n and pi; the table shows min/mean/max per
+    (algorithm, n) so any growth would be visible. *)
+
+val table :
+  ?seed:int -> ?budget:int ->
+  algos:Lb_shmem.Algorithm.t list -> ns:int list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

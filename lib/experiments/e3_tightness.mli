@@ -1,0 +1,11 @@
+(** Experiment E3 — tightness: Yang–Anderson costs O(n log n) (§1, §2).
+
+    Measures the SC cost of greedy canonical executions of Yang–Anderson
+    as n doubles and reports the ratio to [n ceil(log2 n)] — the paper's
+    matching upper bound. The measured cost is exactly [6 n ceil(log2 n)]
+    (six charged accesses per arbitration-node visit), so the lower bound
+    of E1 is tight up to the constant 6. *)
+
+val table : ?ns:int list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

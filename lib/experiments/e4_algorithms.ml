@@ -1,0 +1,57 @@
+open Lb_util
+
+let default_ns = [ 2; 4; 8; 16; 32; 64 ]
+
+let table ?(ns = default_ns) ~algos () =
+  let t =
+    Table.create
+      ~title:
+        "E4. SC cost of canonical executions: sequential (greedy) vs contended \
+         (round-robin)"
+      ([ ("algo", Table.Left); ("schedule", Table.Left) ]
+      @ List.map (fun n -> (Printf.sprintf "n=%d" n, Table.Right)) ns)
+  in
+  let cell algo n kind =
+    if not (Lb_shmem.Algorithm.supports algo n) then "-"
+    else begin
+      match
+        match kind with
+        | `Greedy -> (Lb_mutex.Canonical.run algo ~n).Lb_mutex.Canonical.exec
+        | `Rr ->
+          (Lb_mutex.Canonical.run_round_robin ~max_steps:4_000_000 algo ~n)
+            .Lb_mutex.Canonical.exec
+      with
+      | exec -> string_of_int (Lb_cost.State_change.cost algo ~n exec)
+      | exception Lb_mutex.Canonical.Check_failed _ ->
+        (* quadratic-probe algorithms exceed the step budget when heavily
+           contended at large n; report the blow-up rather than wait *)
+        ">4M steps"
+    end
+  in
+  List.iter
+    (fun (algo : Lb_shmem.Algorithm.t) ->
+      Table.add_row t
+        (algo.Lb_shmem.Algorithm.name :: "sequential"
+        :: List.map (fun n -> cell algo n `Greedy) ns);
+      Table.add_row t
+        ("" :: "contended-rr" :: List.map (fun n -> cell algo n `Rr) ns))
+    algos;
+  t
+
+let run ?seed:_ () =
+  Exp_common.heading "E4" "SC cost across the algorithm zoo";
+  Table.print
+    (table
+       ~algos:
+         (Lb_algos.Registry.scalable
+         @ List.filter
+             (fun (a : Lb_shmem.Algorithm.t) ->
+               a.Lb_shmem.Algorithm.kind = Lb_shmem.Algorithm.Uses_rmw)
+             Lb_algos.Registry.correct)
+       ());
+  print_endline
+    "Reading: sequential rows grow as n log n (yang_anderson, tournament),\n\
+     n^2 (bakery, filter) or n (burns, lamport_fast, rmw locks). Contended\n\
+     rows show which algorithms the SC model still charges for spinning:\n\
+     tournament/filter alternate two registers per probe (every probe is a\n\
+     state change), while yang_anderson and ticket spin on one register."

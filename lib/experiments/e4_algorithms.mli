@@ -1,0 +1,15 @@
+(** Experiment E4 — the algorithm landscape under the SC model (§2
+    motivation).
+
+    For every scalable algorithm in the registry, the SC cost of (a) the
+    greedy canonical execution (no contention: processes run one after
+    another) and (b) a contended round-robin execution (everyone tries at
+    once), across an n sweep. Shows the separation the lower bound
+    formalizes: Yang–Anderson's O(n log n) vs the Θ(n²) of bakery/filter,
+    and the contention blow-up of two-variable-spin algorithms
+    (tournament) that the SC model refuses to discount. *)
+
+val table :
+  ?ns:int list -> algos:Lb_shmem.Algorithm.t list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

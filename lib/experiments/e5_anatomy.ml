@@ -1,0 +1,77 @@
+open Lb_util
+module E = Lb_core.Encode
+
+let table ?(seed = Exp_common.default_seed) ~algos ~ns () =
+  let t =
+    Table.create ~title:"E5. Encoding anatomy: cell populations and bit budget"
+      [
+        ("algo", Table.Left);
+        ("n", Table.Right);
+        ("metasteps", Table.Right);
+        ("C", Table.Right);
+        ("SR", Table.Right);
+        ("PR", Table.Right);
+        ("R", Table.Right);
+        ("W", Table.Right);
+        ("Wsig", Table.Right);
+        ("sig bits", Table.Right);
+        ("total bits", Table.Right);
+        ("bits/cell", Table.Right);
+        ("ascii bits", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (algo : Lb_shmem.Algorithm.t) ->
+      List.iter
+        (fun n ->
+          if Lb_shmem.Algorithm.supports algo n then begin
+            let pi =
+              Lb_core.Permutation.random (Lb_util.Rng.create (seed + n)) n
+            in
+            let c = Lb_core.Construct.run algo ~n pi in
+            let e = E.encode c in
+            let s = E.stats c e in
+            let cells =
+              s.E.crit_cells + s.E.sr_cells + s.E.pr_cells + s.E.r_cells
+              + s.E.w_cells + s.E.wsig_cells
+            in
+            Table.add_row t
+              [
+                algo.Lb_shmem.Algorithm.name;
+                string_of_int n;
+                string_of_int s.E.metasteps;
+                string_of_int s.E.crit_cells;
+                string_of_int s.E.sr_cells;
+                string_of_int s.E.pr_cells;
+                string_of_int s.E.r_cells;
+                string_of_int s.E.w_cells;
+                string_of_int s.E.wsig_cells;
+                string_of_int s.E.signature_bits;
+                string_of_int s.E.total_bits;
+                Table.cell_f (float_of_int s.E.total_bits /. float_of_int cells);
+                string_of_int (8 * String.length (E.to_ascii e));
+              ]
+          end)
+        ns;
+      Table.add_sep t)
+    algos;
+  t
+
+let run ?seed () =
+  Exp_common.heading "E5" "where the encoding bits go";
+  Table.print
+    (table ?seed
+       ~algos:
+         [
+           Lb_algos.Yang_anderson.algorithm;
+           Lb_algos.Bakery.algorithm;
+           Lb_algos.Burns.algorithm;
+         ]
+       ~ns:[ 4; 8; 16 ] ());
+  print_endline
+    "Reading: every cell costs O(1) bits (3-bit tag) except the per-write-\n\
+     metastep signature, whose Elias-gamma counts amortize to O(1) per\n\
+     contained process -- the accounting behind Theorem 6.2. The last\n\
+     column is the ablation: the paper's ASCII rendering (8-bit chars,\n\
+     '#'/'$' separators) costs ~10x the binary form but stays O(C) -- the\n\
+     codec affects the constant of Theorem 6.2, never the asymptotics."

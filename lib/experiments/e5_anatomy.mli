@@ -1,0 +1,12 @@
+(** Experiment E5 — anatomy of the encoding (§6).
+
+    Breaks one encoding per (algorithm, n) into its cell populations
+    (critical, standalone-read, preread, read-in-write-metastep, losing
+    write, winning write+signature) and the bits spent on signatures,
+    showing where the O(C) budget of Theorem 6.2 actually goes. *)
+
+val table :
+  ?seed:int -> algos:Lb_shmem.Algorithm.t list -> ns:int list -> unit ->
+  Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

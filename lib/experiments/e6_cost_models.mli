@@ -1,0 +1,11 @@
+(** Experiment E6 — the same executions under SC, CC, DSM and raw
+    accounting (§3.3 and the §8 extension toward the CC model).
+
+    One contended round-robin canonical execution per algorithm at fixed
+    n, measured under all four models. SC sits between CC (which also
+    forgives multi-register cached spinning) and raw counting (which
+    Alur–Taubenfeld showed is unbounded in general). *)
+
+val table : ?n:int -> algos:Lb_shmem.Algorithm.t list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

@@ -1,0 +1,12 @@
+(** Experiment E7 — Theorem 5.5 and the injectivity premise of
+    Theorem 7.5, exhaustively.
+
+    For every permutation of [S_n] (n up to 6: 720 pipelines), check that
+    the constructed execution grants the critical section exactly in the
+    order pi, that the decoded execution matches it per process, and that
+    all n! decoded executions are pairwise distinct. Reports the counts
+    plus the structural-invariant checks of [Lb_core.Verify]. *)
+
+val table : ?max_n:int -> algo:Lb_shmem.Algorithm.t -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

@@ -1,0 +1,22 @@
+(** Experiment E8 — Alur–Taubenfeld's observation (§2, [1]) made concrete:
+    counting every memory access is unbounded, the discounted models are
+    not.
+
+    An adversarial schedule lets process 0 enter its critical section and
+    then spins the waiting processes for a configurable number of extra
+    steps before letting the system drain. Raw access counts grow linearly
+    with the spin budget while the SC cost stays constant (the spinners
+    never change state) — the observation that motivates charging only
+    state changes. CC and DSM stay constant too (cached / home spins). *)
+
+val run_with_budget :
+  Lb_shmem.Algorithm.t -> n:int -> spin_budget:int -> Lb_shmem.Execution.t
+(** One adversarial execution: p0 holds the critical section while the
+    others are spun for [spin_budget] extra steps, then the system
+    drains. *)
+
+val table :
+  ?n:int -> ?budgets:int list -> algo:Lb_shmem.Algorithm.t -> unit ->
+  Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

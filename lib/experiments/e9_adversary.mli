@@ -1,0 +1,15 @@
+(** Experiment E9 — how far can a schedule push the cost? (complements
+    Theorem 7.5's constructive worst case)
+
+    For each algorithm, a randomized charge-greedy adversary searches for
+    expensive canonical executions; the table compares the best found
+    against the sequential canonical baseline and the n log n / log2 n!
+    yardsticks. The adversary maximizes within {e one} canonical
+    execution, whereas the paper's bound quantifies over permutation
+    families — both sit comfortably above log2(n!)/c. *)
+
+val table :
+  ?seed:int -> ?tries:int ->
+  algos:Lb_shmem.Algorithm.t list -> ns:int list -> unit -> Lb_util.Table.t
+
+val run : ?seed:int -> unit -> unit

@@ -1,0 +1,23 @@
+let experiments =
+  [
+    ("E1", E1_lower_bound.run);
+    ("E2", E2_encoding_ratio.run);
+    ("E3", E3_tightness.run);
+    ("E4", E4_algorithms.run);
+    ("E5", E5_anatomy.run);
+    ("E6", E6_cost_models.run);
+    ("E7", E7_injectivity.run);
+    ("E8", E8_unbounded.run);
+    ("E9", E9_adversary.run);
+    ("E10", E10_workloads.run);
+    ("E11", E11_cc_direction.run);
+    ("E12", E12_space.run);
+    ("E13", E13_fairness.run);
+  ]
+
+let run ?seed () =
+  Printf.printf
+    "Reproduction experiments for Fan & Lynch, \"An Omega(n log n) Lower\n\
+     Bound on the Cost of Mutual Exclusion\" (PODC 2006). Seed: %d.\n"
+    (match seed with Some s -> s | None -> Exp_common.default_seed);
+  List.iter (fun (_, f) -> f ?seed ()) experiments

@@ -1,0 +1,6 @@
+(** Run every experiment in EXPERIMENTS.md order. *)
+
+val run : ?seed:int -> unit -> unit
+
+val experiments : (string * (?seed:int -> unit -> unit)) list
+(** [(id, runner)] pairs, for the CLI's [experiment --only]. *)

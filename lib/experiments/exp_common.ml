@@ -1,0 +1,14 @@
+let default_seed = 20060723
+
+let perms_for ~seed ~n ~budget =
+  if n <= 8 && Lb_util.Xmath.factorial n <= budget then
+    (Lb_core.Permutation.all n, true)
+  else
+    ( Lb_core.Permutation.sample (Lb_util.Rng.create (seed + n)) ~n ~count:budget,
+      false )
+
+let sc_cost_of_canonical algo ~n =
+  Lb_mutex.Canonical.sc_cost algo ~n (Lb_mutex.Canonical.run algo ~n)
+
+let heading id title =
+  Printf.printf "\n=== %s: %s ===\n\n" id title

@@ -1,0 +1,19 @@
+(** Shared plumbing for the experiment drivers (EXPERIMENTS.md).
+
+    Every experiment is deterministic given [seed]; tables are rendered
+    through {!Lb_util.Table} so the benchmark harness regenerates the same
+    rows every run. *)
+
+val default_seed : int
+(** Seed used by [bench/main.exe]: 20060723 (the paper's TR date). *)
+
+val perms_for :
+  seed:int -> n:int -> budget:int -> Lb_core.Permutation.t list * bool
+(** Permutations to sweep for size [n]: all of [S_n] when [n! <= budget]
+    (returns [true] for exhaustive), else [budget] samples. *)
+
+val sc_cost_of_canonical : Lb_shmem.Algorithm.t -> n:int -> int
+(** SC cost of the greedy canonical execution (identity priority). *)
+
+val heading : string -> string -> unit
+(** [heading id title] prints the experiment banner. *)

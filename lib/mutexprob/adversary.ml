@@ -1,0 +1,52 @@
+open Lb_shmem
+
+type result = {
+  best_cost : int;
+  best_exec : Execution.t;
+  tries : int;
+  sequential_cost : int;
+}
+
+(* One randomized charge-greedy run: among unfinished processes that can
+   change state, pick uniformly at random (each such step, when it is a
+   shared access, adds one SC charge). *)
+let one_run rng algo ~n ~max_steps =
+  let picker (view : Runner.view) =
+    let unfinished i = view.Runner.rem_counts.(i) = 0 in
+    let candidates =
+      List.filter
+        (fun i -> unfinished i && System.would_change_state view.Runner.sys i)
+        (List.init n Fun.id)
+    in
+    match candidates with
+    | [] ->
+      if List.exists unfinished (List.init n Fun.id) then raise Runner.Stuck
+      else None
+    | _ -> Some (Lb_util.Rng.pick rng (Array.of_list candidates))
+  in
+  let exec, _ = Runner.run algo ~n ~max_steps picker in
+  exec
+
+let search ?(tries = 32) ?(max_steps = 1_000_000) ~seed algo ~n =
+  if tries <= 0 then invalid_arg "Adversary.search: tries";
+  let rng = Lb_util.Rng.create seed in
+  let sequential_cost =
+    Lb_cost.State_change.cost algo ~n (Canonical.run algo ~n).Canonical.exec
+  in
+  let best_cost = ref (-1) in
+  let best_exec = ref (Execution.create ()) in
+  for _ = 1 to tries do
+    let exec = one_run (Lb_util.Rng.split rng) algo ~n ~max_steps in
+    (match Checker.check ~n exec with
+    | Ok () -> ()
+    | Error v ->
+      raise
+        (Canonical.Check_failed
+           { algo = algo.Algorithm.name; n; reason = Checker.violation_to_string v }));
+    let cost = Lb_cost.State_change.cost algo ~n exec in
+    if cost > !best_cost then begin
+      best_cost := cost;
+      best_exec := exec
+    end
+  done;
+  { best_cost = !best_cost; best_exec = !best_exec; tries; sequential_cost }

@@ -1,0 +1,31 @@
+(** Adversarial schedule search: empirically hunting the worst canonical
+    execution.
+
+    The lower bound says {e some} canonical execution costs Ω(n log n);
+    this module searches for expensive ones directly, with randomized
+    greedy schedules that prefer charged (state-changing) steps to
+    maximize contention. The search is a heuristic — it complements, not
+    replaces, the constructive argument of [Lb_core] — and is useful for
+    comparing how far real schedules can push each algorithm above its
+    sequential canonical cost. *)
+
+type result = {
+  best_cost : int;  (** highest SC cost found *)
+  best_exec : Lb_shmem.Execution.t;
+  tries : int;
+  sequential_cost : int;  (** greedy canonical baseline *)
+}
+
+val search :
+  ?tries:int ->
+  ?max_steps:int ->
+  seed:int ->
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  result
+(** [search ~seed algo ~n] runs [tries] (default 32) randomized
+    charge-greedy schedules — at every step, pick uniformly among the
+    unfinished processes whose next step would change their state (each
+    such shared access is an SC charge) — and returns the costliest
+    execution found. Every candidate execution is validated by
+    {!Checker}. *)

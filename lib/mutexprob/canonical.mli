@@ -1,0 +1,52 @@
+(** Canonical executions (paper §1): every process completes its critical
+    and exit sections exactly once.
+
+    The default driver uses the SC-aware greedy schedule
+    ({!Lb_shmem.Runner.sc_greedy}): it only ever schedules a process whose
+    next step changes its local state, so busy-wait reads appear at most
+    once per wake-up — like the executions the paper constructs. Variants
+    with round-robin and random scheduling exhibit raw spinning for the
+    cost-model comparison experiments. *)
+
+type outcome = {
+  exec : Lb_shmem.Execution.t;
+  enter_order : int list;  (** order in which processes entered the CS *)
+}
+
+exception
+  Check_failed of {
+    algo : string;
+    n : int;
+    reason : string;
+  }
+(** The driver validates every produced execution with {!Checker}; this is
+    raised (never in normal operation) when an algorithm is broken. *)
+
+val run :
+  ?order:int array ->
+  ?max_steps:int ->
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  outcome
+(** Greedy canonical execution. [order] (default [0..n-1]) is the priority
+    order; with distinct priorities the processes typically enter the CS in
+    roughly that order, giving experiments a family of distinct canonical
+    executions. Validates well-formedness, mutual exclusion, and that every
+    process completed exactly one critical section. *)
+
+val run_round_robin :
+  ?rounds:int -> ?max_steps:int -> Lb_shmem.Algorithm.t -> n:int -> outcome
+(** Canonical execution under a fair round-robin schedule — spin reads
+    repeat, which is what the discounted cost models forgive. *)
+
+val run_random :
+  seed:int ->
+  ?rounds:int ->
+  ?max_steps:int ->
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  outcome
+(** Canonical execution under a seeded uniformly-random schedule. *)
+
+val sc_cost : Lb_shmem.Algorithm.t -> n:int -> outcome -> int
+(** SC cost of the outcome's execution (convenience). *)

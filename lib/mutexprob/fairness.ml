@@ -1,0 +1,64 @@
+open Lb_shmem
+
+type arrival = [ `Try | `First_access ]
+
+type report = {
+  entries : int;
+  overtakes : int;
+  bypassed_max : int;
+  per_process_bypassed : int array;
+}
+
+(* per-process waiting state *)
+type wait = Not_waiting | Trying_unarrived of int (* try step index *) | Arrived of int
+
+let analyze ?(arrival = `First_access) ~n exec =
+  let state = Array.make n Not_waiting in
+  let per_process_bypassed = Array.make n 0 in
+  let entries = ref 0 in
+  let overtakes = ref 0 in
+  Lb_util.Vec.iteri
+    (fun t (s : Step.t) ->
+      let who = s.Step.who in
+      match s.Step.action with
+      | Step.Crit Step.Try ->
+        state.(who) <-
+          (match arrival with
+          | `Try -> Arrived t
+          | `First_access -> Trying_unarrived t)
+      | Step.Read _ | Step.Write _ | Step.Rmw _ -> (
+        match state.(who) with
+        | Trying_unarrived _ -> state.(who) <- Arrived t
+        | Not_waiting | Arrived _ -> ())
+      | Step.Crit Step.Enter ->
+        incr entries;
+        let mine =
+          match state.(who) with
+          | Arrived t0 | Trying_unarrived t0 -> t0
+          | Not_waiting -> t (* ill-formed input; treat as instantaneous *)
+        in
+        let bypassed_someone = ref false in
+        Array.iteri
+          (fun i st ->
+            match st with
+            | Arrived t0 when i <> who && t0 < mine ->
+              per_process_bypassed.(i) <- per_process_bypassed.(i) + 1;
+              bypassed_someone := true
+            | Arrived _ | Trying_unarrived _ | Not_waiting -> ())
+          state;
+        if !bypassed_someone then incr overtakes;
+        state.(who) <- Not_waiting
+      | Step.Crit (Step.Exit | Step.Rem) -> ())
+    exec;
+  {
+    entries = !entries;
+    overtakes = !overtakes;
+    bypassed_max = Array.fold_left max 0 per_process_bypassed;
+    per_process_bypassed;
+  }
+
+let fifo ?arrival ~n exec = (analyze ?arrival ~n exec).overtakes = 0
+
+let pp ppf r =
+  Format.fprintf ppf "entries=%d overtakes=%d worst-bypassed=%d" r.entries
+    r.overtakes r.bypassed_max

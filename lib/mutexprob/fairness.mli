@@ -1,0 +1,42 @@
+(** Fairness analysis: overtakes and bypass counts.
+
+    The paper's properties (well-formedness, mutual exclusion, livelock
+    freedom) permit unbounded unfairness — livelock freedom only promises
+    {e someone} enters (§3.2). This module quantifies how unfair an
+    execution actually is: an {e overtake} is a critical-section entry by
+    [j] while some [i] that {e arrived earlier} is still waiting.
+
+    Two notions of arrival are supported, because "first-come first-served"
+    is only meaningful relative to a commitment point:
+    {ul
+    {- [`Try] — the [try] step. No algorithm can be FCFS relative to this
+       (a process can always be preempted between [try] and its first
+       shared access), so this measures raw scheduling luck.}
+    {- [`First_access] — the first shared-memory access after [try]. For
+       locks whose first access fixes their queue position (ticket and
+       Anderson's array lock draw a ticket as their very first access)
+       this yields exactly zero overtakes; MCS/CLH keep a residual 1–2
+       private setup writes before their queue insertion.}} *)
+
+type arrival = [ `Try | `First_access ]
+
+type report = {
+  entries : int;  (** total critical-section entries *)
+  overtakes : int;
+      (** entries that bypassed at least one earlier-arrived process *)
+  bypassed_max : int;
+      (** the worst number of times any single process was bypassed *)
+  per_process_bypassed : int array;
+      (** how many times each process was overtaken while waiting *)
+}
+
+val analyze : ?arrival:arrival -> n:int -> Lb_shmem.Execution.t -> report
+(** Scan the execution's steps ([arrival] defaults to [`First_access]).
+    A process is waiting from its arrival point to its [enter]; when some
+    process enters, every process whose arrival precedes the enterer's
+    arrival is bypassed. *)
+
+val fifo : ?arrival:arrival -> n:int -> Lb_shmem.Execution.t -> bool
+(** No overtakes at all. *)
+
+val pp : Format.formatter -> report -> unit

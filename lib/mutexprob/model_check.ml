@@ -1,0 +1,155 @@
+open Lb_shmem
+
+type verdict =
+  | Verified
+  | Mutex_violation of Execution.t
+  | Deadlock of Execution.t
+  | Bound_exceeded of int
+
+type report = { verdict : verdict; states : int; transitions : int }
+
+type node = {
+  sys : System.t;
+  phases : Checker.phase array;
+  rems : int array;
+  parent : (string * Step.t) option;
+}
+
+let phase_code = function
+  | Checker.Remainder -> 'r'
+  | Checker.Trying -> 't'
+  | Checker.Critical -> 'c'
+  | Checker.Exit_section -> 'x'
+
+let key_of sys phases rems =
+  let buf = Buffer.create 64 in
+  Array.iter (fun v -> Buffer.add_string buf (string_of_int v); Buffer.add_char buf ',')
+    sys.System.regs;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun (p : Proc.t) ->
+      Buffer.add_string buf p.Proc.repr;
+      Buffer.add_char buf ';')
+    sys.System.procs;
+  Buffer.add_char buf '|';
+  Array.iteri
+    (fun i ph ->
+      Buffer.add_char buf (phase_code ph);
+      Buffer.add_string buf (string_of_int rems.(i)))
+    phases;
+  Buffer.contents buf
+
+let trace_to nodes key =
+  let steps = ref [] in
+  let rec go key =
+    match (Hashtbl.find nodes key).parent with
+    | None -> ()
+    | Some (pkey, step) ->
+      steps := step :: !steps;
+      go pkey
+  in
+  go key;
+  Execution.of_steps !steps
+
+(* Apply the phase transition for a critical step; the algorithms under
+   test are well-formed automata, so a bad transition is a programming
+   error, not a checkable property. *)
+let advance_phase phases who (c : Step.crit) =
+  let next =
+    match phases.(who), c with
+    | Checker.Remainder, Step.Try -> Checker.Trying
+    | Checker.Trying, Step.Enter -> Checker.Critical
+    | Checker.Critical, Step.Exit -> Checker.Exit_section
+    | Checker.Exit_section, Step.Rem -> Checker.Remainder
+    | ph, c ->
+      invalid_arg
+        (Printf.sprintf "model_check: p%d ill-formed %s in %s" who
+           (Step.crit_name c) (Checker.phase_name ph))
+  in
+  let out = Array.copy phases in
+  out.(who) <- next;
+  out
+
+let explore ?(rounds = 1) ?(max_states = 200_000) algo ~n =
+  let nodes : (string, node) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let transitions = ref 0 in
+  let init_sys = System.init algo ~n in
+  let init_phases = Array.make n Checker.Remainder in
+  let init_rems = Array.make n 0 in
+  let init_key = key_of init_sys init_phases init_rems in
+  Hashtbl.replace nodes init_key
+    { sys = init_sys; phases = init_phases; rems = init_rems; parent = None };
+  Queue.push init_key queue;
+  let verdict = ref None in
+  while !verdict = None && not (Queue.is_empty queue) do
+    if Hashtbl.length nodes > max_states then
+      verdict := Some (Bound_exceeded (Hashtbl.length nodes))
+    else begin
+      let key = Queue.pop queue in
+      let node = Hashtbl.find nodes key in
+      let unfinished = ref [] in
+      for i = n - 1 downto 0 do
+        if node.rems.(i) < rounds then unfinished := i :: !unfinished
+      done;
+      (* deadlock: unfinished processes exist but none can ever change
+         state again (reads of stable values are global no-ops) *)
+      if
+        !unfinished <> []
+        && List.for_all
+             (fun i -> not (System.would_change_state node.sys i))
+             !unfinished
+      then verdict := Some (Deadlock (trace_to nodes key))
+      else
+        List.iter
+          (fun i ->
+            if !verdict = None then begin
+              let sys' = System.copy node.sys in
+              let action = System.pending_of sys' i in
+              let step = Step.step i action in
+              ignore (System.apply sys' step);
+              incr transitions;
+              let phases', rems' =
+                match action with
+                | Step.Crit c ->
+                  let ph = advance_phase node.phases i c in
+                  let rm =
+                    if c = Step.Rem then begin
+                      let r = Array.copy node.rems in
+                      r.(i) <- r.(i) + 1;
+                      r
+                    end
+                    else node.rems
+                  in
+                  (ph, rm)
+                | Step.Read _ | Step.Write _ | Step.Rmw _ ->
+                  (node.phases, node.rems)
+              in
+              let key' = key_of sys' phases' rems' in
+              if not (Hashtbl.mem nodes key') then begin
+                Hashtbl.replace nodes key'
+                  { sys = sys'; phases = phases'; rems = rems';
+                    parent = Some (key, step) };
+                (* mutual exclusion check on the new state *)
+                let critical =
+                  Array.to_list phases'
+                  |> List.filteri (fun _ ph -> ph = Checker.Critical)
+                in
+                if List.length critical >= 2 then
+                  verdict := Some (Mutex_violation (trace_to nodes key'))
+                else Queue.push key' queue
+              end
+            end)
+          !unfinished
+    end
+  done;
+  let verdict = match !verdict with None -> Verified | Some v -> v in
+  { verdict; states = Hashtbl.length nodes; transitions = !transitions }
+
+let pp_verdict ppf = function
+  | Verified -> Format.fprintf ppf "verified"
+  | Mutex_violation tr ->
+    Format.fprintf ppf "MUTEX VIOLATION after %d steps" (Execution.length tr)
+  | Deadlock tr ->
+    Format.fprintf ppf "DEADLOCK after %d steps" (Execution.length tr)
+  | Bound_exceeded k -> Format.fprintf ppf "bound exceeded (%d states)" k

@@ -1,0 +1,116 @@
+open Lb_shmem
+
+type pattern =
+  | All_at_once
+  | Staggered of int
+  | Bursts of { size : int; gap : int }
+  | Poisson of { seed : int; mean_gap : float }
+
+let arrival_times pattern ~n =
+  match pattern with
+  | All_at_once -> Array.make n 0
+  | Staggered gap ->
+    if gap < 0 then invalid_arg "Workload: negative gap";
+    Array.init n (fun i -> i * gap)
+  | Bursts { size; gap } ->
+    if size <= 0 || gap < 0 then invalid_arg "Workload: bad burst";
+    Array.init n (fun i -> i / size * gap)
+  | Poisson { seed; mean_gap } ->
+    if mean_gap < 0.0 then invalid_arg "Workload: negative mean gap";
+    let rng = Lb_util.Rng.create seed in
+    let t = ref 0.0 in
+    Array.init n (fun _ ->
+        let u = Lb_util.Rng.float rng in
+        t := !t +. (-.mean_gap *. log (1.0 -. u));
+        int_of_float !t)
+
+type schedule = Round_robin | Random of int
+
+type result = {
+  exec : Execution.t;
+  arrivals : int array;
+  sc_total : int;
+  sc_per_section : float;
+  breakdown : Lb_cost.Accounting.breakdown;
+}
+
+let run ?(rounds = 1) ?(max_steps = 2_000_000) ~pattern ~schedule algo ~n =
+  let arrivals = arrival_times pattern ~n in
+  let rng =
+    match schedule with
+    | Round_robin -> None
+    | Random seed -> Some (Lb_util.Rng.create seed)
+  in
+  let sys = System.init algo ~n in
+  let exec = Execution.create () in
+  let rem_counts = Array.make n 0 in
+  let enter_counts = Array.make n 0 in
+  (* the logical clock: the step count, except that it can jump forward to
+     the next arrival when every arrived process is done or blocked *)
+  let horizon = ref 0 in
+  let cursor = ref 0 in
+  let steps = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    incr steps;
+    if !steps > max_steps then raise (Runner.Out_of_fuel exec);
+    let now = max (Execution.length exec) !horizon in
+    let unfinished i = rem_counts.(i) < rounds in
+    let arrived i = arrivals.(i) <= now in
+    let pool = List.filter unfinished (List.init n Fun.id) in
+    if pool = [] then stop := true
+    else begin
+      let eligible = List.filter arrived pool in
+      let runnable =
+        List.filter (fun i -> System.would_change_state sys i) eligible
+      in
+      let pick =
+        if runnable = [] then None
+        else begin
+          (* schedule among ALL eligible (spinners included) so spin reads
+             are represented, but guarantee progress is possible *)
+          match rng with
+          | Some rng -> Some (Lb_util.Rng.pick rng (Array.of_list eligible))
+          | None ->
+            let k = List.length eligible in
+            let i = List.nth eligible (!cursor mod k) in
+            incr cursor;
+            Some i
+        end
+      in
+      match pick with
+      | Some i ->
+        let action = System.pending_of sys i in
+        ignore (System.apply sys (Step.step i action));
+        Execution.append exec (Step.step i action);
+        (match action with
+        | Step.Crit Step.Rem -> rem_counts.(i) <- rem_counts.(i) + 1
+        | Step.Crit Step.Enter -> enter_counts.(i) <- enter_counts.(i) + 1
+        | Step.Crit (Step.Try | Step.Exit)
+        | Step.Read _ | Step.Write _ | Step.Rmw _ -> ())
+      | None -> (
+        (* every arrived process is blocked: advance the clock to the next
+           arrival; with none left this is a genuine deadlock *)
+        let future = List.filter (fun i -> not (arrived i)) pool in
+        match future with
+        | [] -> raise Runner.Stuck
+        | _ ->
+          horizon :=
+            List.fold_left (fun acc i -> min acc arrivals.(i)) max_int future)
+    end
+  done;
+  (match Checker.check ~n exec with
+  | Ok () -> ()
+  | Error v ->
+    raise
+      (Canonical.Check_failed
+         { algo = algo.Algorithm.name; n; reason = Checker.violation_to_string v }));
+  let sections = Array.fold_left ( + ) 0 rem_counts in
+  let sc_total = Lb_cost.State_change.cost algo ~n exec in
+  {
+    exec;
+    arrivals;
+    sc_total;
+    sc_per_section = float_of_int sc_total /. float_of_int (max 1 sections);
+    breakdown = Lb_cost.Accounting.breakdown algo ~n exec;
+  }

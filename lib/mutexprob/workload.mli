@@ -1,0 +1,40 @@
+(** Workload generation: contention patterns beyond "everyone at once".
+
+    A pattern assigns each process an arrival time (in global steps); the
+    workload driver masks un-arrived processes from an underlying
+    scheduler, so experiments can measure how an algorithm's cost responds
+    to staggered or bursty demand — the scenarios that motivate local-spin
+    algorithms in the first place (§2). *)
+
+type pattern =
+  | All_at_once  (** every process eligible from step 0 *)
+  | Staggered of int  (** process [i] arrives at step [i * gap] *)
+  | Bursts of { size : int; gap : int }
+      (** processes arrive in bursts of [size], [gap] steps apart *)
+  | Poisson of { seed : int; mean_gap : float }
+      (** independent exponential inter-arrival gaps (seeded) *)
+
+val arrival_times : pattern -> n:int -> int array
+(** The arrival step of each process under the pattern. *)
+
+type schedule = Round_robin | Random of int  (** seed *)
+
+type result = {
+  exec : Lb_shmem.Execution.t;
+  arrivals : int array;
+  sc_total : int;
+  sc_per_section : float;
+  breakdown : Lb_cost.Accounting.breakdown;
+}
+
+val run :
+  ?rounds:int ->
+  ?max_steps:int ->
+  pattern:pattern ->
+  schedule:schedule ->
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  result
+(** Run the workload: every process completes [rounds] critical sections
+    (default 1), entering the fray only after its arrival time. The
+    produced execution is validated by {!Checker}. *)

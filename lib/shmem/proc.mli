@@ -1,0 +1,48 @@
+(** The process automaton abstraction (paper §3.1).
+
+    A process is a deterministic automaton: from its current local state it
+    {e pends} exactly one action; feeding it the response of that action
+    yields the next local state. Local states are compared through a
+    canonical string representation [repr] — the SC cost model
+    (Definition 3.1) and the construction's [SC] predicate (Fig. 1) only
+    ever need state {e equality}, which [repr] witnesses.
+
+    Processes are closure records rather than a functor so that engines,
+    registries and experiment drivers can mix algorithms freely. Use
+    {!Make_spawn} to derive the closure form from a conventional
+    state-transition module. *)
+
+type t = {
+  id : int;  (** process index in [0 .. n-1] *)
+  pending : Step.action;  (** the unique next step (determinism, §3.1) *)
+  advance : Step.response -> t;  (** pure transition on the observed response *)
+  repr : string;  (** canonical encoding of the local state *)
+}
+
+val equal_state : t -> t -> bool
+(** [equal_state p q] holds iff the two processes are in the same local
+    state (by [repr]). Only meaningful for processes of the same
+    algorithm. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Conventional description of an algorithm's per-process automaton. *)
+module type STATE = sig
+  type state
+
+  val initial : n:int -> me:int -> state
+  (** Initial local state of process [me] among [n] processes. The paper
+      assumes the initial step of each process is [try] (§3.2 end); the
+      algorithms in [Lb_algos] all satisfy this. *)
+
+  val pending : n:int -> me:int -> state -> Step.action
+
+  val advance : n:int -> me:int -> state -> Step.response -> state
+
+  val repr : state -> string
+  (** Injective on reachable states. *)
+end
+
+module Make_spawn (S : STATE) : sig
+  val spawn : n:int -> me:int -> t
+end

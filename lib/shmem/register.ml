@@ -1,0 +1,20 @@
+type spec = { name : string; init : Step.value; home : int option }
+
+let spec ?(init = 0) ?home name = { name; init; home }
+
+let initial_values specs = Array.map (fun s -> s.init) specs
+
+let name specs r =
+  if r >= 0 && r < Array.length specs then specs.(r).name
+  else Printf.sprintf "r%d" r
+
+let pp_file specs ppf values =
+  let first = ref true in
+  Array.iteri
+    (fun i v ->
+      if i < Array.length specs && v <> specs.(i).init then begin
+        if not !first then Format.fprintf ppf " ";
+        first := false;
+        Format.fprintf ppf "%s=%d" (name specs i) v
+      end)
+    values

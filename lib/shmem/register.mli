@@ -1,0 +1,29 @@
+(** Register declarations.
+
+    An algorithm publishes, for a given number of processes [n], an array of
+    register specifications; register indices in {!Step.action} refer to
+    positions in that array. *)
+
+type spec = { name : string; init : Step.value; home : int option }
+(** A multi-reader multi-writer register with a display name, an initial
+    value (§3.1: "a shared variable consists of a type and an initial
+    value"), and an optional {e home} process for the DSM cost model: in
+    distributed shared memory, an access by the home process is local
+    (free) and any other access is remote. [home = None] models a register
+    kept in global memory (every access remote). The SC and CC models
+    ignore [home]. *)
+
+val spec : ?init:Step.value -> ?home:int -> string -> spec
+(** [spec ?init ?home name] builds a specification; [init] defaults to [0],
+    [home] to [None]. *)
+
+val initial_values : spec array -> Step.value array
+(** Fresh register file holding each register's initial value. *)
+
+val name : spec array -> Step.reg -> string
+(** Display name of register [r]; falls back to ["r<i>"] when out of
+    range. *)
+
+val pp_file : spec array -> Format.formatter -> Step.value array -> unit
+(** Print the non-initial registers of a register file as
+    [name=value] pairs. *)

@@ -1,0 +1,97 @@
+type view = {
+  sys : System.t;
+  exec : Execution.t;
+  rem_counts : int array;
+  enter_counts : int array;
+}
+
+type picker = view -> int option
+
+exception Out_of_fuel of Execution.t
+exception Stuck
+
+let run algo ~n ?(max_steps = 1_000_000) picker =
+  let sys = System.init algo ~n in
+  let exec = Execution.create () in
+  let view =
+    { sys; exec; rem_counts = Array.make n 0; enter_counts = Array.make n 0 }
+  in
+  let rec loop fuel =
+    if fuel = 0 then raise (Out_of_fuel exec);
+    match picker view with
+    | None -> ()
+    | Some i ->
+      let action = System.pending_of sys i in
+      let step = Step.step i action in
+      ignore (System.apply sys step);
+      Execution.append exec step;
+      (match action with
+      | Step.Crit Step.Rem -> view.rem_counts.(i) <- view.rem_counts.(i) + 1
+      | Step.Crit Step.Enter ->
+        view.enter_counts.(i) <- view.enter_counts.(i) + 1
+      | Step.Crit (Step.Try | Step.Exit)
+      | Step.Read _ | Step.Write _ | Step.Rmw _ -> ());
+      loop (fuel - 1)
+  in
+  loop max_steps;
+  (exec, sys)
+
+let unfinished view ~rounds i = view.rem_counts.(i) < rounds
+
+let assert_not_stuck view ~rounds =
+  let n = view.sys.System.n in
+  let progress = ref false in
+  for i = 0 to n - 1 do
+    if unfinished view ~rounds i && System.would_change_state view.sys i then
+      progress := true
+  done;
+  if not !progress then raise Stuck
+
+let all_done view ~rounds =
+  let n = view.sys.System.n in
+  let rec go i = i >= n || ((not (unfinished view ~rounds i)) && go (i + 1)) in
+  go 0
+
+let round_robin ?(rounds = 1) () =
+  let cursor = ref 0 in
+  fun view ->
+    if all_done view ~rounds then None
+    else begin
+      assert_not_stuck view ~rounds;
+      let n = view.sys.System.n in
+      let rec advance tries =
+        if tries > n then raise Stuck
+        else begin
+          let i = !cursor mod n in
+          cursor := !cursor + 1;
+          if unfinished view ~rounds i then Some i else advance (tries + 1)
+        end
+      in
+      advance 0
+    end
+
+let random rng ?(rounds = 1) () =
+ fun view ->
+  if all_done view ~rounds then None
+  else begin
+    assert_not_stuck view ~rounds;
+    let n = view.sys.System.n in
+    let candidates =
+      Array.of_list
+        (List.filter (unfinished view ~rounds) (List.init n (fun i -> i)))
+    in
+    Some (Lb_util.Rng.pick rng candidates)
+  end
+
+let sc_greedy ~order =
+ fun view ->
+  let rounds = 1 in
+  if all_done view ~rounds then None
+  else begin
+    let pickable i =
+      unfinished view ~rounds i && System.would_change_state view.sys i
+    in
+    match Array.find_opt pickable order with
+    | Some i -> Some i
+    | None -> raise Stuck
+  end

@@ -1,0 +1,52 @@
+(** Generic execution engine: a scheduler repeatedly picks a process to
+    step until it declines or a step budget is exhausted.
+
+    Domain-specific drivers (the canonical one-shot driver, contention
+    workloads, the adversary of the lower-bound discussion) are built on
+    top of this in [Lb_mutex]. *)
+
+type view = {
+  sys : System.t;  (** current system state *)
+  exec : Execution.t;  (** execution so far *)
+  rem_counts : int array;  (** completed critical+exit sections per process *)
+  enter_counts : int array;  (** [enter] steps taken per process *)
+}
+
+type picker = view -> int option
+(** [picker view] chooses the next process to step, or [None] to stop. *)
+
+exception Out_of_fuel of Execution.t
+(** Raised when [max_steps] is reached before the picker stops — usually a
+    livelock or an unfair schedule. Carries the partial execution. *)
+
+exception Stuck
+(** Raised by {!sc_greedy} when no unfinished process can change its local
+    state: every remaining process is busy-waiting on a register no one
+    will write — a deadlock, impossible for a livelock-free algorithm. *)
+
+val run :
+  Algorithm.t -> n:int -> ?max_steps:int -> picker -> Execution.t * System.t
+(** Run from the initial state. [max_steps] defaults to [1_000_000]. *)
+
+val round_robin : ?rounds:int -> unit -> picker
+(** Cycles over unfinished processes [0, 1, ..., n-1, 0, ...]; a process
+    that has completed [rounds] (default 1) full try/enter/exit/rem cycles
+    is no longer scheduled. Stops when every process is done. Note that
+    with busy-waiting algorithms this schedule repeats spin reads — which
+    is exactly what the SC model discounts. Skips (and never again
+    schedules) a process that would spin forever only when {e no} process
+    can change state, in which case it raises {!Stuck}. *)
+
+val random : Lb_util.Rng.t -> ?rounds:int -> unit -> picker
+(** Uniformly random among unfinished processes (so spin reads do get
+    scheduled and re-scheduled); raises {!Stuck} when no unfinished process
+    can change state. Stops when all processes have completed [rounds]
+    (default 1) cycles. *)
+
+val sc_greedy : order:int array -> picker
+(** The SC-aware sequential schedule used for canonical executions: among
+    not-yet-done processes, pick — in the priority order given by [order] —
+    the first whose next step would change its local state. Each spin read
+    therefore appears at most once between wake-ups, mirroring the
+    constructed executions of the paper. Raises {!Stuck} when no unfinished
+    process can make progress. Stops when all processes are done. *)

@@ -1,0 +1,59 @@
+type reg = int
+type value = int
+type crit = Try | Enter | Exit | Rem
+
+type rmw_op =
+  | Test_and_set
+  | Fetch_add of value
+  | Swap of value
+  | Cas of { expect : value; replace : value }
+
+type action =
+  | Read of reg
+  | Write of reg * value
+  | Rmw of reg * rmw_op
+  | Crit of crit
+
+type response = Got of value | Ack
+
+type t = { who : int; action : action }
+
+let step who action = { who; action }
+
+let is_shared_access = function
+  | Read _ | Write _ | Rmw _ -> true
+  | Crit _ -> false
+
+let is_register_action = function
+  | Read _ | Write _ -> true
+  | Rmw _ | Crit _ -> false
+
+let reg_of = function
+  | Read r | Write (r, _) | Rmw (r, _) -> Some r
+  | Crit _ -> None
+
+let crit_name = function
+  | Try -> "try"
+  | Enter -> "enter"
+  | Exit -> "exit"
+  | Rem -> "rem"
+
+let equal_crit (a : crit) (b : crit) = a = b
+let equal_action (a : action) (b : action) = a = b
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp_rmw ppf = function
+  | Test_and_set -> Format.fprintf ppf "tas"
+  | Fetch_add v -> Format.fprintf ppf "fadd(%d)" v
+  | Swap v -> Format.fprintf ppf "swap(%d)" v
+  | Cas { expect; replace } -> Format.fprintf ppf "cas(%d,%d)" expect replace
+
+let pp_action ppf = function
+  | Read r -> Format.fprintf ppf "read(r%d)" r
+  | Write (r, v) -> Format.fprintf ppf "write(r%d,%d)" r v
+  | Rmw (r, op) -> Format.fprintf ppf "rmw(r%d,%a)" r pp_rmw op
+  | Crit c -> Format.fprintf ppf "%s" (crit_name c)
+
+let pp ppf t = Format.fprintf ppf "p%d:%a" t.who pp_action t.action
+let to_string t = Format.asprintf "%a" pp t

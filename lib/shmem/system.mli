@@ -1,0 +1,68 @@
+(** System state and step semantics (paper §3.1).
+
+    A system state is the tuple of all register values and all process
+    local states. [apply] executes one step: it computes the response of the
+    step's action against the registers, advances the issuing process, and
+    reports whether that process changed local state — the quantity the SC
+    cost model charges for (Definition 3.1). *)
+
+type t = {
+  n : int;
+  algo : Algorithm.t;
+  regs : Step.value array;  (** current register values (mutable in place) *)
+  procs : Proc.t array;  (** current process automata *)
+}
+
+exception
+  Step_mismatch of {
+    who : int;
+    expected : Step.action;
+    actual : Step.action;
+  }
+(** Raised by {!apply} when a replayed step disagrees with the process's
+    pending action — executions of a deterministic algorithm admit exactly
+    one action per process per state, so any disagreement means the
+    execution is not an execution of this algorithm. *)
+
+type outcome = {
+  response : Step.response;  (** what the process observed *)
+  state_changed : bool;  (** did [who]'s local state change? *)
+  old_value : Step.value;
+      (** previous value of the accessed register ([0] for critical steps) *)
+}
+
+val init : Algorithm.t -> n:int -> t
+(** Fresh system in the default initial state [s0]. *)
+
+val copy : t -> t
+(** Deep copy (registers and process array). *)
+
+val apply : t -> Step.t -> outcome
+(** Execute one step, mutating [t]. Raises {!Step_mismatch} if the step's
+    action differs from the issuing process's pending action, and
+    [Invalid_argument] on a bad process index or register. *)
+
+val response_of : t -> Step.action -> Step.response
+(** The response the action would get in the current state, without
+    executing it. *)
+
+val would_change_state : t -> int -> bool
+(** [would_change_state t i] — would process [i] change local state if it
+    performed its pending action right now? Used by SC-aware schedulers:
+    a busy-waiting process (pending read observing an unhelpful value)
+    answers [false]. *)
+
+val peek_after_read : t -> int -> Step.value -> bool
+(** [peek_after_read t i v] — would process [i], whose pending action must
+    be a [Read], change state upon observing value [v]? This is the paper's
+    [SC(alpha, m, i)] predicate specialised to the current state (Fig. 1,
+    bottom). Raises [Invalid_argument] if [i]'s pending action is not a
+    read. *)
+
+val state_repr : t -> int -> string
+(** [state_repr t i] is [st(alpha, i)] — process [i]'s local state
+    witness. *)
+
+val pending_of : t -> int -> Step.action
+
+val pp : Format.formatter -> t -> unit

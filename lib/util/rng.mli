@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Everything in the reproduction that samples — permutations, schedules,
+    workloads — draws from this generator so that every experiment is
+    reproducible from a seed printed in its header. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Distinct seeds give independent
+    streams for practical purposes. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new independent stream and advances [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0 .. n-1]. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniform element of the non-empty array [arr]. *)

@@ -1,0 +1,91 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let of_array arr = { data = Array.copy arr; len = Array.length arr }
+let of_list l = of_array (Array.of_list l)
+
+let length v = v.len
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap x in
+  Array.blit v.data 0 ndata 0 v.len;
+  v.data <- ndata
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    Some v.data.(v.len)
+  end
+
+let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let append dst src = iter (push dst) src
+
+let fold_left f init v =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let find_opt p v =
+  let rec go i =
+    if i >= v.len then None
+    else if p v.data.(i) then Some v.data.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let to_array v = Array.sub v.data 0 v.len
+let to_list v = Array.to_list (to_array v)
+let copy v = { data = Array.copy v.data; len = v.len }
+let clear v = v.len <- 0
+
+let map f v =
+  let out = create () in
+  iter (fun x -> push out (f x)) v;
+  out
+
+let filter p v =
+  let out = create () in
+  iter (fun x -> if p x then push out x) v;
+  out
+
+let sub v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Vec.sub";
+  { data = Array.sub v.data pos len; len }

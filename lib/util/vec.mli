@@ -1,0 +1,60 @@
+(** A growable array (OCaml 5.1 predates [Dynarray]).
+
+    Used for step sequences and metastep arenas, where executions are built
+    by repeated appends and then scanned many times. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val of_list : 'a list -> 'a t
+
+val of_array : 'a array -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. Raises [Invalid_argument] when out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** Append one element, growing the backing store as needed. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element, if any. *)
+
+val last : 'a t -> 'a option
+
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes all of [src] onto [dst]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val copy : 'a t -> 'a t
+
+val clear : 'a t -> unit
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+val sub : 'a t -> pos:int -> len:int -> 'a t
+(** [sub v ~pos ~len] copies the slice [\[pos, pos+len)]. *)

@@ -1,0 +1,56 @@
+let log2 x = log x /. log 2.0
+
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Xmath.ceil_log2: nonpositive";
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let floor_log2 n =
+  if n <= 0 then invalid_arg "Xmath.floor_log2: nonpositive";
+  let rec go k p = if p * 2 > n || p * 2 <= 0 then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  if n <= 0 then invalid_arg "Xmath.next_power_of_two: nonpositive";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let pow b e =
+  if e < 0 then invalid_arg "Xmath.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e
+
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Xmath.factorial: out of [0,20]";
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+let log2_factorial n =
+  if n < 0 then invalid_arg "Xmath.log2_factorial: negative";
+  let acc = ref 0.0 in
+  for k = 2 to n do
+    acc := !acc +. log2 (float_of_int k)
+  done;
+  !acc
+
+let n_log2_n n = if n <= 1 then 0.0 else float_of_int n *. log2 (float_of_int n)
+
+let harmonic n =
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. float_of_int k)
+  done;
+  !acc
+
+let imin (a : int) (b : int) = if a < b then a else b
+let imax (a : int) (b : int) = if a > b then a else b
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Xmath.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x

@@ -1,0 +1,47 @@
+(** Small numeric helpers used throughout the reproduction.
+
+    All logarithms are base 2 unless the name says otherwise; the
+    information-theoretic content of the paper (number of bits needed to
+    identify one of [n!] executions) is expressed with these functions. *)
+
+val log2 : float -> float
+(** [log2 x] is the base-2 logarithm of [x]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the least [k] with [2^k >= n]. [n] must be positive. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the greatest [k] with [2^k <= n]. [n] must be
+    positive. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] holds iff [n = 2^k] for some [k >= 0]. *)
+
+val next_power_of_two : int -> int
+(** [next_power_of_two n] is the least power of two [>= n], for [n >= 1]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b] raised to [e] ([e >= 0]), without overflow checking. *)
+
+val factorial : int -> int
+(** [factorial n] for [0 <= n <= 20] (fits in a native [int]). *)
+
+val log2_factorial : int -> float
+(** [log2_factorial n] is [log2 (n!)], computed as a sum of logarithms so it
+    is exact enough for any [n] we sweep (no overflow). This is the
+    paper's Omega(n log n) yardstick: a decoder distinguishing [n!] inputs
+    needs some input of at least this many bits. *)
+
+val n_log2_n : int -> float
+(** [n_log2_n n] is [n * log2 n], with [n_log2_n 0 = 0] and
+    [n_log2_n 1 = 0]. *)
+
+val harmonic : int -> float
+(** [harmonic n] is the [n]-th harmonic number [H_n]. *)
+
+val imin : int -> int -> int
+
+val imax : int -> int -> int
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] bounds [x] into [\[lo, hi\]]. Requires [lo <= hi]. *)

@@ -1,0 +1,127 @@
+module Bw = Lb_bitio.Bit_writer
+module Br = Lb_bitio.Bit_reader
+
+let test_single_bits () =
+  let w = Bw.create () in
+  List.iter (Bw.bit w) [ true; false; true; true; false ];
+  Alcotest.(check int) "length" 5 (Bw.length_bits w);
+  let r = Br.of_writer w in
+  Alcotest.(check (list bool))
+    "roundtrip"
+    [ true; false; true; true; false ]
+    (List.init 5 (fun _ -> Br.bit r));
+  Alcotest.(check bool) "at end" true (Br.at_end r)
+
+let test_fixed_width () =
+  let w = Bw.create () in
+  Bw.bits w ~value:0b1011 ~width:4;
+  Bw.bits w ~value:0 ~width:3;
+  Bw.bits w ~value:1 ~width:1;
+  let r = Br.of_writer w in
+  Alcotest.(check int) "first" 0b1011 (Br.bits r ~width:4);
+  Alcotest.(check int) "second" 0 (Br.bits r ~width:3);
+  Alcotest.(check int) "third" 1 (Br.bits r ~width:1)
+
+let test_width_checks () =
+  let w = Bw.create () in
+  Alcotest.check_raises "value too large"
+    (Invalid_argument "Bit_writer.bits: value out of range") (fun () ->
+      Bw.bits w ~value:8 ~width:3);
+  Alcotest.check_raises "negative width" (Invalid_argument "Bit_writer.bits: width")
+    (fun () -> Bw.bits w ~value:0 ~width:(-1))
+
+let test_gamma_known () =
+  (* gamma(1) = "1", gamma(2) = "010", gamma(5) = "00101" *)
+  let bits_of n =
+    let w = Bw.create () in
+    Bw.gamma w n;
+    Array.to_list (Bw.to_bool_array w)
+  in
+  Alcotest.(check (list bool)) "gamma 1" [ true ] (bits_of 1);
+  Alcotest.(check (list bool)) "gamma 2" [ false; true; false ] (bits_of 2);
+  Alcotest.(check (list bool))
+    "gamma 5"
+    [ false; false; true; false; true ]
+    (bits_of 5)
+
+let test_gamma_lengths () =
+  List.iter
+    (fun n ->
+      let w = Bw.create () in
+      Bw.gamma w n;
+      Alcotest.(check int)
+        (Printf.sprintf "gamma length %d" n)
+        ((2 * Lb_util.Xmath.floor_log2 n) + 1)
+        (Bw.length_bits w))
+    [ 1; 2; 3; 4; 7; 8; 100; 1000 ]
+
+let test_exhausted () =
+  let w = Bw.create () in
+  Bw.bit w true;
+  let r = Br.of_writer w in
+  ignore (Br.bit r);
+  Alcotest.check_raises "exhausted" Br.Exhausted (fun () -> ignore (Br.bit r))
+
+let test_to_bytes_padding () =
+  let w = Bw.create () in
+  Bw.bits w ~value:0b101 ~width:3;
+  let b = Bw.to_bytes w in
+  Alcotest.(check int) "one byte" 1 (Bytes.length b);
+  Alcotest.(check int) "msb-first padded" 0b10100000 (Char.code (Bytes.get b 0))
+
+let gamma_roundtrip =
+  QCheck.Test.make ~name:"gamma roundtrip" ~count:500
+    QCheck.(list (int_range 1 1_000_000))
+    (fun xs ->
+      let w = Bw.create () in
+      List.iter (Bw.gamma w) xs;
+      let r = Br.of_writer w in
+      let ys = List.map (fun _ -> Br.gamma r) xs in
+      ys = xs && Br.at_end r)
+
+let gamma0_roundtrip =
+  QCheck.Test.make ~name:"gamma0 roundtrip" ~count:500
+    QCheck.(list (int_range 0 1_000_000))
+    (fun xs ->
+      let w = Bw.create () in
+      List.iter (Bw.gamma0 w) xs;
+      let r = Br.of_writer w in
+      List.map (fun _ -> Br.gamma0 r) xs = xs)
+
+let mixed_roundtrip =
+  QCheck.Test.make ~name:"mixed fields roundtrip" ~count:300
+    QCheck.(list (pair (int_range 0 255) (int_range 1 1000)))
+    (fun xs ->
+      let w = Bw.create () in
+      List.iter
+        (fun (a, b) ->
+          Bw.bits w ~value:a ~width:8;
+          Bw.gamma w b)
+        xs;
+      let r = Br.of_writer w in
+      List.for_all
+        (fun (a, b) -> Br.bits r ~width:8 = a && Br.gamma r = b)
+        xs)
+
+let bool_array_roundtrip =
+  QCheck.Test.make ~name:"to_bool_array matches bit sequence" ~count:300
+    QCheck.(list bool)
+    (fun bs ->
+      let w = Bw.create () in
+      List.iter (Bw.bit w) bs;
+      Array.to_list (Bw.to_bool_array w) = bs)
+
+let suite =
+  [
+    Alcotest.test_case "single bits" `Quick test_single_bits;
+    Alcotest.test_case "fixed width" `Quick test_fixed_width;
+    Alcotest.test_case "width checks" `Quick test_width_checks;
+    Alcotest.test_case "gamma known codes" `Quick test_gamma_known;
+    Alcotest.test_case "gamma lengths" `Quick test_gamma_lengths;
+    Alcotest.test_case "exhausted" `Quick test_exhausted;
+    Alcotest.test_case "to_bytes padding" `Quick test_to_bytes_padding;
+    QCheck_alcotest.to_alcotest gamma_roundtrip;
+    QCheck_alcotest.to_alcotest gamma0_roundtrip;
+    QCheck_alcotest.to_alcotest mixed_roundtrip;
+    QCheck_alcotest.to_alcotest bool_array_roundtrip;
+  ]

@@ -1,0 +1,118 @@
+(* End-to-end tests of the mutexlb binary itself: every subcommand runs,
+   exit codes carry the verdicts, and the save/decode round trip works
+   through real files. The binary is a declared dune dependency, available
+   relative to the test's working directory (_build/default/test). *)
+
+let exe = "../bin/mutexlb.exe"
+
+let run_cmd args =
+  let out = Filename.temp_file "mutexlb_cli" ".out" in
+  let status =
+    Sys.command (Printf.sprintf "%s %s > %s 2>&1" exe args (Filename.quote out))
+  in
+  let content = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (status, content)
+
+let check_runs label args expect =
+  let status, content = run_cmd args in
+  Alcotest.(check int) (label ^ " exit code") expect status;
+  (status, content)
+
+let test_list () =
+  let _, out = check_runs "list" "list" 0 in
+  Alcotest.(check bool) "mentions ya" true
+    (Astring_contains.contains out "yang_anderson");
+  Alcotest.(check bool) "mentions broken" true
+    (Astring_contains.contains out "broken_spinlock")
+
+let test_run () =
+  let _, out = check_runs "run" "run -a bakery -n 3 -s rr" 0 in
+  Alcotest.(check bool) "has costs" true (Astring_contains.contains out "sc=")
+
+let test_check_verified () =
+  ignore (check_runs "check ok" "check -a peterson2 -n 2" 0)
+
+let test_check_broken () =
+  let _, out = check_runs "check broken" "check -a broken_spinlock -n 2" 1 in
+  Alcotest.(check bool) "witness shown" true
+    (Astring_contains.contains out "MUTEX VIOLATION")
+
+let test_check_flat_ya () =
+  let _, out = check_runs "check flat ya" "check -a yang_anderson_flat -n 3" 1 in
+  Alcotest.(check bool) "deadlock found" true
+    (Astring_contains.contains out "DEADLOCK")
+
+let test_pipeline_and_decode () =
+  let bits = Filename.temp_file "mutexlb_cli" ".bits" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bits)
+    (fun () ->
+      let _, out =
+        check_runs "pipeline"
+          (Printf.sprintf "pipeline -a yang_anderson -n 4 -p 2,0,3,1 --save %s" bits)
+          0
+      in
+      Alcotest.(check bool) "checks passed" true
+        (Astring_contains.contains out "all passed");
+      let _, out = check_runs "decode" (Printf.sprintf "decode %s" bits) 0 in
+      Alcotest.(check bool) "same enter order" true
+        (Astring_contains.contains out "2 0 3 1"))
+
+let test_construct_dot () =
+  let dot = Filename.temp_file "mutexlb_cli" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove dot)
+    (fun () ->
+      ignore
+        (check_runs "construct"
+           (Printf.sprintf "construct -a bakery -n 3 -p 1,2,0 --dot %s" dot)
+           0);
+      let content = In_channel.with_open_text dot In_channel.input_all in
+      Alcotest.(check bool) "dot file" true
+        (Astring_contains.contains content "digraph"))
+
+let test_certify () =
+  let _, out = check_runs "certify" "certify -a yang_anderson -n 4 --perms 24" 0 in
+  Alcotest.(check bool) "distinct" true
+    (Astring_contains.contains out "distinct decodes: true")
+
+let test_workload () =
+  let _, out =
+    check_runs "workload" "workload -a ticket -n 4 --pattern staggered:50" 0
+  in
+  Alcotest.(check bool) "per-section" true
+    (Astring_contains.contains out "per section")
+
+let test_adversary () =
+  let _, out = check_runs "adversary" "adversary -a bakery -n 4 --tries 4" 0 in
+  Alcotest.(check bool) "best" true (Astring_contains.contains out "adversary best")
+
+let test_experiments_only () =
+  let _, out = check_runs "experiments" "experiments --only E12" 0 in
+  Alcotest.(check bool) "table" true (Astring_contains.contains out "Burns-Lynch")
+
+let test_unknown_algo () =
+  let status, _ = run_cmd "run -a nonsense -n 2" in
+  Alcotest.(check int) "exit 2" 2 status
+
+let test_bad_perm () =
+  let status, _ = run_cmd "pipeline -a bakery -n 3 -p 0,1" in
+  Alcotest.(check int) "exit 2" 2 status
+
+let suite =
+  [
+    Alcotest.test_case "list" `Quick test_list;
+    Alcotest.test_case "run" `Quick test_run;
+    Alcotest.test_case "check verified" `Quick test_check_verified;
+    Alcotest.test_case "check broken" `Quick test_check_broken;
+    Alcotest.test_case "check flat ya" `Slow test_check_flat_ya;
+    Alcotest.test_case "pipeline + decode roundtrip" `Quick test_pipeline_and_decode;
+    Alcotest.test_case "construct --dot" `Quick test_construct_dot;
+    Alcotest.test_case "certify" `Quick test_certify;
+    Alcotest.test_case "workload" `Quick test_workload;
+    Alcotest.test_case "adversary" `Quick test_adversary;
+    Alcotest.test_case "experiments --only" `Quick test_experiments_only;
+    Alcotest.test_case "unknown algorithm" `Quick test_unknown_algo;
+    Alcotest.test_case "bad permutation" `Quick test_bad_perm;
+  ]

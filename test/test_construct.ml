@@ -1,0 +1,246 @@
+open Lb_shmem
+module C = Lb_core.Construct
+module P = Lb_core.Permutation
+module V = Lb_core.Verify
+module L = Lb_core.Linearize
+
+let ya = Lb_algos.Yang_anderson.algorithm
+let bakery = Lb_algos.Bakery.algorithm
+let burns = Lb_algos.Burns.algorithm
+
+let check_ok label = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+let run_all_checks algo n pi =
+  let c = C.run algo ~n pi in
+  List.iter (fun (label, r) -> check_ok label r) (V.all c)
+
+let verify_cases =
+  List.concat_map
+    (fun (algo : Algorithm.t) ->
+      List.map
+        (fun n ->
+          Alcotest.test_case
+            (Printf.sprintf "invariants %s n=%d" algo.Algorithm.name n)
+            `Quick
+            (fun () ->
+              List.iter (run_all_checks algo n)
+                (if n <= 3 then P.all n else [ P.identity n; P.reverse n ])))
+        [ 1; 2; 3; 5 ])
+    [ ya; bakery; burns; Lb_algos.Filter.algorithm; Lb_algos.Tournament.algorithm ]
+
+let test_solo_construction () =
+  (* n=1: the construction is a solo run of p0 *)
+  let c = C.run ya ~n:1 (P.identity 1) in
+  let exec = L.execution c in
+  Alcotest.(check (list int)) "enter order" [ 0 ] (Execution.crit_order exec);
+  (* every metastep contains exactly p0 *)
+  Lb_core.Metastep.iter c.C.arena (fun m ->
+      Alcotest.(check (list int)) "only p0" [ 0 ] (Lb_core.Metastep.own m))
+
+let test_stage_order_is_pi () =
+  List.iter
+    (fun pi ->
+      let c = C.run ya ~n:4 pi in
+      let exec = L.execution c in
+      Alcotest.(check (list int)) "CS order is pi"
+        (Array.to_list (P.to_array pi))
+        (Execution.crit_order exec))
+    (P.all 4)
+
+let test_all_perms_distinct_executions () =
+  let fps =
+    List.map
+      (fun pi -> Execution.fingerprint (L.execution (C.run ya ~n:4 pi)))
+      (P.all 4)
+  in
+  Alcotest.(check int) "24 distinct canonical executions" 24
+    (List.length (List.sort_uniq compare fps))
+
+let test_invisibility () =
+  (* the definitive invisibility check: in the canonical linearization, a
+     process never READS a value written by a higher-pi-indexed process.
+     We replay and track who wrote each register's current value. *)
+  let check algo n pi =
+    let c = C.run algo ~n pi in
+    let exec = L.execution c in
+    let nregs = Array.length (algo.Algorithm.registers ~n) in
+    let last_writer = Array.make nregs (-1) in
+    let sys = System.init algo ~n in
+    Lb_util.Vec.iter
+      (fun (s : Step.t) ->
+        (match s.Step.action with
+        | Step.Read reg ->
+          let writer = last_writer.(reg) in
+          if writer >= 0 && not (P.lower_or_equal pi writer s.Step.who) then
+            Alcotest.failf "p%d read a value written by later process p%d"
+              s.Step.who writer
+        | Step.Write (reg, _) -> last_writer.(reg) <- s.Step.who
+        | Step.Rmw _ | Step.Crit _ -> ());
+        ignore (System.apply sys s))
+      exec
+  in
+  List.iter
+    (fun pi -> check ya 4 pi)
+    (P.all 4);
+  List.iter (fun pi -> check bakery 3 pi) (P.all 3)
+
+let test_write_chain_contents () =
+  let c = C.run bakery ~n:3 (P.reverse 3) in
+  (* every write metastep appears in exactly one chain, at its register *)
+  let in_chain = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun reg arr ->
+      Array.iter
+        (fun id ->
+          Alcotest.(check bool) "no duplicate chain membership" false
+            (Hashtbl.mem in_chain id);
+          Hashtbl.replace in_chain id ();
+          let m = Lb_core.Metastep.get c.C.arena id in
+          Alcotest.(check int) "chain register" reg m.Lb_core.Metastep.reg)
+        arr)
+    c.C.write_chain;
+  Lb_core.Metastep.iter c.C.arena (fun m ->
+      if m.Lb_core.Metastep.kind = Lb_core.Metastep.Write_meta then
+        Alcotest.(check bool) "write metastep in a chain" true
+          (Hashtbl.mem in_chain m.Lb_core.Metastep.id))
+
+let test_proc_meta_complete () =
+  let n = 3 in
+  let c = C.run ya ~n (P.identity n) in
+  (* each process's chain covers exactly the metasteps containing it *)
+  for i = 0 to n - 1 do
+    let chain = C.metasteps_of c i in
+    let from_arena = ref [] in
+    Lb_core.Metastep.iter c.C.arena (fun m ->
+        if Lb_core.Metastep.contains m i then
+          from_arena := m.Lb_core.Metastep.id :: !from_arena);
+    Alcotest.(check (list int))
+      (Printf.sprintf "chain of p%d" i)
+      (List.sort compare (Array.to_list chain))
+      (List.sort compare !from_arena)
+  done
+
+let test_pc () =
+  let c = C.run ya ~n:2 (P.identity 2) in
+  let chain = C.metasteps_of c 0 in
+  Alcotest.(check int) "first metastep is Pc 1" 1 (C.pc c 0 chain.(0));
+  Alcotest.(check int) "last metastep" (Array.length chain)
+    (C.pc c 0 chain.(Array.length chain - 1));
+  match C.pc c 0 (-1) with
+  | _ -> Alcotest.fail "found bogus metastep"
+  | exception Not_found -> ()
+
+let test_rejects_rmw () =
+  match C.run Lb_algos.Rmw_locks.ticket ~n:2 (P.identity 2) with
+  | _ -> Alcotest.fail "rmw algorithm accepted"
+  | exception C.Unsupported_primitive _ -> ()
+
+let test_rejects_bad_n () =
+  (match C.run ya ~n:2 (P.identity 3) with
+  | _ -> Alcotest.fail "size mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  match C.run Lb_algos.Peterson2.algorithm ~n:3 (P.identity 3) with
+  | _ -> Alcotest.fail "unsupported n accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_linearization_replays () =
+  (* replaying the canonical linearization validates every step against
+     the automata -- run across algorithms and permutations *)
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      List.iter
+        (fun pi ->
+          let c = C.run algo ~n:3 pi in
+          ignore (Execution.replay algo ~n:3 (L.execution c)))
+        (P.all 3))
+    [ ya; bakery; burns ]
+
+let test_random_linearizations_replay () =
+  let rng = Lb_util.Rng.create 17 in
+  let c = C.run bakery ~n:4 (P.reverse 4) in
+  for _ = 1 to 10 do
+    let exec = L.random_execution rng c in
+    ignore (Execution.replay bakery ~n:4 exec);
+    match Lb_mutex.Checker.check ~n:4 exec with
+    | Ok () -> ()
+    | Error v -> Alcotest.fail (Lb_mutex.Checker.violation_to_string v)
+  done
+
+let test_lemma_5_4_across_stages () =
+  (* Lemma 5.4 verbatim: for stages i <= j <= k, the projection of the
+     stage-i process is identical in linearizations of (M_j, ⪯_j) and
+     (M_k, ⪯_k) — later stages never disturb what earlier processes
+     experienced *)
+  List.iter
+    (fun (algo : Algorithm.t) ->
+      let n = 4 in
+      List.iter
+        (fun pi ->
+          let lins =
+            List.init n (fun j ->
+                L.execution (C.run_stages algo ~n ~stages:(j + 1) pi))
+          in
+          for i = 0 to n - 1 do
+            let p = P.process_at pi i in
+            let reference = Execution.projection (List.nth lins (n - 1)) p in
+            for j = i to n - 2 do
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: stage %d proj of p%d at j=%d"
+                   algo.Algorithm.name i p j)
+                true
+                (List.equal Step.equal
+                   (Execution.projection (List.nth lins j) p)
+                   reference)
+            done
+          done)
+        [ P.identity 4; P.reverse 4; P.of_array [| 2; 0; 3; 1 |] ])
+    [ ya; bakery; burns ]
+
+let test_run_stages_partial () =
+  (* only the first k processes of pi appear in a k-stage construction *)
+  let pi = P.of_array [| 2; 0; 1 |] in
+  let c = C.run_stages ya ~n:3 ~stages:2 pi in
+  let exec = L.execution c in
+  Alcotest.(check (list int)) "only stages 0,1 enter" [ 2; 0 ]
+    (Execution.crit_order exec);
+  Alcotest.(check int) "p1 has no metasteps" 0
+    (Array.length (C.metasteps_of c 1))
+
+let test_metastep_order_is_topo () =
+  let c = C.run ya ~n:3 (P.identity 3) in
+  let order = L.metastep_order c in
+  Alcotest.(check int) "covers all metasteps"
+    (Lb_core.Metastep.count c.C.arena)
+    (List.length order);
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace pos id i) order;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Lb_core.Poset.leq c.C.order a b && a <> b then
+            Alcotest.(check bool) "respects poset" true
+              (Hashtbl.find pos a < Hashtbl.find pos b))
+        order)
+    order
+
+let suite =
+  verify_cases
+  @ [
+      Alcotest.test_case "solo construction" `Quick test_solo_construction;
+      Alcotest.test_case "CS order = pi (all S4)" `Quick test_stage_order_is_pi;
+      Alcotest.test_case "distinct executions" `Quick test_all_perms_distinct_executions;
+      Alcotest.test_case "invisibility of later processes" `Quick test_invisibility;
+      Alcotest.test_case "write chain contents" `Quick test_write_chain_contents;
+      Alcotest.test_case "proc_meta complete" `Quick test_proc_meta_complete;
+      Alcotest.test_case "pc positions" `Quick test_pc;
+      Alcotest.test_case "rejects rmw" `Quick test_rejects_rmw;
+      Alcotest.test_case "rejects bad n" `Quick test_rejects_bad_n;
+      Alcotest.test_case "linearizations replay" `Quick test_linearization_replays;
+      Alcotest.test_case "random linearizations replay" `Quick test_random_linearizations_replay;
+      Alcotest.test_case "Lemma 5.4 across stages" `Quick test_lemma_5_4_across_stages;
+      Alcotest.test_case "run_stages partial" `Quick test_run_stages_partial;
+      Alcotest.test_case "metastep order is topological" `Quick test_metastep_order_is_topo;
+    ]

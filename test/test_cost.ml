@@ -1,0 +1,199 @@
+open Lb_shmem
+
+let step = Step.step
+
+(* A two-process hand-built scenario on the toy-like automata is awkward;
+   instead we use real algorithms whose canonical executions we can reason
+   about exactly. *)
+
+let ya = Lb_algos.Yang_anderson.algorithm
+let bakery = Lb_algos.Bakery.algorithm
+let ticket = Lb_algos.Rmw_locks.ticket
+
+let greedy algo n = (Lb_mutex.Canonical.run algo ~n).Lb_mutex.Canonical.exec
+
+(* ------------------------------ SC model ----------------------------- *)
+
+let test_sc_counts_all_solo_accesses () =
+  (* a solo (n=1) execution has no busy-waiting, so SC = #shared accesses *)
+  let exec = greedy ya 1 in
+  let b = Lb_cost.Accounting.breakdown ya ~n:1 exec in
+  Alcotest.(check int) "sc = accesses" b.Lb_cost.Accounting.shared_accesses
+    b.Lb_cost.Accounting.sc
+
+let test_sc_discounts_spins () =
+  (* under round-robin, YA processes spin; SC must not charge the
+     state-preserving reads *)
+  let n = 4 in
+  let exec = (Lb_mutex.Canonical.run_round_robin ya ~n).Lb_mutex.Canonical.exec in
+  let b = Lb_cost.Accounting.breakdown ya ~n exec in
+  Alcotest.(check bool) "spins exist" true
+    (b.Lb_cost.Accounting.shared_accesses > b.Lb_cost.Accounting.sc);
+  (* and the charged steps are exactly the state-changing shared accesses *)
+  let charged = Lb_cost.State_change.charged_steps ya ~n exec in
+  let recomputed = Array.fold_left (fun a c -> if c then a + 1 else a) 0 charged in
+  Alcotest.(check int) "charged_steps sums to cost" b.Lb_cost.Accounting.sc recomputed
+
+let test_sc_per_process_sums () =
+  let n = 5 in
+  let exec = greedy bakery n in
+  let per = Lb_cost.State_change.per_process bakery ~n exec in
+  Alcotest.(check int) "sum = total"
+    (Lb_cost.State_change.cost bakery ~n exec)
+    (Array.fold_left ( + ) 0 per);
+  Array.iteri
+    (fun i c -> if c <= 0 then Alcotest.failf "p%d charged nothing" i)
+    per
+
+let test_sc_writes_always_charged () =
+  let n = 3 in
+  let exec = greedy ya n in
+  let charged = Lb_cost.State_change.charged_steps ya ~n exec in
+  List.iteri
+    (fun i (s : Step.t) ->
+      match s.Step.action with
+      | Step.Write _ ->
+        if not charged.(i) then Alcotest.failf "write at %d uncharged" i
+      | Step.Read _ | Step.Rmw _ | Step.Crit _ -> ())
+    (Execution.steps exec)
+
+let test_sc_crit_free () =
+  let n = 2 in
+  let exec = greedy ya n in
+  let charged = Lb_cost.State_change.charged_steps ya ~n exec in
+  List.iteri
+    (fun i (s : Step.t) ->
+      match s.Step.action with
+      | Step.Crit _ -> if charged.(i) then Alcotest.failf "crit at %d charged" i
+      | Step.Read _ | Step.Write _ | Step.Rmw _ -> ())
+    (Execution.steps exec)
+
+(* ------------------------------ CC model ----------------------------- *)
+
+let test_cc_read_caching () =
+  (* ticket lock: the spin on [serving] misses once, then hits until the
+     holder bumps it *)
+  let n = 3 in
+  let exec = (Lb_mutex.Canonical.run_round_robin ticket ~n).Lb_mutex.Canonical.exec in
+  let stats = Lb_cost.Cache_coherent.stats ticket ~n exec in
+  Alcotest.(check bool) "some hits" true (stats.Lb_cost.Cache_coherent.read_hits > 0);
+  Alcotest.(check bool) "some invalidations" true
+    (stats.Lb_cost.Cache_coherent.invalidations > 0)
+
+let test_cc_cost_decomposition () =
+  let n = 3 in
+  let exec = (Lb_mutex.Canonical.run_round_robin ya ~n).Lb_mutex.Canonical.exec in
+  let stats = Lb_cost.Cache_coherent.stats ya ~n exec in
+  let cost = Lb_cost.Cache_coherent.cost ya ~n exec in
+  Alcotest.(check int) "cost = misses + writes" cost
+    (stats.Lb_cost.Cache_coherent.read_misses + stats.Lb_cost.Cache_coherent.writes)
+
+let test_cc_solo_sequence () =
+  (* one process alone: first read of each register misses, repeats hit *)
+  let exec = greedy ya 1 in
+  let stats = Lb_cost.Cache_coherent.stats ya ~n:1 exec in
+  Alcotest.(check int) "no invalidations solo" 0 stats.Lb_cost.Cache_coherent.invalidations
+
+let test_cc_leq_raw () =
+  List.iter
+    (fun n ->
+      let exec = (Lb_mutex.Canonical.run_round_robin ya ~n).Lb_mutex.Canonical.exec in
+      let b = Lb_cost.Accounting.breakdown ya ~n exec in
+      Alcotest.(check bool) "cc <= raw accesses" true
+        (b.Lb_cost.Accounting.cc <= b.Lb_cost.Accounting.shared_accesses))
+    [ 1; 2; 4 ]
+
+(* ------------------------------ DSM model ---------------------------- *)
+
+let test_dsm_local_spins_free () =
+  (* Yang-Anderson's P registers are homed: a process's own-spin reads are
+     free, so DSM < raw under contention *)
+  let n = 4 in
+  let exec = (Lb_mutex.Canonical.run_round_robin ya ~n).Lb_mutex.Canonical.exec in
+  let b = Lb_cost.Accounting.breakdown ya ~n exec in
+  Alcotest.(check bool) "dsm < raw" true
+    (b.Lb_cost.Accounting.dsm < b.Lb_cost.Accounting.shared_accesses)
+
+let test_dsm_unhomed_always_remote () =
+  (* peterson2's registers have no homes: every access is remote *)
+  let p2 = Lb_algos.Peterson2.algorithm in
+  let exec = greedy p2 2 in
+  let b = Lb_cost.Accounting.breakdown p2 ~n:2 exec in
+  Alcotest.(check int) "dsm = raw" b.Lb_cost.Accounting.shared_accesses
+    b.Lb_cost.Accounting.dsm;
+  Alcotest.(check (float 1e-9)) "remote fraction 1" 1.0
+    (Lb_cost.Dsm.remote_fraction p2 ~n:2 exec)
+
+let test_dsm_per_process_sums () =
+  let n = 4 in
+  let exec = greedy bakery n in
+  let per = Lb_cost.Dsm.per_process bakery ~n exec in
+  Alcotest.(check int) "sum = total" (Lb_cost.Dsm.cost bakery ~n exec)
+    (Array.fold_left ( + ) 0 per)
+
+(* ---------------------------- Accounting ----------------------------- *)
+
+let test_breakdown_consistency () =
+  let n = 3 in
+  let exec = greedy bakery n in
+  let b = Lb_cost.Accounting.breakdown bakery ~n exec in
+  Alcotest.(check int) "steps" (Execution.length exec) b.Lb_cost.Accounting.steps;
+  Alcotest.(check int) "accesses = r+w+rmw" b.Lb_cost.Accounting.shared_accesses
+    (b.Lb_cost.Accounting.reads + b.Lb_cost.Accounting.writes + b.Lb_cost.Accounting.rmws);
+  Alcotest.(check int) "steps = accesses + crit" b.Lb_cost.Accounting.steps
+    (b.Lb_cost.Accounting.shared_accesses + b.Lb_cost.Accounting.crits)
+
+let test_measure_models () =
+  let n = 2 in
+  let exec = greedy ya n in
+  let b = Lb_cost.Accounting.breakdown ya ~n exec in
+  List.iter
+    (fun (model, expected) ->
+      Alcotest.(check int)
+        (Lb_cost.Accounting.model_name model)
+        expected
+        (Lb_cost.Accounting.measure model ya ~n exec))
+    [
+      (Lb_cost.Accounting.Sc, b.Lb_cost.Accounting.sc);
+      (Lb_cost.Accounting.Cc, b.Lb_cost.Accounting.cc);
+      (Lb_cost.Accounting.Dsm_model, b.Lb_cost.Accounting.dsm);
+      (Lb_cost.Accounting.Raw, b.Lb_cost.Accounting.shared_accesses);
+    ]
+
+let test_sc_leq_cc_on_greedy () =
+  (* on spin-free (greedy canonical) executions every read changes state,
+     so SC = raw >= CC; check the relationship explicitly *)
+  List.iter
+    (fun n ->
+      let exec = greedy ya n in
+      let b = Lb_cost.Accounting.breakdown ya ~n exec in
+      Alcotest.(check int) "sc = raw on greedy" b.Lb_cost.Accounting.shared_accesses
+        b.Lb_cost.Accounting.sc)
+    [ 2; 4; 8 ]
+
+let test_rmw_counted () =
+  let exec = greedy ticket 2 in
+  let b = Lb_cost.Accounting.breakdown ticket ~n:2 exec in
+  Alcotest.(check int) "two rmws (one per process)" 2 b.Lb_cost.Accounting.rmws
+
+let _ = step
+
+let suite =
+  [
+    Alcotest.test_case "sc: solo = accesses" `Quick test_sc_counts_all_solo_accesses;
+    Alcotest.test_case "sc: discounts spins" `Quick test_sc_discounts_spins;
+    Alcotest.test_case "sc: per-process sums" `Quick test_sc_per_process_sums;
+    Alcotest.test_case "sc: writes charged" `Quick test_sc_writes_always_charged;
+    Alcotest.test_case "sc: crit free" `Quick test_sc_crit_free;
+    Alcotest.test_case "cc: read caching" `Quick test_cc_read_caching;
+    Alcotest.test_case "cc: cost decomposition" `Quick test_cc_cost_decomposition;
+    Alcotest.test_case "cc: solo no invalidations" `Quick test_cc_solo_sequence;
+    Alcotest.test_case "cc: bounded by raw" `Quick test_cc_leq_raw;
+    Alcotest.test_case "dsm: local spins free" `Quick test_dsm_local_spins_free;
+    Alcotest.test_case "dsm: unhomed remote" `Quick test_dsm_unhomed_always_remote;
+    Alcotest.test_case "dsm: per-process sums" `Quick test_dsm_per_process_sums;
+    Alcotest.test_case "accounting breakdown" `Quick test_breakdown_consistency;
+    Alcotest.test_case "accounting measure" `Quick test_measure_models;
+    Alcotest.test_case "sc = raw on greedy" `Quick test_sc_leq_cc_on_greedy;
+    Alcotest.test_case "rmw counted" `Quick test_rmw_counted;
+  ]

@@ -1,0 +1,133 @@
+(* Smoke tests for the experiment drivers: each must produce a non-empty
+   table on reduced parameters, and the quantitative claims each table
+   demonstrates are re-asserted on its cells where cheap. *)
+
+let contains = Astring_contains.contains
+
+let render t = Lb_util.Table.render t
+
+let test_e1 () =
+  let t =
+    Lb_exp.E1_lower_bound.table ~seed:1 ~budget:6
+      ~algos:[ Lb_algos.Yang_anderson.algorithm ]
+      ~ns:[ 2; 3 ] ()
+  in
+  let s = render t in
+  Alcotest.(check bool) "mentions algo" true (contains s "yang_anderson");
+  Alcotest.(check bool) "exhaustive at n=3" true (contains s "yes");
+  Alcotest.(check bool) "no distinctness failure" false (contains s "NO!")
+
+let test_e2 () =
+  let t =
+    Lb_exp.E2_encoding_ratio.table ~seed:1 ~budget:4
+      ~algos:[ Lb_algos.Bakery.algorithm ]
+      ~ns:[ 2; 4 ] ()
+  in
+  Alcotest.(check bool) "has rows" true (contains (render t) "bakery")
+
+let test_e3 () =
+  let t = Lb_exp.E3_tightness.table ~ns:[ 2; 4; 8 ] () in
+  let s = render t in
+  (* cost = 6 n levels appears verbatim for n=8: 144 *)
+  Alcotest.(check bool) "6*8*3" true (contains s "144")
+
+let test_e4 () =
+  let t =
+    Lb_exp.E4_algorithms.table ~ns:[ 2; 4 ]
+      ~algos:[ Lb_algos.Yang_anderson.algorithm; Lb_algos.Bakery.algorithm ]
+      ()
+  in
+  let s = render t in
+  Alcotest.(check bool) "sequential row" true (contains s "sequential");
+  Alcotest.(check bool) "contended row" true (contains s "contended-rr")
+
+let test_e5 () =
+  let t =
+    Lb_exp.E5_anatomy.table ~seed:1
+      ~algos:[ Lb_algos.Yang_anderson.algorithm ]
+      ~ns:[ 4 ] ()
+  in
+  Alcotest.(check bool) "has signature column" true (contains (render t) "sig bits")
+
+let test_e6 () =
+  let t = Lb_exp.E6_cost_models.table ~n:4 ~algos:[ Lb_algos.Rmw_locks.ticket ] () in
+  Alcotest.(check bool) "has ticket" true (contains (render t) "ticket")
+
+let test_e7 () =
+  let t = Lb_exp.E7_injectivity.table ~max_n:3 ~algo:Lb_algos.Yang_anderson.algorithm () in
+  let s = render t in
+  Alcotest.(check bool) "2/2" true (contains s "2/2");
+  Alcotest.(check bool) "6/6" true (contains s "6/6")
+
+let test_e8_divergence () =
+  (* the quantitative claim: raw grows with the budget, SC does not *)
+  let t =
+    Lb_exp.E8_unbounded.table ~n:4 ~budgets:[ 0; 512 ]
+      ~algo:Lb_algos.Yang_anderson.algorithm ()
+  in
+  ignore (render t);
+  let run budget =
+    let exec =
+      Lb_exp.E8_unbounded.run_with_budget Lb_algos.Yang_anderson.algorithm ~n:4
+        ~spin_budget:budget
+    in
+    Lb_cost.Accounting.breakdown Lb_algos.Yang_anderson.algorithm ~n:4 exec
+  in
+  let b0 = run 0 and b1 = run 2048 in
+  Alcotest.(check bool) "raw diverges" true
+    (b1.Lb_cost.Accounting.shared_accesses
+    > b0.Lb_cost.Accounting.shared_accesses + 1000);
+  Alcotest.(check bool) "sc bounded" true
+    (abs (b1.Lb_cost.Accounting.sc - b0.Lb_cost.Accounting.sc) < 32)
+
+let test_e11 () =
+  let t =
+    Lb_exp.E11_cc_direction.table ~seed:1
+      ~algos:[ Lb_algos.Yang_anderson.algorithm ]
+      ~ns:[ 4; 8 ] ()
+  in
+  Alcotest.(check bool) "has CC column" true (contains (render t) "CC/SC")
+
+let test_e12 () =
+  let t =
+    Lb_exp.E12_space.table ~ns:[ 2; 4; 8; 16; 32; 64; 128 ]
+      ~algos:[ Lb_algos.Burns.algorithm; Lb_algos.Yang_anderson.algorithm ]
+      ()
+  in
+  let s = render t in
+  (* burns uses exactly n registers (Burns-Lynch optimal) and the
+     classifier must call yang_anderson's space n log n *)
+  Alcotest.(check bool) "burns row" true (contains s "burns");
+  Alcotest.(check bool) "ya n log n" true (contains s "Theta(n log n)")
+
+let test_experiment_ids () =
+  Alcotest.(check (list string)) "ids"
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13" ]
+    (List.map fst Lb_exp.Exp_all.experiments)
+
+let test_perms_for () =
+  let perms, exhaustive = Lb_exp.Exp_common.perms_for ~seed:1 ~n:3 ~budget:24 in
+  Alcotest.(check bool) "exhaustive small" true exhaustive;
+  Alcotest.(check int) "all 6" 6 (List.length perms);
+  let perms, exhaustive = Lb_exp.Exp_common.perms_for ~seed:1 ~n:9 ~budget:10 in
+  Alcotest.(check bool) "sampled large" false exhaustive;
+  Alcotest.(check int) "10 sampled" 10 (List.length perms);
+  Alcotest.(check int) "distinct" 10
+    (List.length
+       (List.sort_uniq compare (List.map Lb_core.Permutation.to_array perms)))
+
+let suite =
+  [
+    Alcotest.test_case "E1 table" `Quick test_e1;
+    Alcotest.test_case "E2 table" `Quick test_e2;
+    Alcotest.test_case "E3 table" `Quick test_e3;
+    Alcotest.test_case "E4 table" `Quick test_e4;
+    Alcotest.test_case "E5 table" `Quick test_e5;
+    Alcotest.test_case "E6 table" `Quick test_e6;
+    Alcotest.test_case "E7 table" `Quick test_e7;
+    Alcotest.test_case "E8 divergence" `Quick test_e8_divergence;
+    Alcotest.test_case "E11 table" `Quick test_e11;
+    Alcotest.test_case "E12 table" `Quick test_e12;
+    Alcotest.test_case "experiment ids" `Quick test_experiment_ids;
+    Alcotest.test_case "perms_for" `Quick test_perms_for;
+  ]

@@ -1,0 +1,131 @@
+open Lb_shmem
+module F = Lb_mutex.Fairness
+
+let step = Step.step
+let crit who c = step who (Step.Crit c)
+
+let test_empty () =
+  let r = F.analyze ~n:2 (Execution.create ()) in
+  Alcotest.(check int) "entries" 0 r.F.entries;
+  Alcotest.(check int) "overtakes" 0 r.F.overtakes
+
+let test_sequential_is_fair () =
+  let cycle who =
+    [ crit who Step.Try; crit who Step.Enter; crit who Step.Exit; crit who Step.Rem ]
+  in
+  let exec = Execution.of_steps (cycle 0 @ cycle 1 @ cycle 2) in
+  let r = F.analyze ~arrival:`Try ~n:3 exec in
+  Alcotest.(check int) "entries" 3 r.F.entries;
+  Alcotest.(check int) "no overtakes" 0 r.F.overtakes;
+  Alcotest.(check bool) "fifo" true (F.fifo ~arrival:`Try ~n:3 exec)
+
+let test_hand_built_overtake () =
+  (* p0 tries first, p1 tries later but enters first: one overtake, p0
+     bypassed once *)
+  let exec =
+    Execution.of_steps
+      [
+        crit 0 Step.Try;
+        crit 1 Step.Try;
+        crit 1 Step.Enter;
+        crit 1 Step.Exit;
+        crit 1 Step.Rem;
+        crit 0 Step.Enter;
+        crit 0 Step.Exit;
+        crit 0 Step.Rem;
+      ]
+  in
+  let r = F.analyze ~arrival:`Try ~n:2 exec in
+  Alcotest.(check int) "one overtake" 1 r.F.overtakes;
+  Alcotest.(check (array int)) "p0 bypassed once" [| 1; 0 |] r.F.per_process_bypassed;
+  Alcotest.(check int) "worst" 1 r.F.bypassed_max;
+  Alcotest.(check bool) "not fifo" false (F.fifo ~arrival:`Try ~n:2 exec)
+
+let test_arrival_point_matters () =
+  (* p0 tries first but p1 performs the first shared access: under `Try p1
+     overtakes, under `First_access it does not *)
+  let broken = Lb_algos.Broken_spinlock.algorithm in
+  ignore broken;
+  let exec =
+    Execution.of_steps
+      [
+        crit 0 Step.Try;
+        crit 1 Step.Try;
+        step 1 (Step.Read 0);
+        step 0 (Step.Read 0);
+        crit 1 Step.Enter;  (* structurally fine for the analyzer *)
+        crit 1 Step.Exit;
+        crit 1 Step.Rem;
+        crit 0 Step.Enter;
+        crit 0 Step.Exit;
+        crit 0 Step.Rem;
+      ]
+  in
+  Alcotest.(check int) "try-order: overtake" 1
+    (F.analyze ~arrival:`Try ~n:2 exec).F.overtakes;
+  Alcotest.(check int) "first-access: none" 0
+    (F.analyze ~arrival:`First_access ~n:2 exec).F.overtakes
+
+let test_ticket_fifo () =
+  (* ticket's first shared access draws its queue position: exactly FIFO *)
+  List.iter
+    (fun seed ->
+      let o =
+        Lb_mutex.Canonical.run_random ~seed ~rounds:3 Lb_algos.Rmw_locks.ticket
+          ~n:6
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true
+        (F.fifo ~n:6 o.Lb_mutex.Canonical.exec))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_anderson_fifo () =
+  List.iter
+    (fun seed ->
+      let o =
+        Lb_mutex.Canonical.run_random ~seed ~rounds:2
+          Lb_algos.Queue_locks.anderson ~n:5
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true
+        (F.fifo ~n:5 o.Lb_mutex.Canonical.exec))
+    [ 1; 2; 3 ]
+
+let test_burns_unfair () =
+  (* Burns prioritizes lower indices: under contention it must overtake *)
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      let o =
+        Lb_mutex.Canonical.run_random ~seed ~rounds:4 Lb_algos.Burns.algorithm
+          ~n:6
+      in
+      total := !total + (F.analyze ~n:6 o.Lb_mutex.Canonical.exec).F.overtakes)
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check bool) "many overtakes" true (!total > 10)
+
+let test_greedy_canonical_fair () =
+  (* the sequential greedy canonical execution has no waiting overlap at
+     all, hence no overtakes under either metric *)
+  List.iter
+    (fun algo ->
+      let o = Lb_mutex.Canonical.run algo ~n:5 in
+      Alcotest.(check bool)
+        (algo.Algorithm.name ^ " greedy fair")
+        true
+        (F.fifo ~arrival:`Try ~n:5 o.Lb_mutex.Canonical.exec))
+    [ Lb_algos.Yang_anderson.algorithm; Lb_algos.Bakery.algorithm ]
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "sequential fair" `Quick test_sequential_is_fair;
+    Alcotest.test_case "hand-built overtake" `Quick test_hand_built_overtake;
+    Alcotest.test_case "arrival point matters" `Quick test_arrival_point_matters;
+    Alcotest.test_case "ticket FIFO" `Quick test_ticket_fifo;
+    Alcotest.test_case "anderson FIFO" `Quick test_anderson_fifo;
+    Alcotest.test_case "burns unfair" `Quick test_burns_unfair;
+    Alcotest.test_case "greedy canonical fair" `Quick test_greedy_canonical_fair;
+  ]

@@ -1,0 +1,41 @@
+(* Direct executable checks of Lemmas 5.8 and 5.10 over every down-closed
+   prefix of the canonical metastep order, across algorithms and
+   permutations. These are the decoder's correctness prerequisites; the
+   decoder exercises them operationally, and these tests state them
+   verbatim. *)
+
+module C = Lb_core.Construct
+module P = Lb_core.Permutation
+module V = Lb_core.Verify
+
+let check_ok label = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" label e
+
+let cases =
+  List.concat_map
+    (fun (algo : Lb_shmem.Algorithm.t) ->
+      List.map
+        (fun n ->
+          Alcotest.test_case
+            (Printf.sprintf "lemmas 5.8/5.10: %s n=%d" algo.Lb_shmem.Algorithm.name n)
+            `Quick
+            (fun () ->
+              List.iter
+                (fun pi ->
+                  let c = C.run algo ~n pi in
+                  check_ok "5.8" (V.lemma_5_8 c);
+                  check_ok "5.10" (V.lemma_5_10 c))
+                (if n <= 3 then P.all n
+                 else [ P.identity n; P.reverse n;
+                        P.random (Lb_util.Rng.create (17 * n)) n ])))
+        [ 2; 3; 5 ])
+    [
+      Lb_algos.Yang_anderson.algorithm;
+      Lb_algos.Bakery.algorithm;
+      Lb_algos.Filter.algorithm;
+      Lb_algos.Burns.algorithm;
+      Lb_algos.Szymanski.algorithm;
+    ]
+
+let suite = cases

@@ -1,0 +1,106 @@
+open Lb_shmem
+module M = Lb_core.Metastep
+
+let step = Step.step
+let w who reg v = step who (Step.Write (reg, v))
+let r who reg = step who (Step.Read reg)
+
+let test_new_write () =
+  let a = M.create_arena () in
+  let m = M.new_write a ~reg:0 ~win:(w 2 0 7) in
+  Alcotest.(check int) "id" 0 m.M.id;
+  Alcotest.(check int) "count" 1 (M.count a);
+  Alcotest.(check int) "value" 7 (M.value m);
+  Alcotest.(check int) "winner" 2 (M.winner m);
+  Alcotest.(check (list int)) "own" [ 2 ] (M.own m);
+  Alcotest.(check int) "size" 1 (M.size m)
+
+let test_new_write_validation () =
+  let a = M.create_arena () in
+  Alcotest.check_raises "wrong register"
+    (Invalid_argument "Metastep.new_write: winning step is not a write on reg")
+    (fun () -> ignore (M.new_write a ~reg:1 ~win:(w 0 0 1)))
+
+let test_insertions () =
+  let a = M.create_arena () in
+  let m = M.new_write a ~reg:0 ~win:(w 0 0 5) in
+  M.add_write_step m (w 1 0 9);
+  M.add_read_step m (r 2 0);
+  M.add_read_step m (r 3 0);
+  Alcotest.(check (list int)) "own" [ 0; 1; 2; 3 ] (List.sort compare (M.own m));
+  Alcotest.(check bool) "contains 3" true (M.contains m 3);
+  Alcotest.(check bool) "not contains 4" false (M.contains m 4);
+  Alcotest.(check int) "size" 4 (M.size m);
+  (* duplicate process rejected *)
+  (match M.add_read_step m (r 1 0) with
+  | () -> Alcotest.fail "duplicate accepted"
+  | exception Invalid_argument _ -> ());
+  (* wrong register rejected *)
+  match M.add_read_step m (r 4 1) with
+  | () -> Alcotest.fail "wrong register accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_seq_order () =
+  let a = M.create_arena () in
+  let m = M.new_write a ~reg:0 ~win:(w 0 0 5) in
+  M.add_write_step m (w 3 0 9);
+  M.add_write_step m (w 1 0 8);
+  M.add_read_step m (r 4 0);
+  M.add_read_step m (r 2 0);
+  let s = M.seq m in
+  Alcotest.(check (list string)) "writes then win then reads"
+    [ "p1:write(r0,8)"; "p3:write(r0,9)"; "p0:write(r0,5)"; "p2:read(r0)"; "p4:read(r0)" ]
+    (List.map Step.to_string s)
+
+let test_read_metastep () =
+  let a = M.create_arena () in
+  let m = M.new_read a ~reg:2 ~read:(r 1 2) in
+  Alcotest.(check (list int)) "own" [ 1 ] (M.own m);
+  Alcotest.(check (list string)) "seq" [ "p1:read(r2)" ] (List.map Step.to_string (M.seq m));
+  Alcotest.(check bool) "no pread_of" true (m.M.pread_of = None);
+  match M.value m with
+  | _ -> Alcotest.fail "value of read metastep"
+  | exception Invalid_argument _ -> ()
+
+let test_crit_metastep () =
+  let a = M.create_arena () in
+  let m = M.new_crit a ~crit:(step 0 (Step.Crit Step.Enter)) in
+  Alcotest.(check (list string)) "seq" [ "p0:enter" ] (List.map Step.to_string (M.seq m));
+  Alcotest.(check int) "reg" (-1) m.M.reg;
+  match M.new_crit a ~crit:(r 0 0) with
+  | _ -> Alcotest.fail "non-crit accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_step_of () =
+  let a = M.create_arena () in
+  let m = M.new_write a ~reg:0 ~win:(w 0 0 5) in
+  M.add_read_step m (r 2 0);
+  Alcotest.(check string) "step of winner" "p0:write(r0,5)"
+    (Step.to_string (M.step_of m 0));
+  Alcotest.(check string) "step of reader" "p2:read(r0)"
+    (Step.to_string (M.step_of m 2));
+  match M.step_of m 7 with
+  | _ -> Alcotest.fail "found absent process"
+  | exception Not_found -> ()
+
+let test_arena_get_iter () =
+  let a = M.create_arena () in
+  let m0 = M.new_crit a ~crit:(step 0 (Step.Crit Step.Try)) in
+  let m1 = M.new_read a ~reg:0 ~read:(r 0 0) in
+  Alcotest.(check int) "ids sequential" 1 (m1.M.id - m0.M.id);
+  Alcotest.(check bool) "get" true (M.get a 1 == m1);
+  let seen = ref 0 in
+  M.iter a (fun _ -> incr seen);
+  Alcotest.(check int) "iter" 2 !seen
+
+let suite =
+  [
+    Alcotest.test_case "new write" `Quick test_new_write;
+    Alcotest.test_case "new write validation" `Quick test_new_write_validation;
+    Alcotest.test_case "insertions" `Quick test_insertions;
+    Alcotest.test_case "seq order" `Quick test_seq_order;
+    Alcotest.test_case "read metastep" `Quick test_read_metastep;
+    Alcotest.test_case "crit metastep" `Quick test_crit_metastep;
+    Alcotest.test_case "step_of" `Quick test_step_of;
+    Alcotest.test_case "arena get/iter" `Quick test_arena_get_iter;
+  ]

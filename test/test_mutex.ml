@@ -1,0 +1,202 @@
+open Lb_shmem
+
+let step = Step.step
+let ya = Lb_algos.Yang_anderson.algorithm
+let broken = Lb_algos.Broken_spinlock.algorithm
+
+(* ------------------------------ Checker ------------------------------ *)
+
+let test_checker_accepts_valid () =
+  let exec = (Lb_mutex.Canonical.run ya ~n:3).Lb_mutex.Canonical.exec in
+  (match Lb_mutex.Checker.check ~n:3 exec with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail (Lb_mutex.Checker.violation_to_string v));
+  match Lb_mutex.Checker.check_algorithm ya ~n:3 exec with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "check_algorithm rejected a canonical run"
+
+let test_checker_rejects_double_enter () =
+  let exec =
+    Execution.of_steps
+      [
+        step 0 (Step.Crit Step.Try);
+        step 1 (Step.Crit Step.Try);
+        step 0 (Step.Crit Step.Enter);
+        step 1 (Step.Crit Step.Enter);
+      ]
+  in
+  match Lb_mutex.Checker.check ~n:2 exec with
+  | Error (Lb_mutex.Checker.Mutex_violated { a = 0; b = 1; at = 3 }) -> ()
+  | Error v -> Alcotest.failf "wrong violation: %s" (Lb_mutex.Checker.violation_to_string v)
+  | Ok () -> Alcotest.fail "accepted a mutex violation"
+
+let test_checker_rejects_ill_formed () =
+  let exec =
+    Execution.of_steps [ step 0 (Step.Crit Step.Enter) ]
+  in
+  (match Lb_mutex.Checker.check ~n:1 exec with
+  | Error (Lb_mutex.Checker.Not_well_formed { who = 0; at = 0; _ }) -> ()
+  | Error _ | Ok () -> Alcotest.fail "enter without try accepted");
+  let exec2 =
+    Execution.of_steps
+      [ step 0 (Step.Crit Step.Try); step 0 (Step.Crit Step.Try) ]
+  in
+  match Lb_mutex.Checker.check ~n:1 exec2 with
+  | Error (Lb_mutex.Checker.Not_well_formed _) -> ()
+  | Error _ | Ok () -> Alcotest.fail "try-try accepted"
+
+let test_checker_allows_reentry () =
+  let cycle who =
+    [
+      step who (Step.Crit Step.Try);
+      step who (Step.Crit Step.Enter);
+      step who (Step.Crit Step.Exit);
+      step who (Step.Crit Step.Rem);
+    ]
+  in
+  let exec = Execution.of_steps (cycle 0 @ cycle 0 @ cycle 1) in
+  match Lb_mutex.Checker.check ~n:2 exec with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail (Lb_mutex.Checker.violation_to_string v)
+
+let test_checker_sequential_cs_ok () =
+  let exec =
+    Execution.of_steps
+      [
+        step 0 (Step.Crit Step.Try);
+        step 1 (Step.Crit Step.Try);
+        step 0 (Step.Crit Step.Enter);
+        step 0 (Step.Crit Step.Exit);
+        step 1 (Step.Crit Step.Enter);
+        step 1 (Step.Crit Step.Exit);
+        step 0 (Step.Crit Step.Rem);
+        step 1 (Step.Crit Step.Rem);
+      ]
+  in
+  match Lb_mutex.Checker.check ~n:2 exec with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail (Lb_mutex.Checker.violation_to_string v)
+
+let test_checker_phases () =
+  let exec =
+    Execution.of_steps
+      [
+        step 0 (Step.Crit Step.Try);
+        step 1 (Step.Crit Step.Try);
+        step 0 (Step.Crit Step.Enter);
+      ]
+  in
+  let phases = Lb_mutex.Checker.phases_at ~n:2 exec ~upto:3 in
+  Alcotest.(check string) "p0 critical" "critical"
+    (Lb_mutex.Checker.phase_name phases.(0));
+  Alcotest.(check string) "p1 trying" "trying"
+    (Lb_mutex.Checker.phase_name phases.(1));
+  let phases1 = Lb_mutex.Checker.phases_at ~n:2 exec ~upto:1 in
+  Alcotest.(check string) "p0 trying at 1" "trying"
+    (Lb_mutex.Checker.phase_name phases1.(0))
+
+let test_checker_mismatch_detection () =
+  (* a structurally fine trace that is not an execution of YA *)
+  let exec =
+    Execution.of_steps [ step 0 (Step.Crit Step.Try); step 0 (Step.Read 0) ]
+  in
+  match Lb_mutex.Checker.check_algorithm ya ~n:2 exec with
+  | Error (`Mismatch _) -> ()
+  | Error (`Violation _) | Ok () -> Alcotest.fail "expected replay mismatch"
+
+(* ----------------------------- Canonical ----------------------------- *)
+
+let test_canonical_orders () =
+  (* greedy canonical with a priority order makes processes enter in that
+     order (they run to completion one after another) *)
+  let order = [| 2; 0; 1 |] in
+  let o = Lb_mutex.Canonical.run ~order ya ~n:3 in
+  Alcotest.(check (list int)) "enter order" [ 2; 0; 1 ] o.Lb_mutex.Canonical.enter_order
+
+let test_canonical_rr_rounds () =
+  let o = Lb_mutex.Canonical.run_round_robin ~rounds:2 ya ~n:2 in
+  Alcotest.(check (array int)) "two sections each" [| 2; 2 |]
+    (Lb_mutex.Checker.completed_sections ~n:2 o.Lb_mutex.Canonical.exec)
+
+let test_canonical_random_seeded () =
+  let a = Lb_mutex.Canonical.run_random ~seed:5 ya ~n:3 in
+  let b = Lb_mutex.Canonical.run_random ~seed:5 ya ~n:3 in
+  Alcotest.(check bool) "deterministic in seed" true
+    (Execution.equal a.Lb_mutex.Canonical.exec b.Lb_mutex.Canonical.exec)
+
+let test_canonical_rejects_broken () =
+  (* under round-robin the broken spinlock violates mutual exclusion and
+     the canonical driver must refuse it *)
+  match Lb_mutex.Canonical.run_round_robin broken ~n:2 with
+  | _ -> Alcotest.fail "broken spinlock accepted"
+  | exception Lb_mutex.Canonical.Check_failed _ -> ()
+
+let test_canonical_sc_cost () =
+  let o = Lb_mutex.Canonical.run ya ~n:4 in
+  Alcotest.(check int) "sc_cost convenience"
+    (Lb_cost.State_change.cost ya ~n:4 o.Lb_mutex.Canonical.exec)
+    (Lb_mutex.Canonical.sc_cost ya ~n:4 o)
+
+(* ---------------------------- Model checker -------------------------- *)
+
+let test_mc_verifies_ya () =
+  let r = Lb_mutex.Model_check.explore ya ~n:2 in
+  (match r.Lb_mutex.Model_check.verdict with
+  | Lb_mutex.Model_check.Verified -> ()
+  | v ->
+    Alcotest.failf "expected verified, got %s"
+      (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v));
+  Alcotest.(check bool) "explored states" true (r.Lb_mutex.Model_check.states > 100)
+
+let test_mc_finds_broken () =
+  let r = Lb_mutex.Model_check.explore broken ~n:2 in
+  match r.Lb_mutex.Model_check.verdict with
+  | Lb_mutex.Model_check.Mutex_violation trace ->
+    (* the witness must be a real execution of the algorithm ending in a
+       double-critical state *)
+    ignore (Execution.replay broken ~n:2 trace);
+    let phases =
+      Lb_mutex.Checker.phases_at ~n:2 trace ~upto:(Execution.length trace - 1)
+    in
+    ignore phases;
+    (match Lb_mutex.Checker.check ~n:2 trace with
+    | Error (Lb_mutex.Checker.Mutex_violated _) -> ()
+    | Error _ | Ok () -> Alcotest.fail "witness does not violate mutex")
+  | v ->
+    Alcotest.failf "expected violation, got %s"
+      (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v)
+
+let test_mc_bound () =
+  let r = Lb_mutex.Model_check.explore ya ~n:3 ~max_states:100 in
+  match r.Lb_mutex.Model_check.verdict with
+  | Lb_mutex.Model_check.Bound_exceeded k ->
+    Alcotest.(check bool) "bound value" true (k > 100)
+  | _ -> Alcotest.fail "expected bound exceeded"
+
+let test_mc_rounds_2 () =
+  let r = Lb_mutex.Model_check.explore Lb_algos.Peterson2.algorithm ~n:2 ~rounds:2 in
+  match r.Lb_mutex.Model_check.verdict with
+  | Lb_mutex.Model_check.Verified -> ()
+  | v ->
+    Alcotest.failf "peterson2 rounds=2: %s"
+      (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v)
+
+let suite =
+  [
+    Alcotest.test_case "checker accepts valid" `Quick test_checker_accepts_valid;
+    Alcotest.test_case "checker rejects double enter" `Quick test_checker_rejects_double_enter;
+    Alcotest.test_case "checker rejects ill-formed" `Quick test_checker_rejects_ill_formed;
+    Alcotest.test_case "checker allows reentry" `Quick test_checker_allows_reentry;
+    Alcotest.test_case "checker sequential CS" `Quick test_checker_sequential_cs_ok;
+    Alcotest.test_case "checker phases" `Quick test_checker_phases;
+    Alcotest.test_case "checker mismatch" `Quick test_checker_mismatch_detection;
+    Alcotest.test_case "canonical priority order" `Quick test_canonical_orders;
+    Alcotest.test_case "canonical rr rounds" `Quick test_canonical_rr_rounds;
+    Alcotest.test_case "canonical random seeded" `Quick test_canonical_random_seeded;
+    Alcotest.test_case "canonical rejects broken" `Quick test_canonical_rejects_broken;
+    Alcotest.test_case "canonical sc cost" `Quick test_canonical_sc_cost;
+    Alcotest.test_case "model check verifies ya" `Quick test_mc_verifies_ya;
+    Alcotest.test_case "model check finds broken" `Quick test_mc_finds_broken;
+    Alcotest.test_case "model check bound" `Quick test_mc_bound;
+    Alcotest.test_case "model check rounds=2" `Quick test_mc_rounds_2;
+  ]

@@ -1,0 +1,105 @@
+module P = Lb_core.Permutation
+
+let test_of_array_validation () =
+  ignore (P.of_array [| 2; 0; 1 |]);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Permutation.of_array: duplicate")
+    (fun () -> ignore (P.of_array [| 0; 0 |]));
+  Alcotest.check_raises "range" (Invalid_argument "Permutation.of_array: out of range")
+    (fun () -> ignore (P.of_array [| 0; 3 |]))
+
+let test_identity_reverse () =
+  Alcotest.(check (array int)) "identity" [| 0; 1; 2 |] (P.to_array (P.identity 3));
+  Alcotest.(check (array int)) "reverse" [| 2; 1; 0 |] (P.to_array (P.reverse 3));
+  Alcotest.(check int) "n" 3 (P.n (P.identity 3))
+
+let test_stage_process () =
+  let pi = P.of_array [| 3; 1; 0; 2 |] in
+  Alcotest.(check int) "process at 0" 3 (P.process_at pi 0);
+  Alcotest.(check int) "stage of 3" 0 (P.stage_of pi 3);
+  Alcotest.(check int) "stage of 2" 3 (P.stage_of pi 2);
+  Alcotest.(check bool) "3 <=pi 1" true (P.lower_or_equal pi 3 1);
+  Alcotest.(check bool) "2 <=pi 1 false" false (P.lower_or_equal pi 2 1);
+  Alcotest.(check bool) "reflexive" true (P.lower_or_equal pi 0 0);
+  Alcotest.(check int) "min_by" 1 (P.min_by pi [ 2; 1; 0 ])
+
+let test_inverse_compose () =
+  let pi = P.of_array [| 2; 0; 3; 1 |] in
+  let inv = P.inverse pi in
+  Alcotest.(check (array int)) "pi . pi^-1 = id" [| 0; 1; 2; 3 |]
+    (P.to_array (P.compose pi inv));
+  Alcotest.(check (array int)) "pi^-1 . pi = id" [| 0; 1; 2; 3 |]
+    (P.to_array (P.compose inv pi))
+
+let test_rank_unrank_small () =
+  Alcotest.(check int) "identity rank 0" 0 (P.rank (P.identity 4));
+  Alcotest.(check int) "reverse rank n!-1" 23 (P.rank (P.reverse 4));
+  for r = 0 to 23 do
+    Alcotest.(check int) "roundtrip" r (P.rank (P.unrank ~n:4 r))
+  done
+
+let test_all () =
+  let perms = P.all 4 in
+  Alcotest.(check int) "count" 24 (List.length perms);
+  let uniq = List.sort_uniq compare (List.map P.to_array perms) in
+  Alcotest.(check int) "distinct" 24 (List.length uniq)
+
+let test_all_guard () =
+  Alcotest.check_raises "n too large" (Invalid_argument "Permutation.all: n > 8")
+    (fun () -> ignore (P.all 9))
+
+let test_sample_small_space () =
+  let rng = Lb_util.Rng.create 1 in
+  (* 3! = 6 <= 4*10, so sampling 10 from S_3 must give 6 distinct perms *)
+  let perms = P.sample rng ~n:3 ~count:10 in
+  Alcotest.(check int) "capped at 6" 6 (List.length perms);
+  Alcotest.(check int) "distinct" 6
+    (List.length (List.sort_uniq compare (List.map P.to_array perms)))
+
+let test_sample_large_space () =
+  let rng = Lb_util.Rng.create 2 in
+  let perms = P.sample rng ~n:30 ~count:5 in
+  Alcotest.(check int) "count" 5 (List.length perms)
+
+let test_pp () =
+  Alcotest.(check string) "to_string" "(1 0 2)" (P.to_string (P.of_array [| 1; 0; 2 |]))
+
+let qcheck_perm n rng_seed =
+  P.random (Lb_util.Rng.create rng_seed) n
+
+let rank_bijective =
+  QCheck.Test.make ~name:"rank/unrank bijective" ~count:200
+    QCheck.(pair (int_range 1 8) small_int)
+    (fun (n, seed) ->
+      let pi = qcheck_perm n seed in
+      P.equal pi (P.unrank ~n (P.rank pi)))
+
+let inverse_involutive =
+  QCheck.Test.make ~name:"inverse involutive" ~count:200
+    QCheck.(pair (int_range 1 10) small_int)
+    (fun (n, seed) ->
+      let pi = qcheck_perm n seed in
+      P.equal pi (P.inverse (P.inverse pi)))
+
+let stage_process_inverse =
+  QCheck.Test.make ~name:"stage_of inverts process_at" ~count:200
+    QCheck.(pair (int_range 1 10) small_int)
+    (fun (n, seed) ->
+      let pi = qcheck_perm n seed in
+      List.for_all (fun k -> P.stage_of pi (P.process_at pi k) = k) (List.init n Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "of_array validation" `Quick test_of_array_validation;
+    Alcotest.test_case "identity/reverse" `Quick test_identity_reverse;
+    Alcotest.test_case "stage/process" `Quick test_stage_process;
+    Alcotest.test_case "inverse/compose" `Quick test_inverse_compose;
+    Alcotest.test_case "rank/unrank small" `Quick test_rank_unrank_small;
+    Alcotest.test_case "all" `Quick test_all;
+    Alcotest.test_case "all guard" `Quick test_all_guard;
+    Alcotest.test_case "sample small space" `Quick test_sample_small_space;
+    Alcotest.test_case "sample large space" `Quick test_sample_large_space;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest rank_bijective;
+    QCheck_alcotest.to_alcotest inverse_involutive;
+    QCheck_alcotest.to_alcotest stage_process_inverse;
+  ]

@@ -1,0 +1,95 @@
+(* Cross-cutting property-based tests: random permutations and sizes
+   through the full pipeline, for every register-based scalable
+   algorithm. These are the highest-value invariants in the repository:
+   they exercise construct/encode/decode end to end on inputs no unit test
+   enumerates. *)
+
+module P = Lb_core.Permutation
+module Pl = Lb_core.Pipeline
+module C = Lb_core.Construct
+module L = Lb_core.Linearize
+
+let algos =
+  [
+    Lb_algos.Yang_anderson.algorithm;
+    Lb_algos.Tournament.algorithm;
+    Lb_algos.Bakery.algorithm;
+    Lb_algos.Filter.algorithm;
+    Lb_algos.Burns.algorithm;
+    Lb_algos.Szymanski.algorithm;
+  ]
+
+let algo_gen = QCheck.Gen.oneofl algos
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (algo, n, seed) ->
+      Printf.sprintf "(%s, n=%d, seed=%d)" algo.Lb_shmem.Algorithm.name n seed)
+    QCheck.Gen.(triple algo_gen (int_range 1 7) (int_range 0 1_000_000))
+
+let pi_of n seed = P.random (Lb_util.Rng.create seed) n
+
+let pipeline_checks =
+  QCheck.Test.make ~name:"pipeline verifies on random (algo, n, pi)" ~count:60
+    arb_case
+    (fun (algo, n, seed) ->
+      let r = Pl.run algo ~n (pi_of n seed) in
+      match Pl.check algo ~n r with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let cost_equals_bits_order =
+  (* Theorem 6.2 with measured constants: |E| = O(C) + O(n) (each process
+     contributes at least its four critical cells even at zero cost, e.g.
+     the filter lock's n=1 fast path performs no shared access at all) *)
+  QCheck.Test.make ~name:"bits within O(cost) + O(n)" ~count:40 arb_case
+    (fun (algo, n, seed) ->
+      let r = Pl.run algo ~n (pi_of n seed) in
+      r.Pl.bits >= r.Pl.cost && r.Pl.bits <= (12 * r.Pl.cost) + (32 * n))
+
+let construct_invariants =
+  QCheck.Test.make ~name:"construction invariants on random inputs" ~count:40
+    arb_case
+    (fun (algo, n, seed) ->
+      let c = C.run algo ~n (pi_of n seed) in
+      List.for_all
+        (fun (label, r) ->
+          match r with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_report (label ^ ": " ^ e))
+        (Lb_core.Verify.all ~samples:2 c))
+
+let greedy_vs_construct_cost =
+  (* the canonical linearization and the greedy canonical driver with the
+     same priority order produce the same SC cost: both are the
+     "sequential, spin-free" executions of one process after another *)
+  QCheck.Test.make ~name:"construct cost = greedy canonical cost" ~count:40
+    arb_case
+    (fun (algo, n, seed) ->
+      let pi = pi_of n seed in
+      let c = C.run algo ~n pi in
+      let construct_cost =
+        Lb_cost.State_change.cost algo ~n (L.execution c)
+      in
+      let greedy =
+        (Lb_mutex.Canonical.run ~order:(P.to_array pi) algo ~n).Lb_mutex.Canonical.exec
+      in
+      construct_cost = Lb_cost.State_change.cost algo ~n greedy)
+
+let decode_fingerprint_deterministic =
+  QCheck.Test.make ~name:"pipeline deterministic" ~count:20 arb_case
+    (fun (algo, n, seed) ->
+      let r1 = Pl.run algo ~n (pi_of n seed) in
+      let r2 = Pl.run algo ~n (pi_of n seed) in
+      Lb_shmem.Execution.equal r1.Pl.decoded r2.Pl.decoded
+      && r1.Pl.bits = r2.Pl.bits)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      pipeline_checks;
+      cost_equals_bits_order;
+      construct_invariants;
+      greedy_vs_construct_cost;
+      decode_fingerprint_deterministic;
+    ]

@@ -1,0 +1,115 @@
+open Lb_util
+
+let test_determinism () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 16 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 16 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_int_range () =
+  let t = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int t 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_int_covers () =
+  let t = Rng.create 4 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int t 10) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let t = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float t in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "out of range: %f" x
+  done
+
+let test_copy_independent () =
+  let a = Rng.create 6 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "same next" (Rng.bits64 (Rng.copy a)) (Rng.bits64 b)
+
+let test_split_diverges () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 8 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 8 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "diverged" true (xs <> ys)
+
+let test_permutation_valid () =
+  let t = Rng.create 8 in
+  for _ = 1 to 100 do
+    let p = Rng.permutation t 12 in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "is permutation" (Array.init 12 Fun.id) sorted
+  done
+
+let test_permutation_uniformish () =
+  (* every permutation of 3 elements should appear in 6000 draws *)
+  let t = Rng.create 9 in
+  let counts = Hashtbl.create 6 in
+  for _ = 1 to 6000 do
+    let p = Rng.permutation t 3 in
+    let key = Array.to_list p in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "6 distinct perms" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      if c < 700 || c > 1300 then Alcotest.failf "skewed permutation count %d" c)
+    counts
+
+let test_shuffle_preserves () =
+  let t = Rng.create 10 in
+  let arr = Array.init 50 (fun i -> i * i) in
+  let orig = Array.copy arr in
+  Rng.shuffle t arr;
+  Array.sort compare arr;
+  Array.sort compare orig;
+  Alcotest.(check (array int)) "multiset preserved" orig arr
+
+let test_pick () =
+  let t = Rng.create 11 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    let x = Rng.pick t arr in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) x) arr)
+  done;
+  Alcotest.check_raises "empty raises" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick t [||]))
+
+let test_bool_balanced () =
+  let t = Rng.create 12 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool t then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int covers" `Quick test_int_covers;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "permutation valid" `Quick test_permutation_valid;
+    Alcotest.test_case "permutation coverage" `Quick test_permutation_uniformish;
+    Alcotest.test_case "shuffle preserves" `Quick test_shuffle_preserves;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+  ]

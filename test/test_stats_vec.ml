@@ -1,0 +1,145 @@
+open Lb_util
+
+(* ------------------------------- Stats ------------------------------- *)
+
+let test_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 1.25) s.Stats.stddev
+
+let test_summary_singleton () =
+  let s = Stats.summarize [ 7.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 7.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "sd" 0.0 s.Stats.stddev
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_summarize_ints () =
+  let s = Stats.summarize_ints [ 2; 4; 6 ] in
+  Alcotest.(check (float 1e-9)) "mean" 4.0 s.Stats.mean
+
+let test_percentile () =
+  let xs = List.map float_of_int [ 5; 1; 4; 2; 3 ] in
+  Alcotest.(check (float 1e-9)) "p0 -> min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let test_ratio () =
+  Alcotest.(check (float 1e-9)) "normal" 2.0 (Stats.ratio 4.0 2.0);
+  Alcotest.(check bool) "div by zero is nan" true (Float.is_nan (Stats.ratio 1.0 0.0))
+
+(* -------------------------------- Vec -------------------------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 198 (Vec.get v 99);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 100))
+
+let test_vec_set_pop_last () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 9;
+  Alcotest.(check int) "set" 9 (Vec.get v 1);
+  Alcotest.(check (option int)) "last" (Some 3) (Vec.last v);
+  Alcotest.(check (option int)) "pop" (Some 3) (Vec.pop v);
+  Alcotest.(check int) "len after pop" 2 (Vec.length v);
+  ignore (Vec.pop v);
+  ignore (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri order"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (List.rev !acc)
+
+let test_vec_search () =
+  let v = Vec.of_list [ 1; 3; 5 ] in
+  Alcotest.(check bool) "exists odd" true (Vec.exists (fun x -> x = 5) v);
+  Alcotest.(check bool) "forall odd" true (Vec.for_all (fun x -> x mod 2 = 1) v);
+  Alcotest.(check (option int)) "find" (Some 3) (Vec.find_opt (fun x -> x > 2) v);
+  Alcotest.(check (option int)) "find none" None (Vec.find_opt (fun x -> x > 9) v)
+
+let test_vec_transforms () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8 ] (Vec.to_list (Vec.map (( * ) 2) v));
+  Alcotest.(check (list int)) "filter" [ 2; 4 ] (Vec.to_list (Vec.filter (fun x -> x mod 2 = 0) v));
+  Alcotest.(check (list int)) "sub" [ 2; 3 ] (Vec.to_list (Vec.sub v ~pos:1 ~len:2));
+  let c = Vec.copy v in
+  Vec.set c 0 99;
+  Alcotest.(check int) "copy is deep" 1 (Vec.get v 0);
+  Vec.append v c;
+  Alcotest.(check int) "append" 8 (Vec.length v);
+  Vec.clear v;
+  Alcotest.(check int) "clear" 0 (Vec.length v)
+
+let vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let vec_push_equals_list =
+  QCheck.Test.make ~name:"vec push sequence equals list" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) l;
+      Vec.to_list v = l)
+
+(* ------------------------------- Table ------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" [ ("a", Table.Left); ("bb", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_sep t;
+  Table.add_int_row t [ 10; 200 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "contains row" true
+    (Astring_contains.contains s "200");
+  Alcotest.(check bool) "contains header" true (Astring_contains.contains s "bb")
+
+let test_table_arity () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "nan" "-" (Table.cell_f nan);
+  Alcotest.(check string) "four decimals" "0.3333" (Table.cell_f4 (1.0 /. 3.0))
+
+let suite =
+  [
+    Alcotest.test_case "stats summary" `Quick test_summary;
+    Alcotest.test_case "stats singleton" `Quick test_summary_singleton;
+    Alcotest.test_case "stats empty" `Quick test_summary_empty;
+    Alcotest.test_case "stats ints" `Quick test_summarize_ints;
+    Alcotest.test_case "stats percentile" `Quick test_percentile;
+    Alcotest.test_case "stats ratio" `Quick test_ratio;
+    Alcotest.test_case "vec push/get" `Quick test_vec_push_get;
+    Alcotest.test_case "vec set/pop/last" `Quick test_vec_set_pop_last;
+    Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold;
+    Alcotest.test_case "vec search" `Quick test_vec_search;
+    Alcotest.test_case "vec transforms" `Quick test_vec_transforms;
+    QCheck_alcotest.to_alcotest vec_roundtrip;
+    QCheck_alcotest.to_alcotest vec_push_equals_list;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+  ]

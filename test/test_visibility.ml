@@ -1,0 +1,133 @@
+open Lb_shmem
+module V = Lb_core.Visibility
+module P = Lb_core.Permutation
+
+let step = Step.step
+let ya = Lb_algos.Yang_anderson.algorithm
+
+let test_hand_built_graph () =
+  (* p0 writes r0; p1 reads it; p1 writes r1; p0 reads initial r1 later?
+     keep it minimal: use the broken spinlock's register layout via raw
+     steps on the toy execution is overkill — build with ya registers *)
+  let exec =
+    Execution.of_steps
+      [
+        step 0 (Step.Crit Step.Try);
+        step 0 (Step.Write (0, 1)); (* C1_0 := pid 0 *)
+        step 1 (Step.Crit Step.Try);
+        step 1 (Step.Write (1, 2)); (* C1_1 := pid 1 *)
+        step 1 (Step.Write (2, 2)); (* T1 := pid 1 *)
+        step 1 (Step.Write (4, 0)); (* P1_1 := 0 *)
+        step 1 (Step.Read 0); (* reads p0's write: p1 sees p0 *)
+      ]
+  in
+  let v = V.of_execution ya ~n:2 exec in
+  Alcotest.(check bool) "p1 sees p0" true (V.direct v ~seer:1 ~seen:0);
+  Alcotest.(check bool) "p0 not sees p1" false (V.direct v ~seer:0 ~seen:1);
+  Alcotest.(check int) "one edge" 1 (V.edge_count v)
+
+let test_initial_values_invisible () =
+  (* reading a register nobody wrote produces no edge *)
+  let exec =
+    Execution.of_steps
+      [
+        step 0 (Step.Crit Step.Try);
+        step 0 (Step.Write (0, 1));
+        step 0 (Step.Write (2, 1));
+        step 0 (Step.Write (3, 0));
+        step 0 (Step.Read 1); (* C1_1 still initial *)
+      ]
+  in
+  let v = V.of_execution ya ~n:2 exec in
+  Alcotest.(check int) "no edges" 0 (V.edge_count v)
+
+let test_own_writes_invisible () =
+  (* reading your own last write is not "seeing" anyone: a solo broken-
+     spinlock round ends with the process re-reading the lock it released *)
+  let broken = Lb_algos.Broken_spinlock.algorithm in
+  let exec =
+    Execution.of_steps
+      [
+        step 0 (Step.Crit Step.Try);
+        step 0 (Step.Read 0);
+        step 0 (Step.Write (0, 1));
+        step 0 (Step.Crit Step.Enter);
+        step 0 (Step.Crit Step.Exit);
+        step 0 (Step.Write (0, 0));
+        step 0 (Step.Crit Step.Rem);
+        step 0 (Step.Crit Step.Try);
+        step 0 (Step.Read 0); (* own release: no visibility edge *)
+      ]
+  in
+  let v = V.of_execution broken ~n:2 exec in
+  Alcotest.(check int) "no edges" 0 (V.edge_count v)
+
+let test_closure_and_chain () =
+  let v = { V.n = 3; sees = [| [| false; false; false |];
+                               [| true; false; false |];
+                               [| false; true; false |] |] } in
+  (* 1 sees 0, 2 sees 1: transitively 2 sees 0 *)
+  Alcotest.(check bool) "direct" false (V.direct v ~seer:2 ~seen:0);
+  Alcotest.(check bool) "transitive" true (V.sees_transitively v ~seer:2 ~seen:0);
+  Alcotest.(check bool) "chain 0,1,2" true (V.chain v (P.identity 3));
+  Alcotest.(check bool) "chain 2,1,0 false" false (V.chain v (P.reverse 3));
+  Alcotest.(check bool) "respects identity" true (V.respects v (P.identity 3));
+  Alcotest.(check bool) "respects reverse false" false (V.respects v (P.reverse 3))
+
+let constructed_cases =
+  List.map
+    (fun (algo : Algorithm.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "chain & invisibility: %s" algo.Algorithm.name)
+        `Quick
+        (fun () ->
+          List.iter
+            (fun n ->
+              List.iter
+                (fun pi ->
+                  let c = Lb_core.Construct.run algo ~n pi in
+                  let exec = Lb_core.Linearize.execution c in
+                  let v = V.of_execution algo ~n exec in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "chain n=%d" n)
+                    true (V.chain v pi);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "invisibility n=%d" n)
+                    true (V.respects v pi))
+                (if n <= 3 then P.all n else [ P.identity n; P.reverse n ]))
+            [ 2; 3; 5; 8 ]))
+    [
+      ya;
+      Lb_algos.Bakery.algorithm;
+      Lb_algos.Filter.algorithm;
+      Lb_algos.Szymanski.algorithm;
+    ]
+
+let test_broken_lock_blindness () =
+  (* the model checker's witness for the broken spinlock shows the two
+     processes entering while blind to each other *)
+  match
+    (Lb_mutex.Model_check.explore Lb_algos.Broken_spinlock.algorithm ~n:2)
+      .Lb_mutex.Model_check.verdict
+  with
+  | Lb_mutex.Model_check.Mutex_violation trace ->
+    let v = V.of_execution Lb_algos.Broken_spinlock.algorithm ~n:2 trace in
+    Alcotest.(check bool) "mutually blind" true
+      ((not (V.direct v ~seer:0 ~seen:1)) && not (V.direct v ~seer:1 ~seen:0))
+  | _ -> Alcotest.fail "expected a violation"
+
+let test_pp () =
+  let v = { V.n = 2; sees = [| [| false; true |]; [| false; false |] |] } in
+  let s = Format.asprintf "%a" V.pp v in
+  Alcotest.(check bool) "mentions p1" true (Astring_contains.contains s "p1")
+
+let suite =
+  [
+    Alcotest.test_case "hand-built graph" `Quick test_hand_built_graph;
+    Alcotest.test_case "initial values invisible" `Quick test_initial_values_invisible;
+    Alcotest.test_case "own writes invisible" `Quick test_own_writes_invisible;
+    Alcotest.test_case "closure and chain" `Quick test_closure_and_chain;
+    Alcotest.test_case "broken lock blindness" `Quick test_broken_lock_blindness;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]
+  @ constructed_cases

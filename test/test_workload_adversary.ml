@@ -1,0 +1,137 @@
+module W = Lb_mutex.Workload
+module A = Lb_mutex.Adversary
+
+let ya = Lb_algos.Yang_anderson.algorithm
+let bakery = Lb_algos.Bakery.algorithm
+
+(* ------------------------------ patterns ----------------------------- *)
+
+let test_arrivals_all_at_once () =
+  Alcotest.(check (array int)) "zeros" [| 0; 0; 0 |]
+    (W.arrival_times W.All_at_once ~n:3)
+
+let test_arrivals_staggered () =
+  Alcotest.(check (array int)) "gaps" [| 0; 10; 20; 30 |]
+    (W.arrival_times (W.Staggered 10) ~n:4)
+
+let test_arrivals_bursts () =
+  Alcotest.(check (array int)) "bursts" [| 0; 0; 50; 50; 100 |]
+    (W.arrival_times (W.Bursts { size = 2; gap = 50 }) ~n:5)
+
+let test_arrivals_poisson () =
+  let a = W.arrival_times (W.Poisson { seed = 7; mean_gap = 20.0 }) ~n:6 in
+  let b = W.arrival_times (W.Poisson { seed = 7; mean_gap = 20.0 }) ~n:6 in
+  Alcotest.(check (array int)) "deterministic in seed" a b;
+  (* non-decreasing *)
+  for i = 0 to 4 do
+    Alcotest.(check bool) "monotone" true (a.(i) <= a.(i + 1))
+  done
+
+let test_arrivals_validation () =
+  (match W.arrival_times (W.Staggered (-1)) ~n:2 with
+  | _ -> Alcotest.fail "negative gap accepted"
+  | exception Invalid_argument _ -> ());
+  match W.arrival_times (W.Bursts { size = 0; gap = 1 }) ~n:2 with
+  | _ -> Alcotest.fail "zero burst accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------ workloads ---------------------------- *)
+
+let patterns =
+  [
+    ("all_at_once", W.All_at_once);
+    ("staggered", W.Staggered 30);
+    ("bursts", W.Bursts { size = 2; gap = 40 });
+    ("poisson", W.Poisson { seed = 3; mean_gap = 15.0 });
+  ]
+
+let test_workload_complete () =
+  List.iter
+    (fun (label, pattern) ->
+      List.iter
+        (fun schedule ->
+          let r = W.run ~pattern ~schedule ya ~n:5 in
+          let sections =
+            Lb_mutex.Checker.completed_sections ~n:5 r.W.exec
+          in
+          Alcotest.(check (array int)) (label ^ " all complete")
+            [| 1; 1; 1; 1; 1 |] sections)
+        [ W.Round_robin; W.Random 11 ])
+    patterns
+
+let test_workload_rounds () =
+  let r = W.run ~rounds:3 ~pattern:W.All_at_once ~schedule:W.Round_robin ya ~n:3 in
+  Alcotest.(check (array int)) "three each" [| 3; 3; 3 |]
+    (Lb_mutex.Checker.completed_sections ~n:3 r.W.exec);
+  Alcotest.(check int) "sc_total consistent" r.W.sc_total
+    r.W.breakdown.Lb_cost.Accounting.sc;
+  Alcotest.(check (float 1e-9)) "per-section" (float_of_int r.W.sc_total /. 9.0)
+    r.W.sc_per_section
+
+let test_workload_respects_arrivals () =
+  (* with a huge stagger gap, processes effectively run sequentially: the
+     execution must grant the CS in index order *)
+  let r = W.run ~pattern:(W.Staggered 10_000) ~schedule:(W.Random 5) ya ~n:4 in
+  Alcotest.(check (list int)) "arrival order" [ 0; 1; 2; 3 ]
+    (Lb_shmem.Execution.crit_order r.W.exec);
+  (* and sequential staggering costs exactly the greedy canonical rate *)
+  Alcotest.(check (float 1e-9)) "uncontended rate"
+    (float_of_int (Lb_mutex.Canonical.sc_cost ya ~n:4 (Lb_mutex.Canonical.run ya ~n:4))
+    /. 4.0)
+    r.W.sc_per_section
+
+let test_workload_contention_hurts () =
+  (* under round-robin, all-at-once is at least as expensive per section as
+     a fully staggered arrival for yang_anderson *)
+  let cost pattern =
+    (W.run ~pattern ~schedule:W.Round_robin ya ~n:8).W.sc_per_section
+  in
+  Alcotest.(check bool) "contention >= staggered" true
+    (cost W.All_at_once >= cost (W.Staggered 10_000))
+
+(* ------------------------------ adversary ---------------------------- *)
+
+let test_adversary_finds_at_least_sequential () =
+  List.iter
+    (fun algo ->
+      let r = A.search ~tries:8 ~seed:1 algo ~n:5 in
+      Alcotest.(check bool)
+        (algo.Lb_shmem.Algorithm.name ^ " best >= sequential")
+        true
+        (r.A.best_cost >= r.A.sequential_cost))
+    [ ya; bakery; Lb_algos.Tournament.algorithm ]
+
+let test_adversary_exec_valid () =
+  let r = A.search ~tries:4 ~seed:9 ya ~n:4 in
+  Alcotest.(check int) "cost matches execution" r.A.best_cost
+    (Lb_cost.State_change.cost ya ~n:4 r.A.best_exec);
+  match Lb_mutex.Checker.check ~n:4 r.A.best_exec with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail (Lb_mutex.Checker.violation_to_string v)
+
+let test_adversary_deterministic () =
+  let a = A.search ~tries:6 ~seed:42 ya ~n:4 in
+  let b = A.search ~tries:6 ~seed:42 ya ~n:4 in
+  Alcotest.(check int) "same best" a.A.best_cost b.A.best_cost
+
+let test_adversary_validation () =
+  match A.search ~tries:0 ~seed:1 ya ~n:2 with
+  | _ -> Alcotest.fail "tries=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "arrivals all_at_once" `Quick test_arrivals_all_at_once;
+    Alcotest.test_case "arrivals staggered" `Quick test_arrivals_staggered;
+    Alcotest.test_case "arrivals bursts" `Quick test_arrivals_bursts;
+    Alcotest.test_case "arrivals poisson" `Quick test_arrivals_poisson;
+    Alcotest.test_case "arrivals validation" `Quick test_arrivals_validation;
+    Alcotest.test_case "workload completes" `Quick test_workload_complete;
+    Alcotest.test_case "workload rounds" `Quick test_workload_rounds;
+    Alcotest.test_case "workload respects arrivals" `Quick test_workload_respects_arrivals;
+    Alcotest.test_case "workload contention hurts" `Quick test_workload_contention_hurts;
+    Alcotest.test_case "adversary >= sequential" `Quick test_adversary_finds_at_least_sequential;
+    Alcotest.test_case "adversary exec valid" `Quick test_adversary_exec_valid;
+    Alcotest.test_case "adversary deterministic" `Quick test_adversary_deterministic;
+    Alcotest.test_case "adversary validation" `Quick test_adversary_validation;
+  ]

@@ -1,0 +1,105 @@
+open Lb_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_log2 () =
+  check_float "log2 8" 3.0 (Xmath.log2 8.0);
+  check_float "log2 1" 0.0 (Xmath.log2 1.0);
+  check_float "log2 sqrt2" 0.5 (Xmath.log2 (sqrt 2.0))
+
+let test_ceil_log2 () =
+  check_int "1" 0 (Xmath.ceil_log2 1);
+  check_int "2" 1 (Xmath.ceil_log2 2);
+  check_int "3" 2 (Xmath.ceil_log2 3);
+  check_int "4" 2 (Xmath.ceil_log2 4);
+  check_int "5" 3 (Xmath.ceil_log2 5);
+  check_int "1024" 10 (Xmath.ceil_log2 1024);
+  check_int "1025" 11 (Xmath.ceil_log2 1025);
+  Alcotest.check_raises "0 raises" (Invalid_argument "Xmath.ceil_log2: nonpositive")
+    (fun () -> ignore (Xmath.ceil_log2 0))
+
+let test_floor_log2 () =
+  check_int "1" 0 (Xmath.floor_log2 1);
+  check_int "2" 1 (Xmath.floor_log2 2);
+  check_int "3" 1 (Xmath.floor_log2 3);
+  check_int "4" 2 (Xmath.floor_log2 4);
+  check_int "1023" 9 (Xmath.floor_log2 1023);
+  check_int "1024" 10 (Xmath.floor_log2 1024)
+
+let test_powers_of_two () =
+  check_bool "1" true (Xmath.is_power_of_two 1);
+  check_bool "2" true (Xmath.is_power_of_two 2);
+  check_bool "3" false (Xmath.is_power_of_two 3);
+  check_bool "0" false (Xmath.is_power_of_two 0);
+  check_bool "-4" false (Xmath.is_power_of_two (-4));
+  check_int "next 1" 1 (Xmath.next_power_of_two 1);
+  check_int "next 3" 4 (Xmath.next_power_of_two 3);
+  check_int "next 4" 4 (Xmath.next_power_of_two 4);
+  check_int "next 100" 128 (Xmath.next_power_of_two 100)
+
+let test_pow () =
+  check_int "2^10" 1024 (Xmath.pow 2 10);
+  check_int "3^0" 1 (Xmath.pow 3 0);
+  check_int "7^3" 343 (Xmath.pow 7 3);
+  check_int "1^50" 1 (Xmath.pow 1 50)
+
+let test_factorial () =
+  check_int "0!" 1 (Xmath.factorial 0);
+  check_int "1!" 1 (Xmath.factorial 1);
+  check_int "5!" 120 (Xmath.factorial 5);
+  check_int "10!" 3628800 (Xmath.factorial 10);
+  check_int "20!" 2432902008176640000 (Xmath.factorial 20)
+
+let test_log2_factorial () =
+  check_float "log2 0!" 0.0 (Xmath.log2_factorial 0);
+  check_float "log2 1!" 0.0 (Xmath.log2_factorial 1);
+  Alcotest.(check (float 1e-6))
+    "log2 5! matches direct" (Xmath.log2 120.0) (Xmath.log2_factorial 5);
+  Alcotest.(check (float 1e-6))
+    "log2 10! matches direct" (Xmath.log2 3628800.0) (Xmath.log2_factorial 10);
+  (* Stirling sanity: n log n - n log2 e <= log2 n! <= n log n for n >= 1 *)
+  List.iter
+    (fun n ->
+      let l = Xmath.log2_factorial n in
+      let nl = Xmath.n_log2_n n in
+      Alcotest.(check bool)
+        (Printf.sprintf "stirling upper n=%d" n)
+        true (l <= nl +. 1e-9);
+      Alcotest.(check bool)
+        (Printf.sprintf "stirling lower n=%d" n)
+        true
+        (l >= nl -. (float_of_int n *. Xmath.log2 (exp 1.0)) -. 1e-9))
+    [ 2; 8; 64; 1000 ]
+
+let test_n_log2_n () =
+  check_float "0" 0.0 (Xmath.n_log2_n 0);
+  check_float "1" 0.0 (Xmath.n_log2_n 1);
+  check_float "8" 24.0 (Xmath.n_log2_n 8)
+
+let test_harmonic () =
+  check_float "H_1" 1.0 (Xmath.harmonic 1);
+  check_float "H_2" 1.5 (Xmath.harmonic 2);
+  Alcotest.(check (float 1e-9)) "H_4" (25.0 /. 12.0) (Xmath.harmonic 4)
+
+let test_clamp () =
+  check_int "below" 1 (Xmath.clamp ~lo:1 ~hi:5 0);
+  check_int "inside" 3 (Xmath.clamp ~lo:1 ~hi:5 3);
+  check_int "above" 5 (Xmath.clamp ~lo:1 ~hi:5 9);
+  check_int "imin" 2 (Xmath.imin 2 7);
+  check_int "imax" 7 (Xmath.imax 2 7)
+
+let suite =
+  [
+    Alcotest.test_case "log2" `Quick test_log2;
+    Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+    Alcotest.test_case "floor_log2" `Quick test_floor_log2;
+    Alcotest.test_case "powers of two" `Quick test_powers_of_two;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "factorial" `Quick test_factorial;
+    Alcotest.test_case "log2_factorial" `Quick test_log2_factorial;
+    Alcotest.test_case "n_log2_n" `Quick test_n_log2_n;
+    Alcotest.test_case "harmonic" `Quick test_harmonic;
+    Alcotest.test_case "clamp/imin/imax" `Quick test_clamp;
+  ]
