@@ -1,9 +1,14 @@
 (* Benchmark harness: regenerates every experiment table of EXPERIMENTS.md
-   (E1-E8) and then times the core operations with bechamel.
+   (E1-E8), times the core operations with bechamel, sweeps the bounded
+   model checker over the whole registry on the domain pool, and measures
+   the parallel-vs-sequential wall clock of the E1 certify sweep.
 
-   Usage: dune exec bench/main.exe            -- tables + timings
+   Usage: dune exec bench/main.exe            -- everything
           dune exec bench/main.exe -- tables  -- tables only
-          dune exec bench/main.exe -- timings -- timings only *)
+          dune exec bench/main.exe -- timings -- timings only
+          dune exec bench/main.exe -- checks  -- model-check sweep only
+          dune exec bench/main.exe -- sweep   -- E1 speedup measurement
+                                                 (writes BENCH_PARALLEL.json) *)
 
 open Bechamel
 open Toolkit
@@ -89,7 +94,108 @@ let run_timings () =
     (List.sort compare rows);
   Lb_util.Table.print t
 
+(* ----------------------- model-check sweep --------------------------- *)
+
+(* One Model_check.explore per registry algorithm, fanned out on the
+   domain pool — the bench-side consumer of Pool.map besides certify. *)
+let run_checks () =
+  print_endline "\n=== Bounded model-check sweep (Pool.map over the registry) ===\n";
+  let algos =
+    List.filter
+      (fun (a : Lb_shmem.Algorithm.t) -> Lb_shmem.Algorithm.supports a 2)
+      Lb_algos.Registry.all
+  in
+  let reports =
+    Lb_util.Pool.map
+      (fun a -> Lb_mutex.Model_check.explore a ~n:2 ~rounds:1)
+      algos
+  in
+  let t =
+    Lb_util.Table.create
+      ~title:
+        (Printf.sprintf "model check, n=2, rounds=1 (jobs=%d)"
+           (Lb_util.Pool.default_jobs ()))
+      [
+        ("algo", Lb_util.Table.Left);
+        ("verdict", Lb_util.Table.Left);
+        ("states", Lb_util.Table.Right);
+        ("transitions", Lb_util.Table.Right);
+      ]
+  in
+  List.iter2
+    (fun (a : Lb_shmem.Algorithm.t) (r : Lb_mutex.Model_check.report) ->
+      Lb_util.Table.add_row t
+        [
+          a.Lb_shmem.Algorithm.name;
+          Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict
+            r.Lb_mutex.Model_check.verdict;
+          string_of_int r.Lb_mutex.Model_check.states;
+          string_of_int r.Lb_mutex.Model_check.transitions;
+        ])
+    algos reports;
+  Lb_util.Table.print t
+
+(* --------------------- E1 sweep speedup ------------------------------ *)
+
+(* Wall-clock of the E1 certify sweep at jobs=1 vs jobs=default. The
+   tables are asserted byte-identical — parallelism must only buy time,
+   never change results. Appends the measurement to BENCH_PARALLEL.json. *)
+let run_sweep () =
+  print_endline "\n=== E1 sweep: sequential vs parallel wall clock ===\n";
+  let algos = [ Lb_algos.Yang_anderson.algorithm; Lb_algos.Bakery.algorithm ] in
+  let ns = [ 8; 9; 10 ] and budget = 24 in
+  let render jobs =
+    Lb_util.Pool.set_default_jobs jobs;
+    Lb_util.Table.render (Lb_exp.E1_lower_bound.table ~budget ~algos ~ns ())
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let y = f () in
+    (y, Unix.gettimeofday () -. t0)
+  in
+  ignore (render 1) (* warm up *);
+  let seq, seq_s = time (fun () -> render 1) in
+  let jobs = Domain.recommended_domain_count () in
+  let par, par_s = time (fun () -> render jobs) in
+  if seq <> par then failwith "parallel E1 table differs from sequential";
+  let speedup = seq_s /. par_s in
+  let t =
+    Lb_util.Table.create ~title:"E1 certify sweep wall clock"
+      [
+        ("jobs", Lb_util.Table.Right);
+        ("seconds", Lb_util.Table.Right);
+        ("speedup", Lb_util.Table.Right);
+      ]
+  in
+  Lb_util.Table.add_row t [ "1"; Printf.sprintf "%.2f" seq_s; "1.00" ];
+  Lb_util.Table.add_row t
+    [
+      string_of_int jobs;
+      Printf.sprintf "%.2f" par_s;
+      Printf.sprintf "%.2f" speedup;
+    ];
+  Lb_util.Table.print t;
+  print_endline "(tables byte-identical at both job counts)";
+  let oc = open_out "BENCH_PARALLEL.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"E1 certify sweep (yang_anderson+bakery, n in \
+     [8,9,10], budget 24)\",\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"jobs_sequential\": 1,\n\
+    \  \"jobs_parallel\": %d,\n\
+    \  \"seconds_sequential\": %.3f,\n\
+    \  \"seconds_parallel\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"tables_identical\": true\n\
+     }\n"
+    jobs jobs seq_s par_s speedup;
+  close_out oc;
+  print_endline "wrote BENCH_PARALLEL.json"
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "tables" || what = "all" then Lb_exp.Exp_all.run ();
+  if what = "checks" || what = "all" then run_checks ();
+  if what = "sweep" || what = "all" then run_sweep ();
   if what = "timings" || what = "all" then run_timings ()

@@ -35,6 +35,21 @@ let seed_arg =
   let doc = "PRNG seed (schedules, sampled permutations)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep. Defaults to $(b,MUTEXLB_JOBS) if set, \
+     else the machine's recommended domain count; 1 forces a sequential \
+     sweep (results are identical at every job count)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some j when j >= 1 -> Lb_util.Pool.set_default_jobs j
+  | Some j ->
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" j;
+    exit 2
+
 let perm_arg =
   let doc =
     "Permutation as comma-separated process indices, e.g. 2,0,1. Default: a \
@@ -144,25 +159,52 @@ let check_cmd =
   let max_states_arg =
     Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"K" ~doc:"State budget.")
   in
-  let run algo_name n rounds max_states =
-    let algo = find_algo algo_name in
-    let r = Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states in
-    Format.printf "%s n=%d rounds=%d: %a (%d states, %d transitions)@."
-      algo_name n rounds Lb_mutex.Model_check.pp_verdict
-      r.Lb_mutex.Model_check.verdict r.Lb_mutex.Model_check.states
-      r.Lb_mutex.Model_check.transitions;
-    (match r.Lb_mutex.Model_check.verdict with
-    | Lb_mutex.Model_check.Mutex_violation tr | Lb_mutex.Model_check.Deadlock tr ->
-      Format.printf "witness:@.%a@."
-        (Lb_shmem.Execution.pp_with_names (algo.Lb_shmem.Algorithm.registers ~n))
-        tr;
-      exit 1
-    | Lb_mutex.Model_check.Bound_exceeded _ -> exit 3
-    | Lb_mutex.Model_check.Verified -> ())
+  let run algo_names n rounds max_states jobs =
+    apply_jobs jobs;
+    let algos =
+      String.split_on_char ',' algo_names
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map find_algo
+    in
+    if algos = [] then begin
+      Printf.eprintf "check: no algorithm given\n";
+      exit 2
+    end;
+    (* the per-algorithm explorations are independent: fan them out *)
+    let reports =
+      Lb_util.Pool.map
+        (fun algo -> Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states)
+        algos
+    in
+    let status = ref 0 in
+    List.iter2
+      (fun (algo : Lb_shmem.Algorithm.t) r ->
+        Format.printf "%s n=%d rounds=%d: %a (%d states, %d transitions)@."
+          algo.Lb_shmem.Algorithm.name n rounds Lb_mutex.Model_check.pp_verdict
+          r.Lb_mutex.Model_check.verdict r.Lb_mutex.Model_check.states
+          r.Lb_mutex.Model_check.transitions;
+        match r.Lb_mutex.Model_check.verdict with
+        | Lb_mutex.Model_check.Mutex_violation tr
+        | Lb_mutex.Model_check.Deadlock tr ->
+          Format.printf "witness:@.%a@."
+            (Lb_shmem.Execution.pp_with_names
+               (algo.Lb_shmem.Algorithm.registers ~n))
+            tr;
+          status := 1
+        | Lb_mutex.Model_check.Bound_exceeded _ ->
+          if !status = 0 then status := 3
+        | Lb_mutex.Model_check.Verified -> ())
+      algos reports;
+    if !status <> 0 then exit !status
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Exhaustively model-check mutual exclusion at small n")
-    Term.(const run $ algo_arg $ n_arg $ rounds_arg $ max_states_arg)
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check mutual exclusion at small n. Accepts a \
+          comma-separated algorithm list; the per-algorithm sweeps run in \
+          parallel.")
+    Term.(const run $ algo_arg $ n_arg $ rounds_arg $ max_states_arg $ jobs_arg)
 
 (* ----------------------------- construct ----------------------------- *)
 
@@ -267,7 +309,10 @@ let decode_cmd =
   in
   let run file =
     let algo_name, n, bits =
-      Lb_core.Trace_io.bits_of_string (Lb_core.Trace_io.load ~path:file)
+      try Lb_core.Trace_io.bits_of_string (Lb_core.Trace_io.load ~path:file)
+      with Lb_core.Trace_io.Parse_error { line; detail } ->
+        Printf.eprintf "decode: %s:%d: %s\n" file line detail;
+        exit 2
     in
     let algo = find_algo algo_name in
     let decoded = Lb_core.Decode.run_bits algo ~n bits in
@@ -290,7 +335,15 @@ let certify_cmd =
   let perms_arg =
     Arg.(value & opt int 24 & info [ "perms" ] ~docv:"K" ~doc:"Permutations to sample.")
   in
-  let run algo_name n seed perms =
+  let run algo_name n seed perms jobs =
+    apply_jobs jobs;
+    if perms <= 0 then begin
+      Printf.eprintf
+        "certify: --perms must be >= 1 (got %d); an empty permutation family \
+         has no certificate\n"
+        perms;
+      exit 2
+    end;
     let algo = find_algo algo_name in
     let pis, exhaustive =
       if n <= 8 && Lb_util.Xmath.factorial n <= perms then
@@ -304,7 +357,7 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Aggregate the Theorem 7.5 certificate over a permutation family")
-    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg)
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg)
 
 (* ------------------------------ workload ------------------------------ *)
 
@@ -379,7 +432,8 @@ let experiments_cmd =
       & opt (some string) None
       & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids, e.g. E1,E3.")
   in
-  let run seed only =
+  let run seed only jobs =
+    apply_jobs jobs;
     match only with
     | None -> Lb_exp.Exp_all.run ~seed ()
     | Some ids ->
@@ -395,7 +449,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables")
-    Term.(const run $ seed_arg $ only_arg)
+    Term.(const run $ seed_arg $ only_arg $ jobs_arg)
 
 let () =
   let info =

@@ -85,8 +85,16 @@ let run_checked algo ~n pi =
       (Printf.sprintf "pipeline check failed (%s, n=%d, pi=%s): %s"
          algo.Algorithm.name n (Permutation.to_string pi) e)
 
-let certify algo ~n ~perms ?(exhaustive = false) () =
-  let results = List.map (fun pi -> run_checked algo ~n pi) perms in
+let certify algo ~n ~perms ?(exhaustive = false) ?jobs () =
+  (* An empty family would "certify" garbage: mean_cost = 0/0 = nan,
+     min_cost = max_int and lower_bound_bits = log2 0 = -inf. *)
+  if perms = [] then invalid_arg "Pipeline.certify: empty permutation family";
+  (* Each run_checked allocates its own construction arena, encoder
+     state and decoder state, and the library keeps no module-level
+     mutable state, so the per-pi runs are independent and can fan out
+     across domains. Pool.map collects in input order, so the
+     certificate is bit-for-bit identical at every job count. *)
+  let results = Lb_util.Pool.map ?jobs (fun pi -> run_checked algo ~n pi) perms in
   let costs = List.map (fun r -> r.cost) results in
   let bits = List.map (fun r -> r.bits) results in
   let fingerprints = List.map (fun r -> Execution.fingerprint r.decoded) results in

@@ -41,8 +41,18 @@ val certify :
   n:int ->
   perms:Permutation.t list ->
   ?exhaustive:bool ->
+  ?jobs:int ->
   unit ->
   Bounds.certificate
 (** Run the checked pipeline for every permutation and aggregate the
     certificate. [distinct] is established by fingerprinting every decoded
-    execution. *)
+    execution.
+
+    The per-permutation runs are independent (each allocates a private
+    metastep arena; the library holds no global mutable state) and fan
+    out across [jobs] worker domains via {!Lb_util.Pool.map}, which
+    collects results in input order — the certificate is identical for
+    every job count. [jobs] defaults to {!Lb_util.Pool.default_jobs}.
+    Raises [Invalid_argument] on an empty [perms] (an empty family has
+    no well-defined certificate: its mean cost is 0/0 and its
+    information bound is [log2 0]). *)

@@ -35,24 +35,44 @@ let action_of_tokens line = function
 
 (* ------------------------------ headers ------------------------------ *)
 
+(* Parsers work on [(original line number, content)] pairs: blank lines
+   are skipped but numbering always refers to the physical line in the
+   input, so an error in a hand-edited file with blank separators points
+   at the real line. [eof] is the first line number past the input, used
+   when a required line is missing altogether. *)
+
+let numbered_non_empty_lines s =
+  let lines = String.split_on_char '\n' s in
+  let numbered = List.mapi (fun i l -> (i + 1, l)) lines in
+  (List.filter (fun (_, l) -> String.trim l <> "") numbered,
+   List.length lines + 1)
+
 let parse_header ~magic lines =
   match lines with
-  | first :: rest when first = magic ^ " 1" -> rest
-  | first :: _ -> fail 1 (Printf.sprintf "bad magic %S (want %S 1)" first magic)
+  | (_, first) :: rest when first = magic ^ " 1" -> rest
+  | (ln, first) :: _ ->
+    fail ln (Printf.sprintf "bad magic %S (want %S 1)" first magic)
   | [] -> fail 1 "empty input"
 
-let parse_meta lines =
+let parse_meta ~eof lines =
+  let algo_of ln line =
+    match String.split_on_char ' ' line with
+    | [ "algo"; name ] -> name
+    | _ -> fail ln "expected `algo <name>`"
+  in
   match lines with
-  | algo_line :: n_line :: rest -> (
-    match
-      (String.split_on_char ' ' algo_line, String.split_on_char ' ' n_line)
-    with
-    | [ "algo"; name ], [ "n"; n ] -> (
+  | (ln1, algo_line) :: (ln2, n_line) :: rest -> (
+    let name = algo_of ln1 algo_line in
+    match String.split_on_char ' ' n_line with
+    | [ "n"; n ] -> (
       match int_of_string_opt n with
       | Some n when n >= 1 -> (name, n, rest)
-      | Some _ | None -> fail 3 "bad n")
-    | _ -> fail 2 "expected `algo <name>` then `n <int>`")
-  | _ -> fail 2 "missing header lines"
+      | Some _ | None -> fail ln2 "bad n")
+    | _ -> fail ln2 "expected `n <int>`")
+  | [ (ln1, algo_line) ] ->
+    ignore (algo_of ln1 algo_line);
+    fail eof "missing `n <int>` line"
+  | [] -> fail eof "missing `algo <name>` and `n <int>` lines"
 
 (* ----------------------------- executions ---------------------------- *)
 
@@ -68,17 +88,13 @@ let execution_to_string ~algo ~n exec =
     exec;
   Buffer.contents buf
 
-let non_empty_lines s =
-  String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
-
 let execution_of_string s =
-  let lines = non_empty_lines s in
+  let lines, eof = numbered_non_empty_lines s in
   let rest = parse_header ~magic:"mutexlb-trace" lines in
-  let algo, n, rest = parse_meta rest in
+  let algo, n, rest = parse_meta ~eof rest in
   let exec = Execution.create () in
-  List.iteri
-    (fun i line ->
-      let lineno = i + 4 in
+  List.iter
+    (fun (lineno, line) ->
       match String.split_on_char ' ' line with
       | "step" :: who :: action_tokens -> (
         match int_of_string_opt who with
@@ -116,39 +132,60 @@ let bits_to_string ~algo ~n bits =
   Buffer.contents buf
 
 let bits_of_string s =
-  let lines = non_empty_lines s in
+  let lines, eof = numbered_non_empty_lines s in
   let rest = parse_header ~magic:"mutexlb-bits" lines in
-  let algo, n, rest = parse_meta rest in
+  let algo, n, rest = parse_meta ~eof rest in
   match rest with
-  | [ bits_line ] -> (
+  | [ (ln, bits_line) ] -> (
     match String.split_on_char ' ' bits_line with
     | [ "bits"; count; hex ] -> (
       match int_of_string_opt count with
       | Some total when total >= 0 ->
-        if String.length hex <> (total + 3) / 4 then fail 4 "hex length mismatch";
+        if String.length hex <> (total + 3) / 4 then fail ln "hex length mismatch";
+        let nibble i =
+          match hex.[i] with
+          | '0' .. '9' as c -> Char.code c - Char.code '0'
+          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+          | _ -> fail ln "bad hex digit"
+        in
         let out = Array.make total false in
         for i = 0 to total - 1 do
-          let c = hex.[i / 4] in
-          let v =
-            match c with
-            | '0' .. '9' -> Char.code c - Char.code '0'
-            | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-            | _ -> fail 4 "bad hex digit"
-          in
-          out.(i) <- (v lsr (3 - (i mod 4))) land 1 = 1
+          out.(i) <- (nibble (i / 4) lsr (3 - (i mod 4))) land 1 = 1
         done;
+        (* the writer zero-fills the final nibble, so accepting nonzero
+           padding bits would let distinct strings decode to the same
+           bits — reject to keep the representation canonical *)
+        if total mod 4 <> 0 && total > 0 then begin
+          let pad = 4 - (total mod 4) in
+          if nibble (String.length hex - 1) land ((1 lsl pad) - 1) <> 0 then
+            fail ln "non-canonical padding in final hex digit"
+        end;
         (algo, n, out)
-      | Some _ | None -> fail 4 "bad bit count")
-    | _ -> fail 4 "expected `bits <count> <hex>`")
-  | _ -> fail 4 "expected exactly one bits line"
+      | Some _ | None -> fail ln "bad bit count")
+    | _ -> fail ln "expected `bits <count> <hex>`")
+  | [] -> fail eof "expected a `bits <count> <hex>` line"
+  | _ :: (ln, _) :: _ -> fail ln "expected exactly one bits line"
 
 (* -------------------------------- files ------------------------------ *)
 
 let save ~path content =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content)
+  (* Write to a temp file in the same directory and rename into place:
+     [open_out path] truncates immediately, so a crash mid-write would
+     destroy a previously saved artifact. Rename within one directory is
+     atomic, so readers only ever see the old or the new content. *)
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path) ".mutexlb" ".tmp"
+  in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let load ~path =
   let ic = open_in path in

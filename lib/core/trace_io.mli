@@ -15,8 +15,10 @@
     v}
 
     Encodings serialize as [mutexlb-bits 1] followed by the bit string in
-    hex with an exact bit count. Parsers reject malformed input with a
-    line number. *)
+    hex with an exact bit count (the final hex digit zero-padded, and
+    parsers reject nonzero padding bits so the representation stays
+    canonical). Parsers skip blank lines but report errors with the
+    {e physical} line number of the input. *)
 
 exception Parse_error of { line : int; detail : string }
 
@@ -33,6 +35,8 @@ val bits_to_string : algo:string -> n:int -> bool array -> string
 val bits_of_string : string -> string * int * bool array
 
 val save : path:string -> string -> unit
-(** Write a serialized artifact to a file. *)
+(** Write a serialized artifact to a file, atomically: the content goes
+    to a temp file in the target's directory first and is renamed into
+    place, so a crash mid-write never clobbers an existing artifact. *)
 
 val load : path:string -> string

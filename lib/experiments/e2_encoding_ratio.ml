@@ -22,7 +22,9 @@ let table ?(seed = Exp_common.default_seed) ?(budget = 12) ~algos ~ns () =
           if Lb_shmem.Algorithm.supports algo n then begin
             let perms, _ = Exp_common.perms_for ~seed ~n ~budget in
             let results =
-              List.map (fun pi -> Lb_core.Pipeline.run_checked algo ~n pi) perms
+              Exp_common.map_perms
+                (fun pi -> Lb_core.Pipeline.run_checked algo ~n pi)
+                perms
             in
             let ratios =
               List.map

@@ -20,39 +20,46 @@ let table ?(seed = Exp_common.default_seed) ~algos ~ns () =
         ("ascii bits", Table.Right);
       ]
   in
+  (* one construct+encode per (algo, n) cell: fan the grid out across
+     domains and stitch rows back in grid order *)
+  let work =
+    List.concat_map
+      (fun (algo : Lb_shmem.Algorithm.t) ->
+        List.filter_map
+          (fun n ->
+            if Lb_shmem.Algorithm.supports algo n then Some (algo, n) else None)
+          ns)
+      algos
+  in
+  let row ((algo : Lb_shmem.Algorithm.t), n) =
+    let pi = Lb_core.Permutation.random (Lb_util.Rng.create (seed + n)) n in
+    let c = Lb_core.Construct.run algo ~n pi in
+    let e = E.encode c in
+    let s = E.stats c e in
+    let cells =
+      s.E.crit_cells + s.E.sr_cells + s.E.pr_cells + s.E.r_cells + s.E.w_cells
+      + s.E.wsig_cells
+    in
+    [
+      algo.Lb_shmem.Algorithm.name;
+      string_of_int n;
+      string_of_int s.E.metasteps;
+      string_of_int s.E.crit_cells;
+      string_of_int s.E.sr_cells;
+      string_of_int s.E.pr_cells;
+      string_of_int s.E.r_cells;
+      string_of_int s.E.w_cells;
+      string_of_int s.E.wsig_cells;
+      string_of_int s.E.signature_bits;
+      string_of_int s.E.total_bits;
+      Table.cell_f (float_of_int s.E.total_bits /. float_of_int cells);
+      string_of_int (8 * String.length (E.to_ascii e));
+    ]
+  in
+  let rows = List.combine work (Exp_common.map_cells row work) in
   List.iter
     (fun (algo : Lb_shmem.Algorithm.t) ->
-      List.iter
-        (fun n ->
-          if Lb_shmem.Algorithm.supports algo n then begin
-            let pi =
-              Lb_core.Permutation.random (Lb_util.Rng.create (seed + n)) n
-            in
-            let c = Lb_core.Construct.run algo ~n pi in
-            let e = E.encode c in
-            let s = E.stats c e in
-            let cells =
-              s.E.crit_cells + s.E.sr_cells + s.E.pr_cells + s.E.r_cells
-              + s.E.w_cells + s.E.wsig_cells
-            in
-            Table.add_row t
-              [
-                algo.Lb_shmem.Algorithm.name;
-                string_of_int n;
-                string_of_int s.E.metasteps;
-                string_of_int s.E.crit_cells;
-                string_of_int s.E.sr_cells;
-                string_of_int s.E.pr_cells;
-                string_of_int s.E.r_cells;
-                string_of_int s.E.w_cells;
-                string_of_int s.E.wsig_cells;
-                string_of_int s.E.signature_bits;
-                string_of_int s.E.total_bits;
-                Table.cell_f (float_of_int s.E.total_bits /. float_of_int cells);
-                string_of_int (8 * String.length (E.to_ascii e));
-              ]
-          end)
-        ns;
+      List.iter (fun ((a, _), cells) -> if a == algo then Table.add_row t cells) rows;
       Table.add_sep t)
     algos;
   t

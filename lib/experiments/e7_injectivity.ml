@@ -19,26 +19,34 @@ let table ?(max_n = 6) ~algo () =
   in
   for n = 2 to max_n do
     let perms = P.all n in
+    (* sweep all of S_n in parallel; each permutation yields a small
+       verdict record, folded into the row's counters afterwards *)
+    let verdicts =
+      Exp_common.map_perms
+        (fun pi ->
+          let r = Lb_core.Pipeline.run algo ~n pi in
+          let check_ok = Result.is_ok (Lb_core.Pipeline.check algo ~n r) in
+          let invariants_ok =
+            List.for_all
+              (fun (_, res) -> Result.is_ok res)
+              (Lb_core.Verify.all ~samples:1 r.Lb_core.Pipeline.construction)
+          in
+          ( check_ok,
+            invariants_ok,
+            Lb_shmem.Execution.fingerprint r.Lb_core.Pipeline.decoded ))
+        perms
+    in
     let order_ok = ref 0 and decode_ok = ref 0 and invariants_ok = ref 0 in
     let fingerprints = ref [] in
     List.iter
-      (fun pi ->
-        let r = Lb_core.Pipeline.run algo ~n pi in
-        (match Lb_core.Pipeline.check algo ~n r with
-        | Ok () ->
+      (fun (check_ok, inv_ok, fp) ->
+        if check_ok then begin
           incr order_ok;
           incr decode_ok
-        | Error _ -> ());
-        let c = r.Lb_core.Pipeline.construction in
-        if
-          List.for_all
-            (fun (_, res) -> Result.is_ok res)
-            (Lb_core.Verify.all ~samples:1 c)
-        then incr invariants_ok;
-        fingerprints :=
-          Lb_shmem.Execution.fingerprint r.Lb_core.Pipeline.decoded
-          :: !fingerprints)
-      perms;
+        end;
+        if inv_ok then incr invariants_ok;
+        fingerprints := fp :: !fingerprints)
+      verdicts;
     let distinct = List.length (List.sort_uniq compare !fingerprints) in
     Table.add_row t
       [

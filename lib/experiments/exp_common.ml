@@ -7,6 +7,10 @@ let perms_for ~seed ~n ~budget =
     ( Lb_core.Permutation.sample (Lb_util.Rng.create (seed + n)) ~n ~count:budget,
       false )
 
+let map_perms ?jobs f perms = Lb_util.Pool.map ?jobs f perms
+
+let map_cells ?jobs f cells = Lb_util.Pool.map ?jobs f cells
+
 let sc_cost_of_canonical algo ~n =
   Lb_mutex.Canonical.sc_cost algo ~n (Lb_mutex.Canonical.run algo ~n)
 

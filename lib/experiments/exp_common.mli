@@ -12,6 +12,23 @@ val perms_for :
 (** Permutations to sweep for size [n]: all of [S_n] when [n! <= budget]
     (returns [true] for exhaustive), else [budget] samples. *)
 
+val map_perms :
+  ?jobs:int ->
+  (Lb_core.Permutation.t -> 'a) ->
+  Lb_core.Permutation.t list ->
+  'a list
+(** The experiments' π-sweep primitive: {!Lb_util.Pool.map} over a
+    permutation family. Order-preserving, so tables built from the
+    result are identical at every job count; [jobs] defaults to the
+    process-wide {!Lb_util.Pool.default_jobs} (the CLI's [--jobs]). *)
+
+val map_cells : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!Lb_util.Pool.map} over a table's (algo, n) grid cells, for
+    experiments whose unit of work is a whole cell rather than one
+    permutation (E1's certificates, E5's anatomy rows). Nested
+    {!map_perms} calls inside a cell degrade to sequential, so grids of
+    certify sweeps cannot oversubscribe the machine. *)
+
 val sc_cost_of_canonical : Lb_shmem.Algorithm.t -> n:int -> int
 (** SC cost of the greedy canonical execution (identity priority). *)
 

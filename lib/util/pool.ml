@@ -1,0 +1,113 @@
+(* Worker domains are spawned per [map] call and joined before it
+   returns. A shared persistent pool would amortize the ~tens of
+   microseconds of Domain.spawn, but it makes nested maps (a parallel
+   certify inside a parallel experiment grid) deadlock-prone: every
+   worker could end up blocked waiting for queue slots serviced only by
+   workers. Per-call domains plus a domain-local "I am a worker" flag —
+   under which nested maps degrade to List.map — keep the whole sweep
+   layer composable, and the spawn cost is invisible next to a single
+   construct→encode→decode run. *)
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let default = ref None
+
+let default_jobs () =
+  match !default with
+  | Some j -> j
+  | None -> (
+    match Sys.getenv_opt "MUTEXLB_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ())
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  default := Some j
+
+(* Result slots are written by exactly one worker each and read only
+   after every worker has been joined, so plain (non-atomic) array
+   stores are race-free under the OCaml 5 memory model. *)
+type 'b slot = Empty | Done of 'b
+
+let parallel_map ~jobs f items =
+  let n = Array.length items in
+  let results = Array.make n Empty in
+  let lock = Mutex.create () in
+  let finished = Condition.create () in
+  let next = ref 0 in
+  let live = ref 0 in
+  let failure = ref None in
+  (* [take] hands out input indices; once a failure is recorded it
+     returns [None] so workers fail fast instead of draining the rest
+     of the sweep. *)
+  let take () =
+    Mutex.lock lock;
+    let i =
+      if !failure <> None || !next >= n then None
+      else begin
+        let i = !next in
+        incr next;
+        Some i
+      end
+    in
+    Mutex.unlock lock;
+    i
+  in
+  let record exn bt =
+    Mutex.lock lock;
+    if !failure = None then failure := Some (exn, bt);
+    Mutex.unlock lock
+  in
+  let rec drain () =
+    match take () with
+    | None -> ()
+    | Some i ->
+      (match f items.(i) with
+      | y -> results.(i) <- Done y
+      | exception exn -> record exn (Printexc.get_raw_backtrace ()));
+      drain ()
+  in
+  let worker () =
+    Domain.DLS.set in_worker_key true;
+    drain ();
+    Mutex.lock lock;
+    decr live;
+    if !live = 0 then Condition.signal finished;
+    Mutex.unlock lock
+  in
+  let spawned = Xmath.imin jobs n - 1 in
+  live := spawned;
+  let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+  (* the calling domain is the [jobs]-th worker; flag it so nested maps
+     inside [f] run sequentially here too *)
+  let was_worker = Domain.DLS.get in_worker_key in
+  Domain.DLS.set in_worker_key true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set in_worker_key was_worker)
+    drain;
+  Mutex.lock lock;
+  while !live > 0 do
+    Condition.wait finished lock
+  done;
+  Mutex.unlock lock;
+  Array.iter Domain.join domains;
+  (match !failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
+  Array.to_list
+    (Array.map (function Done y -> y | Empty -> assert false) results)
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 || in_worker () -> List.map f xs
+  | _ -> parallel_map ~jobs f (Array.of_list xs)
+
+let iter ?jobs f xs = ignore (map ?jobs f xs)

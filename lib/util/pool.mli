@@ -1,0 +1,56 @@
+(** A stdlib-only pool of worker domains ([Domain] + [Mutex] +
+    [Condition]) for the π-sweeps.
+
+    Every sweep in the reproduction — {!Lb_core.Pipeline.certify}, the
+    experiment tables, the bounded model checker's per-algorithm runs —
+    applies an expensive pure function to each element of a list. This
+    module provides the one primitive they all share: {!map}, a
+    parallel [List.map] that
+
+    {ul
+    {- preserves order: the result list lines up with the input list
+       exactly as [List.map]'s would, whatever order the workers finish
+       in;}
+    {- propagates exceptions fail-fast: the first exception raised by
+       [f] is re-raised (with its backtrace) in the calling domain, and
+       workers stop picking up new items as soon as a failure is
+       recorded;}
+    {- is deterministic: for a pure [f], [map ~jobs:k f xs = List.map f xs]
+       for every [k] — parallelism only changes wall-clock time, never
+       results. The test suite checks this with a qcheck property over
+       random certify sweeps.}}
+
+    Workers are spawned per {!map} call and joined before it returns
+    (domains are cheap relative to a single construct→encode→decode run);
+    a call never leaves domains behind. Calls from inside a worker — e.g.
+    a parallel {!Lb_core.Pipeline.certify} cell inside a parallel
+    experiment grid — are detected with domain-local storage and run
+    sequentially, so nested maps can never deadlock or oversubscribe the
+    machine. *)
+
+val default_jobs : unit -> int
+(** The job count used when {!map} is called without [?jobs]: the value
+    of {!set_default_jobs} if it was called, else the [MUTEXLB_JOBS]
+    environment variable if set to a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default job count for the whole process (the CLI's
+    [--jobs] flag). Raises [Invalid_argument] unless the argument is
+    [>= 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
+    domains (the calling domain participates as one of the workers).
+    [jobs] defaults to {!default_jobs}; [jobs = 1], an empty or
+    singleton [xs], and calls from inside a pool worker all degrade to a
+    plain sequential [List.map]. Raises [Invalid_argument] if
+    [jobs < 1]. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [iter ~jobs f xs] is [ignore (map ~jobs f xs)] without building the
+    result list's contents. *)
+
+val in_worker : unit -> bool
+(** True inside a function being applied by a {!map} worker domain —
+    the condition under which nested {!map} calls run sequentially. *)

@@ -20,9 +20,19 @@ let split t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: nonpositive bound";
-  (* keep 62 bits so the value fits OCaml's native positive int range *)
-  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  r mod bound
+  (* Rejection sampling: [r mod bound] alone over-weights the low
+     residues whenever [bound] does not divide 2^62. Redraw whenever [r]
+     falls in the incomplete block at the top of the range — detected,
+     overflow-style, by [r - v + (bound - 1)] wrapping past [max_int]
+     (all draws keep 62 bits, so values fit OCaml's native positive int
+     range and [max_int = 2^62 - 1] is exactly the largest draw). At
+     most one redraw is needed in expectation for any bound. *)
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then go () else v
+  in
+  go ()
 
 let float t =
   let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in

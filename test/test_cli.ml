@@ -77,6 +77,38 @@ let test_certify () =
   Alcotest.(check bool) "distinct" true
     (Astring_contains.contains out "distinct decodes: true")
 
+let test_certify_zero_perms () =
+  let status, out = run_cmd "certify -a yang_anderson -n 4 --perms 0" in
+  Alcotest.(check int) "exit 2" 2 status;
+  Alcotest.(check bool) "clean error, not a crash" true
+    (Astring_contains.contains out "--perms must be >= 1")
+
+let test_certify_jobs_identical () =
+  (* the parallel sweep must emit byte-identical certificates *)
+  let _, seq = check_runs "certify jobs=1"
+      "certify -a yang_anderson -n 6 --seed 7 --perms 24 --jobs 1" 0
+  in
+  let _, par = check_runs "certify jobs=4"
+      "certify -a yang_anderson -n 6 --seed 7 --perms 24 --jobs 4" 0
+  in
+  Alcotest.(check string) "identical output" seq par
+
+let test_bad_jobs () =
+  let status, out = run_cmd "certify -a yang_anderson -n 4 --perms 6 --jobs 0" in
+  Alcotest.(check int) "exit 2" 2 status;
+  Alcotest.(check bool) "clean error" true
+    (Astring_contains.contains out "--jobs must be >= 1")
+
+let test_check_multi_algo () =
+  let _, out = check_runs "check multi" "check -a peterson2,tas -n 2 --jobs 2" 0 in
+  Alcotest.(check bool) "peterson2 row" true (Astring_contains.contains out "peterson2");
+  Alcotest.(check bool) "tas row" true (Astring_contains.contains out "tas");
+  (* a violation anywhere in the sweep drives the exit code *)
+  let status, out = run_cmd "check -a peterson2,broken_spinlock -n 2 --jobs 2" in
+  Alcotest.(check int) "violation exit" 1 status;
+  Alcotest.(check bool) "witness shown" true
+    (Astring_contains.contains out "MUTEX VIOLATION")
+
 let test_workload () =
   let _, out =
     check_runs "workload" "workload -a ticket -n 4 --pattern staggered:50" 0
@@ -110,6 +142,10 @@ let suite =
     Alcotest.test_case "pipeline + decode roundtrip" `Quick test_pipeline_and_decode;
     Alcotest.test_case "construct --dot" `Quick test_construct_dot;
     Alcotest.test_case "certify" `Quick test_certify;
+    Alcotest.test_case "certify --perms 0" `Quick test_certify_zero_perms;
+    Alcotest.test_case "certify --jobs identical" `Quick test_certify_jobs_identical;
+    Alcotest.test_case "bad --jobs" `Quick test_bad_jobs;
+    Alcotest.test_case "check multi-algo sweep" `Quick test_check_multi_algo;
     Alcotest.test_case "workload" `Quick test_workload;
     Alcotest.test_case "adversary" `Quick test_adversary;
     Alcotest.test_case "experiments --only" `Quick test_experiments_only;

@@ -7,6 +7,7 @@ let () =
     [
       ("xmath", Test_xmath.suite);
       ("rng", Test_rng.suite);
+      ("pool", Test_pool.suite);
       ("stats+vec+table", Test_stats_vec.suite);
       ("bitio", Test_bitio.suite);
       ("shmem", Test_shmem.suite);

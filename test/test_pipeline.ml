@@ -105,6 +105,24 @@ let test_certificate_exhaustive () =
     && cert.B.mean_cost <= float_of_int cert.B.max_cost);
   Alcotest.(check bool) "bits/cost constant positive" true (cert.B.bits_per_cost > 0.0)
 
+let test_certify_empty_rejected () =
+  (* regression: an empty family used to "certify" garbage —
+     mean_cost = nan, min_cost = max_int, lower_bound_bits = -inf *)
+  Alcotest.check_raises "empty perms"
+    (Invalid_argument "Pipeline.certify: empty permutation family") (fun () ->
+      ignore (Pl.certify ya ~n:3 ~perms:[] ()))
+
+let test_certify_jobs_equivalence () =
+  let perms = P.all 4 in
+  let seq = Pl.certify ya ~n:4 ~perms ~exhaustive:true ~jobs:1 () in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d certificate equals sequential" jobs)
+        true
+        (seq = Pl.certify ya ~n:4 ~perms ~exhaustive:true ~jobs ()))
+    [ 2; 3; 8 ]
+
 let test_certificate_sampled () =
   let rng = Lb_util.Rng.create 3 in
   let perms = P.sample rng ~n:8 ~count:6 in
@@ -172,6 +190,8 @@ let suite =
     Alcotest.test_case "check catches wrong pi" `Quick test_check_catches_wrong_pi;
     Alcotest.test_case "certificate exhaustive S4" `Quick test_certificate_exhaustive;
     Alcotest.test_case "certificate sampled" `Quick test_certificate_sampled;
+    Alcotest.test_case "certify empty rejected" `Quick test_certify_empty_rejected;
+    Alcotest.test_case "certify jobs equivalence" `Quick test_certify_jobs_equivalence;
     Alcotest.test_case "bounds math" `Quick test_bounds_math;
     Alcotest.test_case "theorem 7.5 shape" `Slow test_theorem_7_5_shape;
     Alcotest.test_case "certificate pp" `Quick test_certificate_pp;

@@ -27,6 +27,44 @@ let test_int_covers () =
   done;
   Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
 
+let test_int_chi_square () =
+  (* uniformity smoke check: chi-square over 10 buckets, 100k draws.
+     df = 9; the 99.9th percentile is ~27.9, so a sound generator fails
+     this (deterministic seed) essentially never *)
+  let t = Rng.create 20060723 in
+  let buckets = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let i = Rng.int t 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  let expected = float_of_int draws /. 10.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc obs ->
+        let d = float_of_int obs -. expected in
+        acc +. (d *. d /. expected))
+      0.0 buckets
+  in
+  if chi2 > 27.9 then Alcotest.failf "chi-square too large: %f" chi2
+
+let test_int_no_modulo_bias () =
+  (* regression: with bound = 3*2^60 the old [r mod bound] hit the
+     bottom third of the range with probability 1/2 instead of 1/3
+     (every r in [3*2^60, 2^62) wrapped into [0, 2^60)). Rejection
+     sampling makes the draw uniform. *)
+  let bound = 3 * 1152921504606846976 (* 3 * 2^60 *) in
+  let third = 1152921504606846976 in
+  let t = Rng.create 42 in
+  let draws = 30_000 in
+  let low = ref 0 in
+  for _ = 1 to draws do
+    if Rng.int t bound < third then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int draws in
+  if frac < 0.30 || frac > 0.37 then
+    Alcotest.failf "bottom-third frequency %.3f, want ~1/3 (biased mod gives 1/2)" frac
+
 let test_float_range () =
   let t = Rng.create 5 in
   for _ = 1 to 10_000 do
@@ -104,6 +142,8 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "int range" `Quick test_int_range;
     Alcotest.test_case "int covers" `Quick test_int_covers;
+    Alcotest.test_case "int chi-square" `Quick test_int_chi_square;
+    Alcotest.test_case "int no modulo bias" `Quick test_int_no_modulo_bias;
     Alcotest.test_case "float range" `Quick test_float_range;
     Alcotest.test_case "copy independent" `Quick test_copy_independent;
     Alcotest.test_case "split diverges" `Quick test_split_diverges;

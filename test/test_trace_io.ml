@@ -39,6 +39,62 @@ let test_execution_bad_input () =
       | exception T.Parse_error _ -> ())
     cases
 
+let expect_error_at label input parse expected_line =
+  match parse input with
+  | _ -> Alcotest.failf "%s accepted" label
+  | exception T.Parse_error { line; _ } ->
+    Alcotest.(check int) (label ^ " line number") expected_line line
+
+let test_error_line_numbers () =
+  (* regression: blank lines used to be filtered before numbering, and
+     header errors hardcoded lines 1-4, so errors in files with blank
+     separators pointed at the wrong physical line *)
+  let e = expect_error_at in
+  let exec = T.execution_of_string and bits = T.bits_of_string in
+  (* bad step pid on physical line 9 (blank lines at 2, 4, 6, 8) *)
+  e "bad pid after blanks"
+    "mutexlb-trace 1\n\nalgo x\n\nn 2\n\nstep 0 try\n\nstep 9 try\n" exec 9;
+  (* bad action keyword on physical line 5 *)
+  e "bad action after blank" "mutexlb-trace 1\nalgo x\nn 2\n\nstep 0 fly\n" exec 5;
+  (* bad magic shifted down by leading blank lines *)
+  e "bad magic at line 3" "\n\ngarbage 1\nalgo x\nn 2\n" exec 3;
+  (* bad n on physical line 5, not hardcoded 3 *)
+  e "bad n at line 5" "mutexlb-trace 1\n\nalgo x\n\nn 0\n" exec 5;
+  (* malformed algo line reported where it is *)
+  e "bad algo at line 2" "mutexlb-trace 1\nalgorithm x\nn 2\n" exec 2;
+  (* bits line errors use the physical bits line *)
+  e "bad hex at line 6" "mutexlb-bits 1\nalgo x\nn 2\n\n\nbits 8 z0\n" bits 6;
+  (* missing lines point just past the end of input *)
+  e "missing n" "mutexlb-trace 1\nalgo x\n" exec 4;
+  e "missing bits line" "mutexlb-bits 1\nalgo x\nn 2\n" bits 5
+
+let test_blank_lines_accepted () =
+  (* blank and whitespace-only lines are still skipped, not errors *)
+  let algo, n, exec =
+    T.execution_of_string
+      "mutexlb-trace 1\n\nalgo x\n   \nn 2\n\nstep 0 try\n\nstep 1 try\n\n"
+  in
+  Alcotest.(check string) "algo" "x" algo;
+  Alcotest.(check int) "n" 2 n;
+  Alcotest.(check int) "steps" 2 (Execution.length exec)
+
+let test_bits_padding_canonical () =
+  (* 5 bits -> 2 hex digits, 3 padding bits in the final digit. The
+     writer zero-fills them; nonzero padding must be rejected or
+     distinct strings would decode to the same bits (non-injective). *)
+  let ok = "mutexlb-bits 1\nalgo x\nn 2\nbits 5 88\n" in
+  let _, _, decoded = T.bits_of_string ok in
+  Alcotest.(check bool) "canonical accepted" true
+    (decoded = [| true; false; false; false; true |]);
+  List.iter
+    (fun (input, label) ->
+      expect_error_at label input T.bits_of_string 4)
+    [
+      ("mutexlb-bits 1\nalgo x\nn 2\nbits 5 89\n", "low padding bit set");
+      ("mutexlb-bits 1\nalgo x\nn 2\nbits 5 8c\n", "high padding bit set");
+      ("mutexlb-bits 1\nalgo x\nn 2\nbits 2 1\n", "two-bit padding set");
+    ]
+
 let test_bits_roundtrip () =
   let r = Lb_core.Pipeline.run ya ~n:4 (P.reverse 4) in
   let bits = r.Lb_core.Pipeline.encoding.Lb_core.Encode.bits in
@@ -84,6 +140,26 @@ let test_file_roundtrip () =
       let _, _, exec' = T.execution_of_string (T.load ~path) in
       Alcotest.(check bool) "file roundtrip" true (Execution.equal exec exec'))
 
+let test_save_is_atomic_replace () =
+  (* save writes a temp file and renames it into place: overwriting an
+     existing artifact leaves the new content, and no temp files stay
+     behind in the directory *)
+  let dir = Filename.temp_file "mutexlb_dir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let path = Filename.concat dir "artifact.trace" in
+      T.save ~path "first version\n";
+      T.save ~path "second version\n";
+      Alcotest.(check string) "latest content wins" "second version\n"
+        (T.load ~path);
+      Alcotest.(check (list string)) "no temp files left" [ "artifact.trace" ]
+        (Array.to_list (Sys.readdir dir)))
+
 let execution_roundtrip_prop =
   QCheck.Test.make ~name:"trace roundtrip on random canonical runs" ~count:30
     QCheck.(pair (int_range 1 6) (int_range 0 1000))
@@ -98,6 +174,10 @@ let suite =
     Alcotest.test_case "execution roundtrip" `Quick test_execution_roundtrip;
     Alcotest.test_case "rmw roundtrip" `Quick test_execution_rmw_roundtrip;
     Alcotest.test_case "execution bad input" `Quick test_execution_bad_input;
+    Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
+    Alcotest.test_case "blank lines accepted" `Quick test_blank_lines_accepted;
+    Alcotest.test_case "bits padding canonical" `Quick test_bits_padding_canonical;
+    Alcotest.test_case "save atomic replace" `Quick test_save_is_atomic_replace;
     Alcotest.test_case "bits roundtrip" `Quick test_bits_roundtrip;
     Alcotest.test_case "bits odd lengths" `Quick test_bits_odd_lengths;
     Alcotest.test_case "bits bad input" `Quick test_bits_bad_input;
