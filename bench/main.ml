@@ -98,7 +98,7 @@ let run_timings () =
 
 (* One Model_check.explore per registry algorithm, fanned out on the
    domain pool — the bench-side consumer of Pool.map besides certify. *)
-let run_checks () =
+let rec run_checks () =
   print_endline "\n=== Bounded model-check sweep (Pool.map over the registry) ===\n";
   let algos =
     List.filter
@@ -120,6 +120,8 @@ let run_checks () =
         ("verdict", Lb_util.Table.Left);
         ("states", Lb_util.Table.Right);
         ("transitions", Lb_util.Table.Right);
+        ("states/s", Lb_util.Table.Right);
+        ("B/state", Lb_util.Table.Right);
       ]
   in
   List.iter2
@@ -131,9 +133,111 @@ let run_checks () =
             r.Lb_mutex.Model_check.verdict;
           string_of_int r.Lb_mutex.Model_check.states;
           string_of_int r.Lb_mutex.Model_check.transitions;
+          Printf.sprintf "%.0f" (Lb_mutex.Model_check.states_per_sec r);
+          Printf.sprintf "%.0f" (Lb_mutex.Model_check.bytes_per_state r);
         ])
     algos reports;
-  Lb_util.Table.print t
+  Lb_util.Table.print t;
+  run_core_comparison ()
+
+(* Fixed workload comparing the packed-key core against the PR-1-era
+   string-key core (Legacy_check), and jobs=1 against jobs=default.
+   Verdicts, state and transition counts must agree everywhere; the
+   measurements land in BENCH_MODELCHECK.json. *)
+and run_core_comparison () =
+  print_endline "\n=== Core comparison: string-key (legacy) vs packed-key ===\n";
+  let algo = Lb_algos.Yang_anderson.algorithm and n = 3 and rounds = 1 in
+  let legacy = Legacy_check.explore algo ~n ~rounds in
+  let legacy_s = legacy.Legacy_check.seconds in
+  let legacy_states_per_sec = float_of_int legacy.Legacy_check.states /. legacy_s in
+  let legacy_bytes_per_state =
+    float_of_int legacy.Legacy_check.live_words
+    *. float_of_int (Sys.word_size / 8)
+    /. float_of_int (max 1 legacy.Legacy_check.states)
+  in
+  let seq = Lb_mutex.Model_check.explore algo ~n ~rounds ~jobs:1 in
+  let jobs = Domain.recommended_domain_count () in
+  let par = Lb_mutex.Model_check.explore algo ~n ~rounds ~jobs in
+  (* agreement gates: any mismatch is a correctness regression *)
+  (match (legacy.Legacy_check.verdict, seq.Lb_mutex.Model_check.verdict) with
+  | Legacy_check.Verified, Lb_mutex.Model_check.Verified -> ()
+  | _ -> failwith "core comparison: verdicts differ (expected verified)");
+  if
+    legacy.Legacy_check.states <> seq.Lb_mutex.Model_check.states
+    || legacy.Legacy_check.transitions <> seq.Lb_mutex.Model_check.transitions
+  then failwith "core comparison: legacy and packed cores disagree";
+  if
+    seq.Lb_mutex.Model_check.verdict <> par.Lb_mutex.Model_check.verdict
+    || seq.Lb_mutex.Model_check.states <> par.Lb_mutex.Model_check.states
+    || seq.Lb_mutex.Model_check.transitions <> par.Lb_mutex.Model_check.transitions
+  then failwith "core comparison: jobs=1 and jobs=N disagree";
+  let sps r = Lb_mutex.Model_check.states_per_sec r in
+  let bps r = Lb_mutex.Model_check.bytes_per_state r in
+  let t =
+    Lb_util.Table.create
+      ~title:
+        (Printf.sprintf "yang_anderson n=%d rounds=%d (%d states)" n rounds
+           seq.Lb_mutex.Model_check.states)
+      [
+        ("core", Lb_util.Table.Left);
+        ("seconds", Lb_util.Table.Right);
+        ("states/s", Lb_util.Table.Right);
+        ("B/state", Lb_util.Table.Right);
+      ]
+  in
+  Lb_util.Table.add_row t
+    [
+      "string-key (legacy)";
+      Printf.sprintf "%.3f" legacy_s;
+      Printf.sprintf "%.0f" legacy_states_per_sec;
+      Printf.sprintf "%.0f" legacy_bytes_per_state;
+    ];
+  Lb_util.Table.add_row t
+    [
+      "packed, jobs=1";
+      Printf.sprintf "%.3f" seq.Lb_mutex.Model_check.seconds;
+      Printf.sprintf "%.0f" (sps seq);
+      Printf.sprintf "%.0f" (bps seq);
+    ];
+  Lb_util.Table.add_row t
+    [
+      Printf.sprintf "packed, jobs=%d" jobs;
+      Printf.sprintf "%.3f" par.Lb_mutex.Model_check.seconds;
+      Printf.sprintf "%.0f" (sps par);
+      Printf.sprintf "%.0f" (bps par);
+    ];
+  Lb_util.Table.print t;
+  Printf.printf
+    "\nspeedup (packed jobs=1 vs legacy): %.2fx states/s, %.2fx lower B/state\n"
+    (sps seq /. legacy_states_per_sec)
+    (legacy_bytes_per_state /. bps seq);
+  let oc = open_out "BENCH_MODELCHECK.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"model check yang_anderson n=%d rounds=%d\",\n\
+    \  \"states\": %d,\n\
+    \  \"transitions\": %d,\n\
+    \  \"verdict\": \"verified\",\n\
+    \  \"counts_identical_legacy_vs_packed\": true,\n\
+    \  \"counts_identical_jobs1_vs_jobsN\": true,\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"legacy\": { \"seconds\": %.3f, \"states_per_sec\": %.0f, \
+     \"bytes_per_state\": %.1f },\n\
+    \  \"packed_jobs1\": { \"seconds\": %.3f, \"states_per_sec\": %.0f, \
+     \"bytes_per_state\": %.1f },\n\
+    \  \"packed_jobsN\": { \"jobs\": %d, \"seconds\": %.3f, \
+     \"states_per_sec\": %.0f, \"bytes_per_state\": %.1f },\n\
+    \  \"speedup_states_per_sec\": %.3f,\n\
+    \  \"shrink_bytes_per_state\": %.3f\n\
+     }\n"
+    n rounds seq.Lb_mutex.Model_check.states
+    seq.Lb_mutex.Model_check.transitions jobs legacy_s legacy_states_per_sec
+    legacy_bytes_per_state seq.Lb_mutex.Model_check.seconds (sps seq) (bps seq)
+    jobs par.Lb_mutex.Model_check.seconds (sps par) (bps par)
+    (sps seq /. legacy_states_per_sec)
+    (legacy_bytes_per_state /. bps seq);
+  close_out oc;
+  print_endline "wrote BENCH_MODELCHECK.json"
 
 (* --------------------- E1 sweep speedup ------------------------------ *)
 

@@ -171,6 +171,23 @@ let check_cmd =
       Printf.eprintf "check: no algorithm given\n";
       exit 2
     end;
+    (* a comma-separated sweep may mix algorithms with different max n
+       (e.g. peterson2,yang_anderson at n=3): skip the ones that cannot
+       be instantiated rather than aborting the whole sweep *)
+    let algos =
+      List.filter
+        (fun (a : Lb_shmem.Algorithm.t) ->
+          let ok = Lb_shmem.Algorithm.supports a n in
+          if not ok then
+            Printf.printf "%s n=%d: skipped (unsupported size)\n"
+              a.Lb_shmem.Algorithm.name n;
+          ok)
+        algos
+    in
+    if algos = [] then begin
+      Printf.eprintf "check: no listed algorithm supports n=%d\n" n;
+      exit 2
+    end;
     (* the per-algorithm explorations are independent: fan them out *)
     let reports =
       Lb_util.Pool.map
@@ -180,10 +197,14 @@ let check_cmd =
     let status = ref 0 in
     List.iter2
       (fun (algo : Lb_shmem.Algorithm.t) r ->
-        Format.printf "%s n=%d rounds=%d: %a (%d states, %d transitions)@."
+        Format.printf
+          "%s n=%d rounds=%d: %a (%d states, %d transitions, %.0f states/s, \
+           %.0f B/state)@."
           algo.Lb_shmem.Algorithm.name n rounds Lb_mutex.Model_check.pp_verdict
           r.Lb_mutex.Model_check.verdict r.Lb_mutex.Model_check.states
-          r.Lb_mutex.Model_check.transitions;
+          r.Lb_mutex.Model_check.transitions
+          (Lb_mutex.Model_check.states_per_sec r)
+          (Lb_mutex.Model_check.bytes_per_state r);
         match r.Lb_mutex.Model_check.verdict with
         | Lb_mutex.Model_check.Mutex_violation tr
         | Lb_mutex.Model_check.Deadlock tr ->

@@ -153,7 +153,7 @@ module State = struct
     | Set_t -> "st"
     | Reset_p -> "rp"
     | Read_rival -> "rr"
-    | Read_t r -> Printf.sprintf "rt%d" r
+    | Read_t r -> Printf.sprintf "rt.%d" r
     | Read_rival_p r -> Printf.sprintf "rrp%d" r
     | Set_rival_p r -> Printf.sprintf "srp%d" r
     | Await_p1 -> "a1"

@@ -6,57 +6,88 @@ type verdict =
   | Deadlock of Execution.t
   | Bound_exceeded of int
 
-type report = { verdict : verdict; states : int; transitions : int }
-
-type node = {
-  sys : System.t;
-  phases : Checker.phase array;
-  rems : int array;
-  parent : (string * Step.t) option;
+type report = {
+  verdict : verdict;
+  states : int;
+  transitions : int;
+  live_words : int;
+  seconds : float;
 }
 
-let phase_code = function
-  | Checker.Remainder -> 'r'
-  | Checker.Trying -> 't'
-  | Checker.Critical -> 'c'
-  | Checker.Exit_section -> 'x'
+let states_per_sec r = float_of_int r.states /. Float.max 1e-9 r.seconds
 
-let key_of sys phases rems =
-  let buf = Buffer.create 64 in
-  Array.iter (fun v -> Buffer.add_string buf (string_of_int v); Buffer.add_char buf ',')
-    sys.System.regs;
-  Buffer.add_char buf '|';
-  Array.iter
-    (fun (p : Proc.t) ->
-      Buffer.add_string buf p.Proc.repr;
-      Buffer.add_char buf ';')
-    sys.System.procs;
-  Buffer.add_char buf '|';
-  Array.iteri
-    (fun i ph ->
-      Buffer.add_char buf (phase_code ph);
-      Buffer.add_string buf (string_of_int rems.(i)))
-    phases;
-  Buffer.contents buf
+let bytes_per_state r =
+  float_of_int r.live_words *. float_of_int (Sys.word_size / 8)
+  /. float_of_int (max 1 r.states)
 
-let trace_to nodes key =
-  let steps = ref [] in
-  let rec go key =
-    match (Hashtbl.find nodes key).parent with
-    | None -> ()
-    | Some (pkey, step) ->
-      steps := step :: !steps;
-      go pkey
-  in
-  go key;
-  Execution.of_steps !steps
+(* ----------------------------- packed keys ---------------------------- *)
+
+(* A state key is one int array:
+
+     [| reg_0; ...; reg_{R-1}; slot_0; ...; slot_{n-1} |]
+
+   where slot_i combines process i's interned local-state id with its
+   checker phase and completed-section count:
+
+     slot_i = ((pid_i lsl 2) lor phase_i) * (rounds + 1) + rem_i
+
+   Interning each Proc.repr through Lb_util.Interner makes the key
+   injective by construction — no delimiter scheme over raw repr strings
+   to collide — and means each distinct repr string is hashed once,
+   after which state hashing and equality touch only machine ints. *)
+
+module Key = struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let i = ref 0 in
+    while !i < la && Array.unsafe_get a !i = Array.unsafe_get b !i do
+      incr i
+    done;
+    !i = la
+
+  (* FNV-1a over the slots; multiplication wraps, the final mask keeps
+     the result non-negative as Hashtbl.Make requires. *)
+  let hash (a : int array) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor Array.unsafe_get a i) * 0x01000193
+    done;
+    !h land max_int
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let phase_index = function
+  | Checker.Remainder -> 0
+  | Checker.Trying -> 1
+  | Checker.Critical -> 2
+  | Checker.Exit_section -> 3
+
+let encode_slot ~rounds pid phase rem = ((pid lsl 2) lor phase) * (rounds + 1) + rem
+
+let pack_initial interner ~rounds sys phases rems =
+  let nregs = System.num_regs sys in
+  let n = Array.length phases in
+  let key = Array.make (nregs + n) 0 in
+  Array.blit sys.System.regs 0 key 0 nregs;
+  for i = 0 to n - 1 do
+    let pid = Lb_util.Interner.intern interner (System.state_repr sys i) in
+    key.(nregs + i) <- encode_slot ~rounds pid (phase_index phases.(i)) rems.(i)
+  done;
+  key
+
+(* --------------------------- phase tracking --------------------------- *)
 
 (* Apply the phase transition for a critical step; the algorithms under
    test are well-formed automata, so a bad transition is a programming
    error, not a checkable property. *)
 let advance_phase phases who (c : Step.crit) =
   let next =
-    match phases.(who), c with
+    match (phases.(who), c) with
     | Checker.Remainder, Step.Try -> Checker.Trying
     | Checker.Trying, Step.Enter -> Checker.Critical
     | Checker.Critical, Step.Exit -> Checker.Exit_section
@@ -70,81 +101,269 @@ let advance_phase phases who (c : Step.crit) =
   out.(who) <- next;
   out
 
-let explore ?(rounds = 1) ?(max_states = 200_000) algo ~n =
-  let nodes : (string, node) Hashtbl.t = Hashtbl.create 4096 in
-  let queue = Queue.create () in
-  let transitions = ref 0 in
-  let init_sys = System.init algo ~n in
-  let init_phases = Array.make n Checker.Remainder in
-  let init_rems = Array.make n 0 in
-  let init_key = key_of init_sys init_phases init_rems in
-  Hashtbl.replace nodes init_key
-    { sys = init_sys; phases = init_phases; rems = init_rems; parent = None };
-  Queue.push init_key queue;
-  let verdict = ref None in
-  while !verdict = None && not (Queue.is_empty queue) do
-    if Hashtbl.length nodes > max_states then
-      verdict := Some (Bound_exceeded (Hashtbl.length nodes))
-    else begin
-      let key = Queue.pop queue in
-      let node = Hashtbl.find nodes key in
-      let unfinished = ref [] in
-      for i = n - 1 downto 0 do
-        if node.rems.(i) < rounds then unfinished := i :: !unfinished
-      done;
-      (* deadlock: unfinished processes exist but none can ever change
-         state again (reads of stable values are global no-ops) *)
-      if
-        !unfinished <> []
-        && List.for_all
-             (fun i -> not (System.would_change_state node.sys i))
-             !unfinished
-      then verdict := Some (Deadlock (trace_to nodes key))
-      else
-        List.iter
-          (fun i ->
-            if !verdict = None then begin
-              let sys' = System.copy node.sys in
-              let action = System.pending_of sys' i in
-              let step = Step.step i action in
-              ignore (System.apply sys' step);
-              incr transitions;
-              let phases', rems' =
-                match action with
-                | Step.Crit c ->
-                  let ph = advance_phase node.phases i c in
-                  let rm =
-                    if c = Step.Rem then begin
-                      let r = Array.copy node.rems in
-                      r.(i) <- r.(i) + 1;
-                      r
-                    end
-                    else node.rems
-                  in
-                  (ph, rm)
-                | Step.Read _ | Step.Write _ | Step.Rmw _ ->
-                  (node.phases, node.rems)
-              in
-              let key' = key_of sys' phases' rems' in
-              if not (Hashtbl.mem nodes key') then begin
-                Hashtbl.replace nodes key'
-                  { sys = sys'; phases = phases'; rems = rems';
-                    parent = Some (key, step) };
-                (* mutual exclusion check on the new state *)
-                let critical =
-                  Array.to_list phases'
-                  |> List.filteri (fun _ ph -> ph = Checker.Critical)
-                in
-                if List.length critical >= 2 then
-                  verdict := Some (Mutex_violation (trace_to nodes key'))
-                else Queue.push key' queue
-              end
-            end)
-          !unfinished
+let crit_delta = function Step.Enter -> 1 | Step.Exit -> -1 | Step.Try | Step.Rem -> 0
+
+(* --------------------------- transition memo -------------------------- *)
+
+(* The automata are deterministic and [Proc.repr] witnesses a process's
+   local state, so (process index, interned state id, response)
+   determines the advanced process, its interned id, and whether the
+   state changed. Caching that triple turns the hot path — one automaton
+   transition plus one repr string construction plus one intern per
+   (state, process) — into a single int-triple table lookup. The process
+   index must be part of the key: reprs are only unique per process (two
+   processes may both report "spin"), and an advanced [Proc.t] closes
+   over its own identity. The cache is a pure function memo: its
+   contents never affect results, so sharing it across worker domains
+   under a mutex keeps the exploration deterministic.
+
+   Response codes never collide: a given (process, state id) has one
+   fixed pending action, so it sees either only [Ack] (writes, critical
+   steps — coded 0) or only [Got v] (reads, rmw — coded by the value
+   read). *)
+type memo = {
+  mlock : Mutex.t;
+  mtbl : (int * int * int, Proc.t * int * bool) Hashtbl.t;
+}
+
+let memo_create () = { mlock = Mutex.create (); mtbl = Hashtbl.create 1024 }
+
+let resp_code (action : Step.action) (key : int array) =
+  match action with
+  | Step.Read r | Step.Rmw (r, _) -> Array.unsafe_get key r
+  | Step.Write _ | Step.Crit _ -> 0
+
+(* Advance process [i] of [entry.sys], through the memo: returns its
+   pending action, the advanced process, the advanced process's interned
+   state id, and whether the local state is unchanged. *)
+let step_memo memo interner sys (key : int array) i pid =
+  let p = sys.System.procs.(i) in
+  let action = p.Proc.pending in
+  let mk = (i, pid, resp_code action key) in
+  Mutex.lock memo.mlock;
+  match Hashtbl.find_opt memo.mtbl mk with
+  | Some (p', pid', stuck) ->
+    Mutex.unlock memo.mlock;
+    (action, p', pid', stuck)
+  | None ->
+    Mutex.unlock memo.mlock;
+    let p' = System.advance_proc sys i in
+    let pid' = Lb_util.Interner.intern interner p'.Proc.repr in
+    let stuck = Proc.equal_state p p' in
+    Mutex.lock memo.mlock;
+    Hashtbl.replace memo.mtbl mk (p', pid', stuck);
+    Mutex.unlock memo.mlock;
+    (action, p', pid', stuck)
+
+(* ------------------------- layer-parallel BFS ------------------------- *)
+
+(* A frontier entry carries the live System.t (needed to generate
+   successors) alongside the packed key. Only the packed key, the parent
+   index and the incoming step survive into the node table — the System,
+   phase and rem arrays die with the layer. *)
+type entry = {
+  idx : int;  (** index of this state in the node table *)
+  sys : System.t;
+  key : int array;
+  phases : Checker.phase array;
+  rems : int array;
+  ncrit : int;  (** number of processes currently in [Critical] *)
+}
+
+type succ = {
+  step : Step.t;
+  s_sys : System.t;
+  s_key : int array;
+  s_phases : Checker.phase array;
+  s_rems : int array;
+  s_ncrit : int;
+}
+
+type expansion =
+  | Deadlocked
+      (** unfinished processes exist but none can ever change state again *)
+  | Succs of { self_loops : int; succs : succ list }
+
+(* Expand one frontier entry: enumerate the steps of its unfinished
+   processes. Pure up to interner insertions, so layers can fan out
+   across domains; all verdict decisions happen in the sequential
+   merge. A pending read that cannot change the reader's local state is
+   a guaranteed self-loop (reads mutate nothing else), so it is counted
+   as a transition without copying or stepping the system — busy-wait
+   spinning, the bulk of a mutex state space, costs no allocation. *)
+let expand ~rounds ~nregs ~interner ~memo entry =
+  let n = Array.length entry.phases in
+  let unfinished = ref [] in
+  for i = n - 1 downto 0 do
+    if entry.rems.(i) < rounds then begin
+      (* process i's interned state id sits in its packed slot *)
+      let pid = (entry.key.(nregs + i) / (rounds + 1)) lsr 2 in
+      let action, p', pid', stuck =
+        step_memo memo interner entry.sys entry.key i pid
+      in
+      unfinished := (i, action, p', pid', stuck) :: !unfinished
     end
   done;
+  let unfinished = !unfinished in
+  if unfinished <> []
+     && List.for_all (fun (_, _, _, _, stuck) -> stuck) unfinished
+  then Deadlocked
+  else begin
+    let self_loops = ref 0 in
+    let succs =
+      List.filter_map
+        (fun (i, action, p', pid', stuck) ->
+          match action with
+          | Step.Read _ when stuck ->
+            incr self_loops;
+            None
+          | action ->
+            let sys' = System.copy_with entry.sys i p' in
+            let step = Step.step i action in
+            let phases', rems', ncrit' =
+              match action with
+              | Step.Crit c ->
+                let ph = advance_phase entry.phases i c in
+                let rm =
+                  if c = Step.Rem then begin
+                    let r = Array.copy entry.rems in
+                    r.(i) <- r.(i) + 1;
+                    r
+                  end
+                  else entry.rems
+                in
+                (ph, rm, entry.ncrit + crit_delta c)
+              | Step.Read _ | Step.Write _ | Step.Rmw _ ->
+                (entry.phases, entry.rems, entry.ncrit)
+            in
+            let key' = Array.copy entry.key in
+            (match action with
+            | Step.Write (r, _) | Step.Rmw (r, _) ->
+              key'.(r) <- sys'.System.regs.(r)
+            | Step.Read _ | Step.Crit _ -> ());
+            key'.(nregs + i) <-
+              encode_slot ~rounds pid' (phase_index phases'.(i)) rems'.(i);
+            Some
+              { step; s_sys = sys'; s_key = key'; s_phases = phases';
+                s_rems = rems'; s_ncrit = ncrit' })
+        unfinished
+    in
+    Succs { self_loops = !self_loops; succs }
+  end
+
+(* Below this frontier size a layer is expanded in the calling domain:
+   spawning worker domains costs more than the expansion itself. *)
+let par_threshold = 64
+
+let chunk_list size xs =
+  let rec go acc cur ncur = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if ncur = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (ncur + 1) rest
+  in
+  go [] [] 0 xs
+
+let expand_layer ~jobs ~rounds ~nregs ~interner ~memo entries =
+  let f = expand ~rounds ~nregs ~interner ~memo in
+  let len = List.length entries in
+  if jobs <= 1 || len < par_threshold || Lb_util.Pool.in_worker () then
+    List.map f entries
+  else begin
+    (* chunk to ~4 work items per domain: order-preserving, so the
+       flattened expansion list is independent of the job count *)
+    let chunk = max 16 ((len + (4 * jobs) - 1) / (4 * jobs)) in
+    List.concat (Lb_util.Pool.map ~jobs (List.map f) (chunk_list chunk entries))
+  end
+
+let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs algo ~n =
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let t0 = Unix.gettimeofday () in
+  let jobs = match jobs with Some j -> j | None -> Lb_util.Pool.default_jobs () in
+  if jobs < 1 then invalid_arg "Model_check.explore: jobs must be >= 1";
+  if max_states < 1 then
+    invalid_arg "Model_check.explore: max_states must be >= 1";
+  let interner = Lb_util.Interner.create ~size_hint:1024 () in
+  let memo = memo_create () in
+  let init_sys = System.init algo ~n in
+  let nregs = System.num_regs init_sys in
+  let init_phases = Array.make n Checker.Remainder in
+  let init_rems = Array.make n 0 in
+  let init_key = pack_initial interner ~rounds init_sys init_phases init_rems in
+  (* node table: key -> index for dedup, plus per-node parent index and
+     incoming step — enough to rebuild any witness trace *)
+  let table = Ktbl.create 4096 in
+  let parents = Lb_util.Vec.create () in
+  let steps = Lb_util.Vec.create () in
+  Ktbl.replace table init_key 0;
+  Lb_util.Vec.push parents (-1);
+  Lb_util.Vec.push steps (Step.step 0 (Step.Crit Step.Try)) (* root: unused *);
+  let trace_to idx =
+    let acc = ref [] in
+    let i = ref idx in
+    while !i <> 0 do
+      acc := Lb_util.Vec.get steps !i :: !acc;
+      i := Lb_util.Vec.get parents !i
+    done;
+    Execution.of_steps !acc
+  in
+  let transitions = ref 0 in
+  let verdict = ref None in
+  let frontier =
+    ref
+      [ { idx = 0; sys = init_sys; key = init_key; phases = init_phases;
+          rems = init_rems; ncrit = 0 } ]
+  in
+  while !verdict = None && !frontier <> [] do
+    let entries = !frontier in
+    let expansions = expand_layer ~jobs ~rounds ~nregs ~interner ~memo entries in
+    (* sequential merge, in frontier order: dedup, verdicts and the
+       next frontier are independent of how the layer was expanded *)
+    let next = ref [] in
+    (try
+       List.iter2
+         (fun entry exp ->
+           match exp with
+           | Deadlocked ->
+             verdict := Some (Deadlock (trace_to entry.idx));
+             raise Exit
+           | Succs { self_loops; succs } ->
+             transitions := !transitions + self_loops;
+             List.iter
+               (fun s ->
+                 incr transitions;
+                 if not (Ktbl.mem table s.s_key) then begin
+                   if Lb_util.Vec.length parents >= max_states then begin
+                     verdict :=
+                       Some (Bound_exceeded (Lb_util.Vec.length parents));
+                     raise Exit
+                   end;
+                   let idx = Lb_util.Vec.length parents in
+                   Ktbl.replace table s.s_key idx;
+                   Lb_util.Vec.push parents entry.idx;
+                   Lb_util.Vec.push steps s.step;
+                   if s.s_ncrit >= 2 then begin
+                     verdict := Some (Mutex_violation (trace_to idx));
+                     raise Exit
+                   end;
+                   next :=
+                     { idx; sys = s.s_sys; key = s.s_key; phases = s.s_phases;
+                       rems = s.s_rems; ncrit = s.s_ncrit }
+                     :: !next
+                 end)
+               succs)
+         entries expansions
+     with Exit -> ());
+    frontier := List.rev !next
+  done;
   let verdict = match !verdict with None -> Verified | Some v -> v in
-  { verdict; states = Hashtbl.length nodes; transitions = !transitions }
+  let seconds = Unix.gettimeofday () -. t0 in
+  let live_words = max 0 ((Gc.stat ()).Gc.live_words - live0) in
+  (* read the counts only after the Gc.stat above, so the node table is
+     still reachable (hence measured) when the live-words sample runs *)
+  let states = Lb_util.Vec.length parents in
+  ignore (Sys.opaque_identity (table, steps, interner, memo));
+  { verdict; states; transitions = !transitions; live_words; seconds }
 
 let pp_verdict ppf = function
   | Verified -> Format.fprintf ppf "verified"

@@ -8,9 +8,35 @@
     deadlocks — states where no unfinished process can ever change state
     again.
 
-    States are deduplicated by (register values, local state reprs,
-    per-process phase and section count), so busy-wait self-loops collapse
-    to a single state. *)
+    {2 State representation}
+
+    A state is identified by one packed int array: the register file
+    followed by one slot per process combining its hash-consed local
+    state ({!Lb_util.Interner} over [Proc.repr] — injective by
+    construction, so reprs may contain any characters), its checker
+    phase, and its completed-section count. The node table stores, per
+    state, only this key plus the parent's index and the incoming step;
+    witness traces are rebuilt by walking parent indices back to the
+    root (the step sequence replays deterministically through
+    [System.apply]).
+
+    Hash-consing relies on reprs being faithful witnesses: two distinct
+    local states of one process must not share a repr (reprs need not be
+    unique across processes). The explorer also memoizes automaton
+    transitions on (process, state id, response) — the automata are
+    deterministic, so the hot path runs each distinct transition's
+    [advance] and repr construction once.
+
+    {2 Scheduling}
+
+    The search is breadth-first, layer by layer. Successor generation
+    for a layer fans out across domains ({!Lb_util.Pool}) while
+    deduplication, verdicts and trace construction happen in a
+    sequential merge that scans the layer in frontier order — so the
+    verdict, the state and transition counts and any witness trace are
+    identical at every job count. Reads that cannot change the reader's
+    local state (busy-wait spins) are recognized as self-loops and
+    counted without being materialized. *)
 
 type verdict =
   | Verified  (** the bounded state space is exhausted with no violation *)
@@ -18,17 +44,41 @@ type verdict =
       (** a witness trace ending with two processes critical *)
   | Deadlock of Lb_shmem.Execution.t
       (** a witness trace to a stuck, unfinished state *)
-  | Bound_exceeded of int  (** more reachable states than [max_states] *)
+  | Bound_exceeded of int
+      (** the state budget filled up; carries the number of states
+          actually stored, which never exceeds [max_states] — the bound
+          is enforced at insertion time *)
 
-type report = { verdict : verdict; states : int; transitions : int }
+type report = {
+  verdict : verdict;
+  states : int;  (** distinct states stored in the node table *)
+  transitions : int;  (** steps generated, including duplicate targets *)
+  live_words : int;
+      (** approximate major-heap words retained by the exploration
+          (measured as a [Gc.stat] live-words delta; informational —
+          concurrent work in other domains can perturb it) *)
+  seconds : float;  (** wall-clock exploration time *)
+}
 
 val explore :
   ?rounds:int ->
   ?max_states:int ->
+  ?jobs:int ->
   Lb_shmem.Algorithm.t ->
   n:int ->
   report
-(** [explore algo ~n] runs breadth-first exploration. [rounds] defaults to
-    [1], [max_states] to [200_000]. *)
+(** [explore algo ~n] runs the breadth-first exploration. [rounds]
+    defaults to [1], [max_states] to [200_000], [jobs] to
+    {!Lb_util.Pool.default_jobs} (layers are expanded sequentially when
+    the frontier is small or when already inside a pool worker).
+    [verdict], [states] and [transitions] do not depend on [jobs].
+    Raises [Invalid_argument] if [jobs] or [max_states] is [< 1]. *)
+
+val states_per_sec : report -> float
+(** Exploration throughput, [states /. seconds]. *)
+
+val bytes_per_state : report -> float
+(** Approximate retained bytes per stored state,
+    [live_words * word-size / states]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

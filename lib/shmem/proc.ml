@@ -5,7 +5,7 @@ type t = {
   repr : string;
 }
 
-let equal_state p q = String.equal p.repr q.repr
+let equal_state p q = p == q || String.equal p.repr q.repr
 
 let pp ppf p =
   Format.fprintf ppf "p%d[%a|%s]" p.id Step.pp_action p.pending p.repr

@@ -40,7 +40,11 @@ module type STATE = sig
   val advance : n:int -> me:int -> state -> Step.response -> state
 
   val repr : state -> string
-  (** Injective on reachable states. *)
+  (** Injective on reachable states: distinct reachable states must
+      produce distinct strings. No other shape constraint — reprs are
+      hash-consed (never concatenated) by every consumer that compares
+      or packs states, so delimiter characters such as [';'] or ['|']
+      are safe to use. *)
 end
 
 module Make_spawn (S : STATE) : sig

@@ -74,10 +74,26 @@ let apply t (step : Step.t) =
   t.procs.(who) <- p';
   { response; state_changed = not (Proc.equal_state p p'); old_value }
 
-let would_change_state t i =
+let advance_proc t i =
   let p = t.procs.(i) in
-  let response = response_of t p.Proc.pending in
-  not (Proc.equal_state p (p.Proc.advance response))
+  p.Proc.advance (response_of t p.Proc.pending)
+
+let would_change_state t i =
+  not (Proc.equal_state t.procs.(i) (advance_proc t i))
+
+let copy_with t i p' =
+  let regs = Array.copy t.regs in
+  (match t.procs.(i).Proc.pending with
+  | Step.Write (r, v) ->
+    check_reg t r;
+    regs.(r) <- v
+  | Step.Rmw (r, op) ->
+    check_reg t r;
+    regs.(r) <- rmw_result regs.(r) op
+  | Step.Read _ | Step.Crit _ -> ());
+  let procs = Array.copy t.procs in
+  procs.(i) <- p';
+  { t with regs; procs }
 
 let peek_after_read t i v =
   let p = t.procs.(i) in
@@ -89,6 +105,7 @@ let peek_after_read t i v =
          (Format.asprintf "%a" Step.pp_action a)));
   not (Proc.equal_state p (p.Proc.advance (Step.Got v)))
 
+let num_regs t = Array.length t.regs
 let state_repr t i = t.procs.(i).Proc.repr
 let pending_of t i = t.procs.(i).Proc.pending
 

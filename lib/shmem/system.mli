@@ -46,11 +46,25 @@ val response_of : t -> Step.action -> Step.response
 (** The response the action would get in the current state, without
     executing it. *)
 
+val advance_proc : t -> int -> Proc.t
+(** [advance_proc t i] is process [i] advanced by the response its pending
+    action would receive in the current state — one automaton transition,
+    without mutating [t]. {!would_change_state} compares its result
+    against the current state; the model checker feeds it to {!copy_with}
+    so each successor costs exactly one transition. *)
+
 val would_change_state : t -> int -> bool
 (** [would_change_state t i] — would process [i] change local state if it
     performed its pending action right now? Used by SC-aware schedulers:
     a busy-waiting process (pending read observing an unhelpful value)
     answers [false]. *)
+
+val copy_with : t -> int -> Proc.t -> t
+(** [copy_with t i p'] is a copy of [t] in which process [i]'s pending
+    action has taken effect on the registers and [i] has been replaced by
+    [p'] — normally [advance_proc t i]. Equivalent to {!copy} followed by
+    {!apply} of [i]'s pending step, but does not repeat the automaton
+    transition the caller already performed to obtain [p']. *)
 
 val peek_after_read : t -> int -> Step.value -> bool
 (** [peek_after_read t i v] — would process [i], whose pending action must
@@ -58,6 +72,10 @@ val peek_after_read : t -> int -> Step.value -> bool
     [SC(alpha, m, i)] predicate specialised to the current state (Fig. 1,
     bottom). Raises [Invalid_argument] if [i]'s pending action is not a
     read. *)
+
+val num_regs : t -> int
+(** Size of the register file — the fixed-width prefix of a packed state
+    key (see {!Lb_mutex.Model_check}). *)
 
 val state_repr : t -> int -> string
 (** [state_repr t i] is [st(alpha, i)] — process [i]'s local state

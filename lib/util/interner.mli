@@ -1,0 +1,35 @@
+(** Hash-consing of strings into dense integer ids.
+
+    The bounded model checker packs system states into int-array keys;
+    the variable-length component — each process's local-state [repr]
+    string — is first interned here, so state keys never embed raw
+    strings (and thus never suffer delimiter-collision hazards) and
+    repeated reprs are hashed exactly once per distinct string.
+
+    Ids are dense ([0, 1, 2, ...] in first-intern order), so they pack
+    into a few bits of an int-array slot. All operations are safe to
+    call from multiple domains concurrently (a single mutex guards the
+    table); the id {e values} assigned under concurrent interning depend
+    on arrival order, so treat ids as opaque within one interner's
+    lifetime. *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+(** Fresh, empty interner. [size_hint] pre-sizes the hash table
+    (default [64]). *)
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], assigning the next dense id the
+    first time [s] is seen. [intern t s = intern t s'] iff
+    [String.equal s s']. *)
+
+val lookup : t -> string -> int option
+(** The id of [s] if it has been interned, without interning it. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern}. Raises [Invalid_argument] on an id that was
+    never assigned. *)
+
+val size : t -> int
+(** Number of distinct strings interned so far. *)

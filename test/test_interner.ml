@@ -1,0 +1,60 @@
+module I = Lb_util.Interner
+
+let test_dense_ids () =
+  let t = I.create () in
+  Alcotest.(check int) "first id" 0 (I.intern t "a");
+  Alcotest.(check int) "second id" 1 (I.intern t "b");
+  Alcotest.(check int) "repeat returns first id" 0 (I.intern t "a");
+  Alcotest.(check int) "size" 2 (I.size t);
+  Alcotest.(check string) "name inverts intern" "b" (I.name t 1);
+  Alcotest.(check (option int)) "lookup hit" (Some 0) (I.lookup t "a");
+  Alcotest.(check (option int)) "lookup miss" None (I.lookup t "c");
+  Alcotest.(check int) "lookup does not intern" 2 (I.size t)
+
+let test_adversarial_strings () =
+  (* delimiter characters, empty strings and prefixes never collide *)
+  let t = I.create () in
+  let strings = [ ""; ";"; "|"; "a;b"; "a"; ";b"; "a;"; "b"; "a|b"; "ab" ] in
+  let ids = List.map (I.intern t) strings in
+  let distinct = List.sort_uniq compare ids in
+  Alcotest.(check int) "all ids distinct" (List.length strings)
+    (List.length distinct);
+  List.iter2
+    (fun s id -> Alcotest.(check string) "roundtrip" s (I.name t id))
+    strings ids
+
+let test_bad_id () =
+  let t = I.create () in
+  ignore (I.intern t "x");
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Interner.name: unknown id -1 (size 1)") (fun () ->
+      ignore (I.name t (-1)));
+  Alcotest.check_raises "too-large id"
+    (Invalid_argument "Interner.name: unknown id 1 (size 1)") (fun () ->
+      ignore (I.name t 1))
+
+let test_concurrent_interning () =
+  (* many domains interning an overlapping set of strings: ids must stay
+     consistent (same string -> same id) and the table must end up with
+     exactly the distinct strings *)
+  let t = I.create () in
+  let words = Array.init 64 (fun i -> Printf.sprintf "w%d" (i mod 16)) in
+  let results =
+    Lb_util.Pool.map ~jobs:4
+      (fun w -> (w, I.intern t w))
+      (Array.to_list words)
+  in
+  Alcotest.(check int) "16 distinct strings" 16 (I.size t);
+  List.iter
+    (fun (w, id) ->
+      Alcotest.(check string) "id maps back to its string" w (I.name t id);
+      Alcotest.(check int) "re-intern agrees" id (I.intern t w))
+    results
+
+let suite =
+  [
+    Alcotest.test_case "dense ids" `Quick test_dense_ids;
+    Alcotest.test_case "adversarial strings" `Quick test_adversarial_strings;
+    Alcotest.test_case "bad id" `Quick test_bad_id;
+    Alcotest.test_case "concurrent interning" `Quick test_concurrent_interning;
+  ]

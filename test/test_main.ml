@@ -8,6 +8,7 @@ let () =
       ("xmath", Test_xmath.suite);
       ("rng", Test_rng.suite);
       ("pool", Test_pool.suite);
+      ("interner", Test_interner.suite);
       ("stats+vec+table", Test_stats_vec.suite);
       ("bitio", Test_bitio.suite);
       ("shmem", Test_shmem.suite);

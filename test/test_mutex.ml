@@ -167,10 +167,13 @@ let test_mc_finds_broken () =
       (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v)
 
 let test_mc_bound () =
+  (* the budget is enforced at insertion time: the node table never
+     overshoots max_states, and the report carries the true count *)
   let r = Lb_mutex.Model_check.explore ya ~n:3 ~max_states:100 in
   match r.Lb_mutex.Model_check.verdict with
   | Lb_mutex.Model_check.Bound_exceeded k ->
-    Alcotest.(check bool) "bound value" true (k > 100)
+    Alcotest.(check int) "bound value" 100 k;
+    Alcotest.(check int) "states = bound" 100 r.Lb_mutex.Model_check.states
   | _ -> Alcotest.fail "expected bound exceeded"
 
 let test_mc_rounds_2 () =
@@ -180,6 +183,199 @@ let test_mc_rounds_2 () =
   | v ->
     Alcotest.failf "peterson2 rounds=2: %s"
       (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v)
+
+(* A reference explorer with structurally-typed keys (repr list, regs,
+   phases, rems in an OCaml tuple) — immune to any key-packing bug by
+   construction. Counts ALL reachable bounded states, so it only equals
+   the production explorer's count on Verified instances. *)
+let reference_states algo ~n ~rounds =
+  let phase_int = function
+    | Lb_mutex.Checker.Remainder -> 0
+    | Lb_mutex.Checker.Trying -> 1
+    | Lb_mutex.Checker.Critical -> 2
+    | Lb_mutex.Checker.Exit_section -> 3
+  in
+  let key sys phases rems =
+    ( List.init n (System.state_repr sys),
+      Array.to_list sys.System.regs,
+      List.map phase_int (Array.to_list phases),
+      Array.to_list rems )
+  in
+  let seen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let push sys phases rems =
+    let k = key sys phases rems in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      Queue.push (sys, phases, rems) q
+    end
+  in
+  push (System.init algo ~n)
+    (Array.make n Lb_mutex.Checker.Remainder)
+    (Array.make n 0);
+  while not (Queue.is_empty q) do
+    let sys, phases, rems = Queue.pop q in
+    for i = 0 to n - 1 do
+      if rems.(i) < rounds then begin
+        let sys' = System.copy sys in
+        let action = System.pending_of sys' i in
+        ignore (System.apply sys' (Step.step i action));
+        let phases' = Array.copy phases and rems' = Array.copy rems in
+        (match action with
+        | Step.Crit Step.Try -> phases'.(i) <- Lb_mutex.Checker.Trying
+        | Step.Crit Step.Enter -> phases'.(i) <- Lb_mutex.Checker.Critical
+        | Step.Crit Step.Exit -> phases'.(i) <- Lb_mutex.Checker.Exit_section
+        | Step.Crit Step.Rem ->
+          phases'.(i) <- Lb_mutex.Checker.Remainder;
+          rems'.(i) <- rems.(i) + 1
+        | Step.Read _ | Step.Write _ | Step.Rmw _ -> ());
+        push sys' phases' rems'
+      end
+    done
+  done;
+  Hashtbl.length seen
+
+(* An algorithm whose local-state reprs contain the old string-key
+   scheme's delimiters, chosen so that two distinct reachable states
+   have identical delimiter-joined keys: ("x;y", "z") and ("x", "y;z")
+   both join to "x;y;z;". Process 0 runs its critical section first and
+   then signals through [flag]; process 1 busy-waits on [flag], so the
+   whole thing is verified and every reachable state must be counted. *)
+module Collide_state = struct
+  type state = { me : int; k : int }
+
+  let initial ~n:_ ~me = { me; k = 0 }
+
+  let pending ~n:_ ~me:_ { me; k } =
+    match (me, k) with
+    | 0, (0 | 1) -> Step.Read 0
+    | 0, 2 -> Step.Crit Step.Try
+    | 0, 3 -> Step.Crit Step.Enter
+    | 0, 4 -> Step.Crit Step.Exit
+    | 0, 5 -> Step.Write (0, 1)
+    | 0, 6 -> Step.Crit Step.Rem
+    | 0, _ -> Step.Read 0
+    | _, (0 | 1 | 2) -> Step.Read 0
+    | _, 3 -> Step.Crit Step.Try
+    | _, 4 -> Step.Crit Step.Enter
+    | _, 5 -> Step.Crit Step.Exit
+    | _, 6 -> Step.Crit Step.Rem
+    | _, _ -> Step.Read 0
+
+  let advance ~n:_ ~me:_ ({ me; k } as s) resp =
+    match (me, k, resp) with
+    | _, 7, _ -> s
+    | 1, 2, Step.Got v -> if v = 1 then { s with k = 3 } else s
+    | _, _, _ -> { s with k = k + 1 }
+
+  let repr { me; k } =
+    match (me, k) with
+    | 0, 0 -> "x;y"
+    | 0, 1 -> "x"
+    | 1, 0 -> "z"
+    | 1, 1 -> "y;z"
+    | _ -> Printf.sprintf "p%d_%d" me k
+end
+
+let collide_algo =
+  let module S = Proc.Make_spawn (Collide_state) in
+  {
+    Algorithm.name = "collide_test";
+    description = "adversarial reprs containing the old key delimiters";
+    kind = Algorithm.Registers_only;
+    registers = (fun ~n:_ -> [| Register.spec "flag" |]);
+    spawn = S.spawn;
+    max_n = Some 2;
+  }
+
+let test_mc_adversarial_reprs () =
+  (* the hazard: delimiter-joined reprs of the two distinct states agree *)
+  Alcotest.(check string) "old scheme collides"
+    (String.concat ";" [ "x;y"; "z" ] ^ ";")
+    (String.concat ";" [ "x"; "y;z" ] ^ ";");
+  let r = Lb_mutex.Model_check.explore collide_algo ~n:2 in
+  (match r.Lb_mutex.Model_check.verdict with
+  | Lb_mutex.Model_check.Verified -> ()
+  | v ->
+    Alcotest.failf "collide_test: %s"
+      (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v));
+  Alcotest.(check int) "no state merged by packing"
+    (reference_states collide_algo ~n:2 ~rounds:1)
+    r.Lb_mutex.Model_check.states
+
+let test_mc_matches_reference () =
+  (* cross-validate the packed-key explorer's count on a real algorithm *)
+  let r = Lb_mutex.Model_check.explore Lb_algos.Peterson2.algorithm ~n:2 in
+  Alcotest.(check int) "peterson2 n=2 states"
+    (reference_states Lb_algos.Peterson2.algorithm ~n:2 ~rounds:1)
+    r.Lb_mutex.Model_check.states
+
+let test_mc_witness_replay_mutex () =
+  let r = Lb_mutex.Model_check.explore broken ~n:2 in
+  match r.Lb_mutex.Model_check.verdict with
+  | Lb_mutex.Model_check.Mutex_violation tr ->
+    (* the parent-index trace must replay cleanly from the initial state
+       (Step_mismatch would escape) and end with two processes critical *)
+    ignore (Execution.replay broken ~n:2 tr);
+    let phases =
+      Lb_mutex.Checker.phases_at ~n:2 tr ~upto:(Execution.length tr)
+    in
+    let crit =
+      Array.fold_left
+        (fun acc ph -> if ph = Lb_mutex.Checker.Critical then acc + 1 else acc)
+        0 phases
+    in
+    Alcotest.(check bool) "two critical at end" true (crit >= 2)
+  | v ->
+    Alcotest.failf "expected violation, got %s"
+      (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v)
+
+let test_mc_witness_replay_deadlock () =
+  let flat = Lb_algos.Yang_anderson_flat.algorithm in
+  let r = Lb_mutex.Model_check.explore flat ~n:3 in
+  match r.Lb_mutex.Model_check.verdict with
+  | Lb_mutex.Model_check.Deadlock tr ->
+    let sys = Execution.replay flat ~n:3 tr in
+    let rems = Execution.count_crit tr Step.Rem in
+    let unfinished = List.filter (fun i -> rems.(i) < 1) [ 0; 1; 2 ] in
+    Alcotest.(check bool) "some process unfinished" true (unfinished <> []);
+    Alcotest.(check bool) "no unfinished process can move" true
+      (List.for_all (fun i -> not (System.would_change_state sys i)) unfinished)
+  | v ->
+    Alcotest.failf "expected deadlock, got %s"
+      (Format.asprintf "%a" Lb_mutex.Model_check.pp_verdict v)
+
+(* verdicts, states and transitions must not depend on the job count *)
+let verdict_equal a b =
+  match (a, b) with
+  | Lb_mutex.Model_check.Verified, Lb_mutex.Model_check.Verified -> true
+  | Lb_mutex.Model_check.Bound_exceeded j, Lb_mutex.Model_check.Bound_exceeded k
+    ->
+    j = k
+  | Lb_mutex.Model_check.Mutex_violation s, Lb_mutex.Model_check.Mutex_violation t
+  | Lb_mutex.Model_check.Deadlock s, Lb_mutex.Model_check.Deadlock t ->
+    Execution.equal s t
+  | _ -> false
+
+let prop_mc_jobs_equivalence =
+  let arb =
+    QCheck.make
+      ~print:(fun (ai, n) ->
+        let algo = List.nth Lb_algos.Registry.all ai in
+        Printf.sprintf "(%s, n=%d)" algo.Algorithm.name n)
+      QCheck.Gen.(
+        pair (int_range 0 (List.length Lb_algos.Registry.all - 1)) (int_range 2 3))
+  in
+  QCheck.Test.make ~count:12 ~name:"explore jobs=1 = explore jobs=3" arb
+    (fun (ai, n) ->
+      let algo = List.nth Lb_algos.Registry.all ai in
+      QCheck.assume (Algorithm.supports algo n);
+      let a = Lb_mutex.Model_check.explore algo ~n ~max_states:20_000 ~jobs:1 in
+      let b = Lb_mutex.Model_check.explore algo ~n ~max_states:20_000 ~jobs:3 in
+      verdict_equal a.Lb_mutex.Model_check.verdict b.Lb_mutex.Model_check.verdict
+      && a.Lb_mutex.Model_check.states = b.Lb_mutex.Model_check.states
+      && a.Lb_mutex.Model_check.transitions
+         = b.Lb_mutex.Model_check.transitions)
 
 let suite =
   [
@@ -199,4 +395,13 @@ let suite =
     Alcotest.test_case "model check finds broken" `Quick test_mc_finds_broken;
     Alcotest.test_case "model check bound" `Quick test_mc_bound;
     Alcotest.test_case "model check rounds=2" `Quick test_mc_rounds_2;
+    Alcotest.test_case "model check adversarial reprs" `Quick
+      test_mc_adversarial_reprs;
+    Alcotest.test_case "model check matches reference count" `Quick
+      test_mc_matches_reference;
+    Alcotest.test_case "model check witness replays (mutex)" `Quick
+      test_mc_witness_replay_mutex;
+    Alcotest.test_case "model check witness replays (deadlock)" `Quick
+      test_mc_witness_replay_deadlock;
+    QCheck_alcotest.to_alcotest prop_mc_jobs_equivalence;
   ]
