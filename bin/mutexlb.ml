@@ -10,7 +10,8 @@
      certify     the Theorem 7.5 certificate over a permutation family
      workload    arrival-pattern workloads and per-section costs
      adversary   randomized search for expensive schedules
-     experiments regenerate the EXPERIMENTS.md tables *)
+     experiments regenerate the EXPERIMENTS.md tables
+     lint        static analysis of the algorithm automata *)
 
 open Cmdliner
 
@@ -20,6 +21,21 @@ let find_algo name =
   | None ->
     Printf.eprintf "unknown algorithm %S; try `mutexlb list`\n" name;
     exit 2
+
+(* The lower-bound pipeline covers only the read/write-register model;
+   fail fast at the CLI boundary (exit 2, like other usage errors)
+   instead of surfacing Invalid_argument from Pipeline or
+   Unsupported_primitive from inside the construction sweep. *)
+let require_registers_only ~cmd (algo : Lb_shmem.Algorithm.t) =
+  if not (Lb_shmem.Algorithm.registers_only algo) then begin
+    Printf.eprintf
+      "%s: algorithm %S is declared Uses_rmw; the construction covers only \
+       the paper's read/write-register model (lint rule \
+       kind-honesty/undeclared-rmw). Try `mutexlb run` or `mutexlb check`, \
+       which accept RMW algorithms.\n"
+      cmd algo.Lb_shmem.Algorithm.name;
+    exit 2
+  end
 
 (* ----------------------------- arguments ----------------------------- *)
 
@@ -239,6 +255,7 @@ let construct_cmd =
   in
   let run algo_name n seed perm show_meta dot =
     let algo = find_algo algo_name in
+    require_registers_only ~cmd:"construct" algo;
     let pi = parse_perm ~n ~seed perm in
     let c = Lb_core.Construct.run algo ~n pi in
     let exec = Lb_core.Linearize.execution c in
@@ -280,6 +297,7 @@ let pipeline_cmd =
   in
   let run algo_name n seed perm ascii save explain =
     let algo = find_algo algo_name in
+    require_registers_only ~cmd:"pipeline" algo;
     let pi = parse_perm ~n ~seed perm in
     let r = Lb_core.Pipeline.run algo ~n pi in
     if explain then begin
@@ -366,6 +384,7 @@ let certify_cmd =
       exit 2
     end;
     let algo = find_algo algo_name in
+    require_registers_only ~cmd:"certify" algo;
     let pis, exhaustive =
       if n <= 8 && Lb_util.Xmath.factorial n <= perms then
         (Lb_core.Permutation.all n, true)
@@ -472,6 +491,109 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables")
     Term.(const run $ seed_arg $ only_arg $ jobs_arg)
 
+(* -------------------------------- lint -------------------------------- *)
+
+let lint_cmd =
+  let algos_arg =
+    let doc =
+      "Comma-separated algorithm names, or $(b,all) for the whole registry."
+    in
+    Arg.(value & opt string "all" & info [ "a"; "algo" ] ~docv:"NAMES" ~doc)
+  in
+  let sizes_arg =
+    let doc = "Comma-separated system sizes to analyze each algorithm at." in
+    Arg.(value & opt string "2,3,4" & info [ "sizes" ] ~docv:"NS" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Print witness paths under findings.")
+  in
+  let no_allow_arg =
+    Arg.(value & flag
+         & info [ "no-allowlist" ]
+             ~doc:
+               "Ignore the registry's expected-findings allowlist; every \
+                Error/Warning finding fails the run.")
+  in
+  let max_nodes_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-nodes" ] ~docv:"K"
+             ~doc:"Per-process automaton node budget (default 4000).")
+  in
+  let run algo_names sizes_s jobs json verbose no_allow max_nodes =
+    apply_jobs jobs;
+    let algos =
+      if algo_names = "all" then Lb_algos.Registry.all
+      else
+        String.split_on_char ',' algo_names
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map find_algo
+    in
+    if algos = [] then begin
+      Printf.eprintf "lint: no algorithm given\n";
+      exit 2
+    end;
+    let sizes =
+      try
+        String.split_on_char ',' sizes_s
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map int_of_string
+      with Failure _ ->
+        Printf.eprintf "lint: bad --sizes %S (want e.g. 2,3,4)\n" sizes_s;
+        exit 2
+    in
+    if sizes = [] || List.exists (fun n -> n < 1) sizes then begin
+      Printf.eprintf "lint: --sizes must list positive integers\n";
+      exit 2
+    end;
+    let settings =
+      match max_nodes with
+      | None -> Lb_analysis.Automaton.default_settings
+      | Some k when k >= 1 ->
+        { Lb_analysis.Automaton.default_settings with max_nodes = k }
+      | Some k ->
+        Printf.eprintf "lint: --max-nodes must be >= 1 (got %d)\n" k;
+        exit 2
+    in
+    let allow =
+      if no_allow then fun _ -> []
+      else Lb_algos.Registry.expected_findings
+    in
+    let report = Lb_analysis.Driver.run ~settings ~sizes ~allow algos in
+    if json then print_endline (Lb_analysis.Driver.to_json report)
+    else Format.printf "%a" (Lb_analysis.Driver.pp ~verbose) report;
+    if not (Lb_analysis.Driver.clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze algorithm automata (repr injectivity, register \
+          discipline, kind honesty, liveness shape). Exits 0 when clean \
+          modulo the registry allowlist, 1 on unexpected findings, 2 on \
+          usage errors."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Explores each process automaton in isolation, feeding every \
+              response the declared register domains permit, then runs the \
+              lint passes over the explored state spaces. Findings carry a \
+              witness: the response path driving the automaton to the \
+              offending state ($(b,--verbose) prints it).";
+           `P
+             "Deliberately-faulty registry entries keep CI green through \
+              the expected-findings allowlist; $(b,--no-allowlist) shows \
+              their findings as failures too.";
+         ])
+    Term.(const run $ algos_arg $ sizes_arg $ jobs_arg $ json_arg
+          $ verbose_arg $ no_allow_arg $ max_nodes_arg)
+
 let () =
   let info =
     Cmd.info "mutexlb" ~version:"1.0.0"
@@ -485,5 +607,5 @@ let () =
           [
             list_cmd; run_cmd; check_cmd; construct_cmd; pipeline_cmd;
             decode_cmd; certify_cmd; workload_cmd; adversary_cmd;
-            experiments_cmd;
+            experiments_cmd; lint_cmd;
           ]))

@@ -107,6 +107,9 @@ let algorithm =
     ~description:"Lamport's bakery algorithm (O(n) work per entry)"
     ~registers:(fun ~n ->
       Array.init (2 * n) (fun i ->
-          if i < n then Register.spec ~home:i (Printf.sprintf "choosing%d" i)
+          if i < n then
+            Register.spec ~home:i ~domain:(0, 1)
+              (Printf.sprintf "choosing%d" i)
+            (* tickets are unbounded: no domain on the number registers *)
           else Register.spec ~home:(i - n) (Printf.sprintf "number%d" (i - n))))
     ~spawn:Spawn.spawn ()

@@ -57,5 +57,5 @@ module Spawn = Proc.Make_spawn (State)
 let algorithm =
   Common.make ~name:"broken_spinlock"
     ~description:"INTENTIONALLY BROKEN read-then-write spinlock (test oracle)"
-    ~registers:(fun ~n:_ -> [| Register.spec "lock" |])
+    ~registers:(fun ~n:_ -> [| Register.spec ~domain:(0, 1) "lock" |])
     ~spawn:Spawn.spawn ()

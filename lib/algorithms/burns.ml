@@ -90,5 +90,6 @@ let algorithm =
   Common.make ~name:"burns"
     ~description:"Burns' one-bit algorithm (deadlock-free, n flag bits)"
     ~registers:(fun ~n ->
-      Array.init n (fun i -> Register.spec ~home:i (Printf.sprintf "flag%d" i)))
+      Array.init n (fun i ->
+          Register.spec ~home:i ~domain:(0, 1) (Printf.sprintf "flag%d" i)))
     ~spawn:Spawn.spawn ()

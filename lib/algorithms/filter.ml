@@ -101,6 +101,9 @@ let algorithm =
     ~description:"Peterson's n-process filter lock (n-1 victim levels)"
     ~registers:(fun ~n ->
       Array.init (n + max 0 (n - 1)) (fun i ->
-          if i < n then Register.spec ~home:i (Printf.sprintf "level%d" i)
-          else Register.spec (Printf.sprintf "victim%d" (i - n + 1))))
+          if i < n then
+            Register.spec ~home:i ~domain:(0, n - 1)
+              (Printf.sprintf "level%d" i)
+          else
+            Register.spec ~domain:(0, n) (Printf.sprintf "victim%d" (i - n + 1))))
     ~spawn:Spawn.spawn ()

@@ -123,7 +123,9 @@ let algorithm =
     ~description:"Lamport's fast algorithm (constant-time solo entries)"
     ~registers:(fun ~n ->
       Array.init (2 + n) (fun i ->
-          if i = 0 then Register.spec "x"
-          else if i = 1 then Register.spec "y"
-          else Register.spec ~home:(i - 2) (Printf.sprintf "b%d" (i - 2))))
+          if i = 0 then Register.spec ~domain:(0, n) "x"
+          else if i = 1 then Register.spec ~domain:(0, n) "y"
+          else
+            Register.spec ~home:(i - 2) ~domain:(0, 1)
+              (Printf.sprintf "b%d" (i - 2))))
     ~spawn:Spawn.spawn ()

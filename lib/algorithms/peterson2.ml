@@ -83,6 +83,8 @@ let algorithm =
     ~max_n:2
     ~registers:(fun ~n:_ ->
       [|
-        Register.spec "flag0"; Register.spec "flag1"; Register.spec "turn";
+        Register.spec ~domain:(0, 1) "flag0";
+        Register.spec ~domain:(0, 1) "flag1";
+        Register.spec ~domain:(0, 2) "turn";
       |])
     ~spawn:Spawn.spawn ()

@@ -77,9 +77,10 @@ let anderson =
     ~description:"Anderson's array queue lock (fetch-add slot, baton passing)"
     ~kind:Algorithm.Uses_rmw
     ~registers:(fun ~n ->
+      (* the ticket counter in [tail] is unbounded: no domain *)
       Array.init (n + 1) (fun i ->
           if i = 0 then Register.spec "tail"
-          else Register.spec ~init:(if i = 1 then 1 else 0)
+          else Register.spec ~init:(if i = 1 then 1 else 0) ~domain:(0, 1)
                  (Printf.sprintf "slot%d" (i - 1))))
     ~spawn:Anderson_spawn.spawn ()
 
@@ -195,11 +196,12 @@ let mcs =
     ~kind:Algorithm.Uses_rmw
     ~registers:(fun ~n ->
       Array.init ((2 * n) + 1) (fun i ->
-          if i = 0 then Register.spec "tail"
+          if i = 0 then Register.spec ~domain:(0, n) "tail" (* nil or a pid *)
           else if i <= n then
-            Register.spec ~home:(i - 1) (Printf.sprintf "next%d" (i - 1))
+            Register.spec ~home:(i - 1) ~domain:(0, n)
+              (Printf.sprintf "next%d" (i - 1))
           else
-            Register.spec ~home:(i - n - 1)
+            Register.spec ~home:(i - n - 1) ~domain:(0, 1)
               (Printf.sprintf "locked%d" (i - n - 1))))
     ~spawn:Mcs_spawn.spawn ()
 
@@ -285,8 +287,10 @@ let clh =
     ~kind:Algorithm.Uses_rmw
     ~registers:(fun ~n ->
       Array.init (n + 2) (fun i ->
-          if i = 0 then Register.spec ~init:n "tail"
+          if i = 0 then
+            Register.spec ~init:n ~domain:(0, n) "tail" (* a node index *)
           else if i - 1 < n then
-            Register.spec ~home:(i - 1) (Printf.sprintf "node%d" (i - 1))
-          else Register.spec (Printf.sprintf "node%d" (i - 1))))
+            Register.spec ~home:(i - 1) ~domain:(0, 1)
+              (Printf.sprintf "node%d" (i - 1))
+          else Register.spec ~domain:(0, 1) (Printf.sprintf "node%d" (i - 1))))
     ~spawn:Clh_spawn.spawn ()

@@ -43,3 +43,14 @@ let find_exn name =
          (String.concat ", " (List.map (fun a -> a.Algorithm.name) all)))
 
 let names () = List.map (fun a -> a.Algorithm.name) all
+
+(* Findings `mutexlb lint` is expected to report for registry entries.
+   The faulty controls are lint-positive by design; the tree locks leave
+   the unused side of odd-n competition nodes unwritten. Keep entries
+   minimal and specific — a new rule firing on a registry algorithm
+   should fail CI until triaged here or fixed. *)
+let expected_findings = function
+  | "broken_spinlock" -> [ "register-discipline/racy-test-then-set" ]
+  | "yang_anderson" | "yang_anderson_flat" | "tournament" ->
+    [ "register-discipline/read-never-written" ]
+  | _ -> []

@@ -29,3 +29,9 @@ val find_exn : string -> Lb_shmem.Algorithm.t
     registry on failure. *)
 
 val names : unit -> string list
+
+val expected_findings : string -> string list
+(** [expected_findings name] is the allowlist of lint rule ids
+    [mutexlb lint] tolerates for algorithm [name] — the findings the
+    deliberately-faulty controls are supposed to trigger, plus triaged
+    benign warnings. Anything else fails the lint gate. *)

@@ -54,7 +54,7 @@ module Tas_spawn = Proc.Make_spawn (Tas_state)
 let test_and_set =
   Common.make ~name:"tas" ~description:"test-and-set lock (RMW every probe)"
     ~kind:Algorithm.Uses_rmw
-    ~registers:(fun ~n:_ -> [| Register.spec "lock" |])
+    ~registers:(fun ~n:_ -> [| Register.spec ~domain:(0, 1) "lock" |])
     ~spawn:Tas_spawn.spawn ()
 
 (* ------------------------------------------------------------------ *)
@@ -115,7 +115,7 @@ let test_and_test_and_set =
   Common.make ~name:"ttas"
     ~description:"test-and-test-and-set lock (read spin, then RMW)"
     ~kind:Algorithm.Uses_rmw
-    ~registers:(fun ~n:_ -> [| Register.spec "lock" |])
+    ~registers:(fun ~n:_ -> [| Register.spec ~domain:(0, 1) "lock" |])
     ~spawn:Ttas_spawn.spawn ()
 
 (* ------------------------------------------------------------------ *)

@@ -120,5 +120,6 @@ let algorithm =
   Common.make ~name:"szymanski"
     ~description:"Szymanski's waiting-room algorithm (5-valued flags)"
     ~registers:(fun ~n ->
-      Array.init n (fun i -> Register.spec ~home:i (Printf.sprintf "flag%d" i)))
+      Array.init n (fun i ->
+          Register.spec ~home:i ~domain:(0, 4) (Printf.sprintf "flag%d" i)))
     ~spawn:Spawn.spawn ()

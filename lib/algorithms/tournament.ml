@@ -112,7 +112,7 @@ let algorithm =
       Array.init (3 * internal) (fun i ->
           let v = (i / 3) + 1 in
           match i mod 3 with
-          | 0 -> Register.spec (Printf.sprintf "F%d_0" v)
-          | 1 -> Register.spec (Printf.sprintf "F%d_1" v)
-          | _ -> Register.spec (Printf.sprintf "U%d" v)))
+          | 0 -> Register.spec ~domain:(0, 1) (Printf.sprintf "F%d_0" v)
+          | 1 -> Register.spec ~domain:(0, 1) (Printf.sprintf "F%d_1" v)
+          | _ -> Register.spec ~domain:(0, 2) (Printf.sprintf "U%d" v)))
     ~spawn:Spawn.spawn ()

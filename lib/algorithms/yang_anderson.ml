@@ -136,8 +136,13 @@ module State = struct
         Common.acked resp;
         Exit_ { k; xpc = X_read_t }
       | X_read_t ->
+        (* T[v] = nil means no rival ever competed here (unreachable in a
+           real execution — we wrote T[v] ourselves on entry — but T's
+           declared domain permits it, and a total automaton keeps the
+           static analyzer's register-discipline pass clean): nobody to
+           wake, release the node *)
         let t = Common.got resp in
-        if t = Common.pid me then node_released ~k
+        if t = Common.pid me || t = Common.nil then node_released ~k
         else Exit_ { k; xpc = X_set_rival_p t }
       | X_set_rival_p _ ->
         Common.acked resp;
@@ -186,13 +191,13 @@ let algorithm =
           if i < 3 * internal then begin
             let v = (i / 3) + 1 in
             match i mod 3 with
-            | 0 -> Register.spec (Printf.sprintf "C%d_0" v)
-            | 1 -> Register.spec (Printf.sprintf "C%d_1" v)
-            | _ -> Register.spec (Printf.sprintf "T%d" v)
+            | 0 -> Register.spec ~domain:(0, n) (Printf.sprintf "C%d_0" v)
+            | 1 -> Register.spec ~domain:(0, n) (Printf.sprintf "C%d_1" v)
+            | _ -> Register.spec ~domain:(0, n) (Printf.sprintf "T%d" v)
           end
           else begin
             let j = i - (3 * internal) in
             let p = j / l and k = (j mod l) + 1 in
-            Register.spec ~home:p (Printf.sprintf "P%d_%d" p k)
+            Register.spec ~home:p ~domain:(0, 2) (Printf.sprintf "P%d_%d" p k)
           end))
     ~spawn:Spawn.spawn ()

@@ -16,3 +16,38 @@ val algorithm : Lb_shmem.Algorithm.t
 
 val levels : n:int -> int
 (** Height of the arbitration tree: [⌈log₂ (max n 2)⌉]. *)
+
+(** The state-transition module behind {!algorithm}, exposed so tests
+    can derive controlled variants (the lint suite rebuilds the
+    pre-PR-2 ["rt2"] repr collision by overriding [repr] alone and
+    checks that [mutexlb lint] catches it statically). *)
+module State : sig
+  type entry_pc =
+    | Set_c
+    | Set_t
+    | Reset_p
+    | Read_rival
+    | Read_t of int
+    | Read_rival_p of int
+    | Set_rival_p of int
+    | Await_p1
+    | Read_t2
+    | Await_p2
+
+  type exit_pc = Clear_c | X_read_t | X_set_rival_p of int
+
+  type pc =
+    | Start
+    | Entry of { k : int; epc : entry_pc }
+    | Enter
+    | In_cs
+    | Exit_ of { k : int; xpc : exit_pc }
+    | Rem
+
+  type state = pc
+
+  val initial : n:int -> me:int -> state
+  val pending : n:int -> me:int -> state -> Lb_shmem.Step.action
+  val advance : n:int -> me:int -> state -> Lb_shmem.Step.response -> state
+  val repr : state -> string
+end

@@ -138,8 +138,10 @@ module State = struct
         Common.acked resp;
         Exit_ { k; xpc = X_read_t }
       | X_read_t ->
+        (* as in yang_anderson: a nil tie-breaker means no rival, and
+           keeps the automaton total on T's declared domain *)
         let t = Common.got resp in
-        if t = Common.pid me then node_released ~k
+        if t = Common.pid me || t = Common.nil then node_released ~k
         else Exit_ { k; xpc = X_set_rival_p t }
       | X_set_rival_p _ ->
         Common.acked resp;
@@ -188,12 +190,12 @@ let algorithm =
           if i < 3 * internal then begin
             let v = (i / 3) + 1 in
             match i mod 3 with
-            | 0 -> Register.spec (Printf.sprintf "C%d_0" v)
-            | 1 -> Register.spec (Printf.sprintf "C%d_1" v)
-            | _ -> Register.spec (Printf.sprintf "T%d" v)
+            | 0 -> Register.spec ~domain:(0, n) (Printf.sprintf "C%d_0" v)
+            | 1 -> Register.spec ~domain:(0, n) (Printf.sprintf "C%d_1" v)
+            | _ -> Register.spec ~domain:(0, n) (Printf.sprintf "T%d" v)
           end
           else begin
             let p = i - (3 * internal) in
-            Register.spec ~home:p (Printf.sprintf "P%d" p)
+            Register.spec ~home:p ~domain:(0, 2) (Printf.sprintf "P%d" p)
           end))
     ~spawn:Spawn.spawn ()

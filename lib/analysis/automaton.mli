@@ -1,0 +1,120 @@
+(** Bounded exploration of an algorithm's per-process automata — the
+    object every lint pass runs over.
+
+    The model ({!Lb_shmem.Proc}) gives each process a deterministic
+    automaton: a local state pends one action; feeding a response yields
+    the next state. The explorer drives each process's automaton in
+    isolation, feeding {e every} response its environment could supply:
+    [Ack] for writes and critical steps, and — for a read or RMW of
+    register [r] — one [Got v] per value in [r]'s {e response set}. The
+    response set is the register's declared {!Lb_shmem.Register.spec}
+    domain when one is declared, plus every value the analysis observes
+    any process write (or store through an RMW), iterated to a fixpoint.
+    The result over-approximates the states a process can reach in any
+    real execution, so "unreachable" verdicts on a {e complete}
+    exploration are sound.
+
+    Explorations are bounded three ways — nodes per process, values per
+    register, fixpoint rounds — so algorithms with genuinely unbounded
+    registers (bakery tickets, fetch-and-add counters) still terminate;
+    {!t.complete} records whether any bound truncated the analysis, and
+    passes that need soundness (unreachability, stuck spins) are gated
+    on it.
+
+    While exploring, the driver also performs the repr-soundness check:
+    whenever a transition lands on a state whose [repr] was already
+    seen, the fresh state and the stored representative are compared
+    behaviorally to [collision_depth] — equal pending actions and,
+    recursively, equal successor reprs under every permitted response.
+    Any divergence is recorded as a {!collision}: two observably
+    different states sharing one repr, exactly the bug class of the
+    [yang_anderson] ["rt2"] repr collision PR 2 fixed. *)
+
+open Lb_shmem
+
+type settings = {
+  max_nodes : int;  (** per-process automaton node budget (default 4000) *)
+  max_values : int;  (** per-register response-set budget (default 64) *)
+  max_rounds : int;  (** fixpoint iteration budget (default 12) *)
+  collision_depth : int;
+      (** behavioral-comparison depth on repr collisions (default 2) *)
+  max_collision_checks : int;
+      (** duplicate-hits compared per node, a cost bound (default 16) *)
+}
+
+val default_settings : settings
+
+type node = {
+  id : int;  (** dense index; BFS order, parents before children *)
+  repr : string;
+  proc : Proc.t;  (** representative state with this repr *)
+  pending : Step.action;
+  mutable edges : (Step.response * int) list;
+      (** (response fed, successor node id), in exploration order *)
+  parent : (int * Step.response) option;
+      (** how BFS first reached this node; [None] for the initial state *)
+}
+
+type proc_auto = {
+  me : int;
+  nodes : node array;
+  truncated : bool;  (** [max_nodes] was hit *)
+}
+
+type collision = {
+  c_proc : int;
+  c_repr : string;  (** the shared repr *)
+  c_node : int;  (** node id of the stored representative *)
+  c_via : int * Step.response;
+      (** edge (node id, response) that reached the second, diverging state *)
+  c_responses : Step.response list;
+      (** response suffix after which the two states observably diverge *)
+  c_detail : string;  (** what diverged (pending vs successor reprs) *)
+}
+
+type write_obs = {
+  w_proc : int;
+  w_node : int;
+  w_value : Step.value;
+  w_via : Step.action;  (** the [Write] or [Rmw] performing the store *)
+}
+
+type t = {
+  algo : Algorithm.t;
+  n : int;
+  specs : Register.spec array;
+  autos : proc_auto array;
+  responses : Step.value list array;
+      (** final response set per register, sorted increasing *)
+  writes : write_obs list array;
+      (** per register: one observation per distinct stored value *)
+  reads : (int * int) list array;
+      (** per register: first reading (proc, node) per process *)
+  oob : (int * int * Step.action) list;
+      (** shared accesses naming an out-of-range register *)
+  rmw_nodes : (int * int) list;  (** first (proc, node) pending an RMW *)
+  partial : (int * int * Step.response * string) list;
+      (** (proc, node, response, exn): [advance] raised on a permitted
+          response — the automaton is partial on its declared
+          environment *)
+  collisions : collision list;  (** at most one per (proc, repr) *)
+  complete : bool;
+      (** the fixpoint converged and no node/value budget truncated *)
+}
+
+val explore : ?settings:settings -> Algorithm.t -> n:int -> t
+(** Analyze one algorithm at one system size. Pure and deterministic:
+    independent [(algorithm, n)] explorations may fan out across
+    domains. *)
+
+val witness_to : t -> me:int -> int -> Finding.witness
+(** Response path from process [me]'s initial local state to node [id],
+    rebuilt from BFS parents. *)
+
+val witness_via :
+  t -> me:int -> int -> Step.response -> target:string -> Finding.witness
+(** Like {!witness_to}, extended by one extra edge [(node, response)]
+    into a state of repr [target] that was never inserted as a node
+    (collision witnesses). *)
+
+val total_nodes : t -> int

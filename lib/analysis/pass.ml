@@ -1,0 +1,7 @@
+type t = {
+  name : string;
+  doc : string;
+  run : Automaton.t -> Finding.t list;
+}
+
+let v ~name ~doc run = { name; doc; run }

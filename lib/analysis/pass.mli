@@ -1,0 +1,14 @@
+(** A lint pass: one family of rules over an explored automaton.
+
+    Passes are pure functions from an {!Automaton.t} (one algorithm at
+    one system size) to findings. They must be deterministic — the
+    driver fans (algorithm × n) analysis units out over a domain pool
+    and asserts that parallel and sequential runs agree. *)
+
+type t = {
+  name : string;  (** rule-id prefix, e.g. ["repr-soundness"] *)
+  doc : string;  (** one-line description for [--list-passes] *)
+  run : Automaton.t -> Finding.t list;
+}
+
+val v : name:string -> doc:string -> (Automaton.t -> Finding.t list) -> t

@@ -1,0 +1,31 @@
+open Lb_shmem
+
+let run (a : Automaton.t) =
+  match (a.algo.Algorithm.kind, a.rmw_nodes) with
+  | Algorithm.Registers_only, (proc, node) :: _ ->
+    let witness = Automaton.witness_to a ~me:proc node in
+    [
+      Finding.make ~rule:"kind-honesty/undeclared-rmw"
+        ~severity:Finding.Error ~algo:a.algo.Algorithm.name ~n:a.n ~proc
+        ~witness
+        (Printf.sprintf
+           "declared Registers_only but p%d reaches a state pending %s — \
+            the lower-bound pipeline would accept an algorithm outside \
+            the paper's model"
+           proc
+           (Finding.action_to_string a.specs
+              a.autos.(proc).nodes.(node).pending));
+    ]
+  | Algorithm.Uses_rmw, [] when a.complete ->
+    [
+      Finding.make ~rule:"kind-honesty/dead-rmw-claim"
+        ~severity:Finding.Warning ~algo:a.algo.Algorithm.name ~n:a.n
+        "declared Uses_rmw but no reachable state of any process pends \
+         an RMW — the declaration needlessly excludes the algorithm \
+         from the lower-bound pipeline";
+    ]
+  | _ -> []
+
+let pass =
+  Pass.v ~name:"kind-honesty"
+    ~doc:"the declared kind must match the primitives actually used" run

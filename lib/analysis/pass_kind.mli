@@ -1,0 +1,7 @@
+(** kind-honesty: an algorithm's declared {!Lb_shmem.Algorithm.kind}
+    gates the lower-bound pipeline ([Registers_only] is the paper's
+    model; [Uses_rmw] is the §8 extension the pipeline refuses). A
+    dishonest declaration either sneaks RMW steps past the pipeline or
+    needlessly locks a registers-only algorithm out of it. *)
+
+val pass : Pass.t

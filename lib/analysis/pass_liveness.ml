@@ -1,0 +1,97 @@
+open Lb_shmem
+
+let initial_not_try (a : Automaton.t) =
+  let rec first = function
+    | [] -> []
+    | (auto : Automaton.proc_auto) :: rest -> (
+      match auto.nodes.(0).pending with
+      | Step.Crit Step.Try -> first rest
+      | action ->
+        [
+          Finding.make ~rule:"liveness-shape/initial-not-try"
+            ~severity:Finding.Error ~algo:a.algo.Algorithm.name ~n:a.n
+            ~proc:auto.me
+            (Printf.sprintf
+               "initial step of p%d is %s, not the try step the protocol \
+                contract requires (paper, end of section 3.2)"
+               auto.me
+               (Finding.action_to_string a.specs action));
+        ])
+  in
+  first (Array.to_list a.autos)
+
+(* Sound only on a complete exploration — a truncated automaton may
+   reach the critical section beyond the node budget. *)
+let missing_critical_section (a : Automaton.t) =
+  if not a.complete then []
+  else
+    let rec first = function
+      | [] -> []
+      | (auto : Automaton.proc_auto) :: rest ->
+        if
+          Array.exists
+            (fun (node : Automaton.node) ->
+              match node.Automaton.pending with
+              | Step.Crit Step.Enter -> true
+              | _ -> false)
+            auto.nodes
+        then first rest
+        else
+          [
+            Finding.make ~rule:"liveness-shape/missing-critical-section"
+              ~severity:Finding.Error ~algo:a.algo.Algorithm.name ~n:a.n
+              ~proc:auto.me
+              (Printf.sprintf
+                 "no reachable state of p%d pends the enter step: the \
+                  critical section is unreachable however the \
+                  environment responds"
+                 auto.me);
+          ]
+    in
+    first (Array.to_list a.autos)
+
+(* A busy-wait read whose every permitted response loops back to itself
+   can never escape: the register's full response set (declared domain
+   plus every value any process can write) keeps it spinning. Gated on
+   completeness — on a truncated exploration the escape value may exist
+   beyond a budget. *)
+let stuck_spin (a : Automaton.t) =
+  if not a.complete then []
+  else begin
+    let seen = Hashtbl.create 8 in
+    let out = ref [] in
+    Array.iter
+      (fun (auto : Automaton.proc_auto) ->
+        Array.iter
+          (fun (node : Automaton.node) ->
+            match node.pending with
+            | Step.Read r
+              when node.edges <> []
+                   && List.for_all (fun (_, id) -> id = node.id) node.edges
+                   && not (Hashtbl.mem seen node.repr) ->
+              Hashtbl.add seen node.repr ();
+              let witness = Automaton.witness_to a ~me:auto.me node.id in
+              out :=
+                Finding.make ~rule:"liveness-shape/stuck-spin"
+                  ~severity:Finding.Error ~algo:a.algo.Algorithm.name ~n:a.n
+                  ~proc:auto.me ~witness
+                  (Printf.sprintf
+                     "p%d spins on %s and every response its environment \
+                      can produce (%s) loops back to the same state — the \
+                      busy-wait can never terminate"
+                     auto.me
+                     (Register.name a.specs r)
+                     (String.concat ", "
+                        (List.map string_of_int a.responses.(r))))
+                :: !out
+            | _ -> ())
+          auto.nodes)
+      a.autos;
+    List.rev !out
+  end
+
+let run a = initial_not_try a @ missing_critical_section a @ stuck_spin a
+
+let pass =
+  Pass.v ~name:"liveness-shape"
+    ~doc:"structural protocol-contract checks on each process automaton" run

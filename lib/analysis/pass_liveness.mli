@@ -1,0 +1,8 @@
+(** liveness-shape: structural sanity of the automaton against the
+    paper's protocol contract (§3.2) — the initial step is [try], a
+    critical section is reachable, and no busy-wait loop is inescapable
+    under every response the environment can produce. These are shape
+    checks on one process's automaton, not a liveness proof for the
+    concurrent system (that is the model checker's job). *)
+
+val pass : Pass.t

@@ -1,0 +1,153 @@
+open Lb_shmem
+
+let domain_violation (a : Automaton.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun r obs ->
+      let spec = a.specs.(r) in
+      List.iter
+        (fun (w : Automaton.write_obs) ->
+          if not (Register.in_domain spec w.w_value) then
+            let witness = Automaton.witness_to a ~me:w.w_proc w.w_node in
+            let domain_txt =
+              match spec.Register.domain with
+              | Some (lo, hi) ->
+                Printf.sprintf "the declared domain [%d, %d]" lo hi
+              | None -> "the implicit non-negative domain"
+            in
+            out :=
+              Finding.make ~rule:"register-discipline/domain-violation"
+                ~severity:Finding.Error ~algo:a.algo.Algorithm.name ~n:a.n
+                ~proc:w.w_proc ~witness
+                (Printf.sprintf "%s stores %d into %s, outside %s"
+                   (Finding.action_to_string a.specs w.w_via)
+                   w.w_value
+                   (Register.name a.specs r)
+                   domain_txt)
+              :: !out)
+        obs)
+    a.writes;
+  List.rev !out
+
+let out_of_bounds (a : Automaton.t) =
+  List.map
+    (fun (proc, node, action) ->
+      let witness = Automaton.witness_to a ~me:proc node in
+      Finding.make ~rule:"register-discipline/out-of-bounds"
+        ~severity:Finding.Error ~algo:a.algo.Algorithm.name ~n:a.n ~proc
+        ~witness
+        (Printf.sprintf
+           "%s names a register outside the declared file of %d registers"
+           (Finding.action_to_string a.specs action)
+           (Array.length a.specs)))
+    a.oob
+
+(* Sound only on a complete exploration: a truncated run may simply not
+   have reached the writer. *)
+let read_never_written (a : Automaton.t) =
+  if not a.complete then []
+  else
+    let out = ref [] in
+    Array.iteri
+      (fun r readers ->
+        if a.writes.(r) = [] then
+          match readers with
+          | [] -> ()
+          | (proc, node) :: _ ->
+            let witness = Automaton.witness_to a ~me:proc node in
+            out :=
+              Finding.make ~rule:"register-discipline/read-never-written"
+                ~severity:Finding.Warning ~algo:a.algo.Algorithm.name ~n:a.n
+                ~proc ~witness
+                (Printf.sprintf
+                   "%s is read (first by p%d) but no process ever writes \
+                    it; every read returns the initial value %d"
+                   (Register.name a.specs r)
+                   proc a.specs.(r).Register.init)
+              :: !out)
+      a.reads;
+    List.rev !out
+
+(* A spin loop that busy-reads register r and, on escaping, immediately
+   WRITES r (rather than performing an atomic RMW) is the classic
+   test-then-set race: two processes can both observe the escape value
+   and both write. Fires on [broken_spinlock]; a TTAS lock escapes into
+   an RMW, which this deliberately does not match — and neither does a
+   register homed at the spinning process itself (szymanski's door scan
+   includes the scanner's own single-writer flag, which only it ever
+   writes, so there is no second racer). *)
+let racy_test_then_set (a : Automaton.t) =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  Array.iter
+    (fun (auto : Automaton.proc_auto) ->
+      Array.iter
+        (fun (node : Automaton.node) ->
+          match node.pending with
+          | Step.Read r
+            when r >= 0
+                 && r < Array.length a.specs
+                 && (not (Hashtbl.mem seen node.repr))
+                 && a.specs.(r).Register.home <> Some auto.me ->
+            let self_loop =
+              List.exists (fun (_, id) -> id = node.id) node.edges
+            in
+            if self_loop then
+              List.iter
+                (fun (resp, id) ->
+                  if id <> node.id && not (Hashtbl.mem seen node.repr) then
+                    let succ = a.autos.(auto.me).nodes.(id) in
+                    match succ.pending with
+                    | Step.Write (r', _) when r' = r ->
+                      Hashtbl.add seen node.repr ();
+                      let witness =
+                        Automaton.witness_to a ~me:auto.me node.id
+                      in
+                      out :=
+                        Finding.make
+                          ~rule:"register-discipline/racy-test-then-set"
+                          ~severity:Finding.Warning
+                          ~algo:a.algo.Algorithm.name ~n:a.n ~proc:auto.me
+                          ~witness
+                          (Printf.sprintf
+                             "spin on %s escapes (on %s) straight into %s \
+                              with no intervening synchronization — two \
+                              processes can both pass the test and both \
+                              write"
+                             (Register.name a.specs r)
+                             (Finding.response_to_string resp)
+                             (Finding.action_to_string a.specs succ.pending))
+                        :: !out
+                    | _ -> ())
+                node.edges
+          | _ -> ())
+        auto.nodes)
+    a.autos;
+  List.rev !out
+
+let partial_automaton (a : Automaton.t) =
+  List.map
+    (fun (proc, node, resp, exn) ->
+      let witness = Automaton.witness_to a ~me:proc node in
+      Finding.make ~rule:"register-discipline/partial-automaton"
+        ~severity:Finding.Info ~algo:a.algo.Algorithm.name ~n:a.n ~proc
+        ~witness
+        (Printf.sprintf
+           "advance raised %S on response %s to %s — the automaton is \
+            partial on a response its environment's declared domains \
+            permit (the analyzer over-approximates reachable values, so \
+            this may be a false alarm for values no real execution \
+            produces)"
+           exn
+           (Finding.response_to_string resp)
+           (Finding.action_to_string a.specs
+              a.autos.(proc).nodes.(node).pending)))
+    a.partial
+
+let run a =
+  domain_violation a @ out_of_bounds a @ read_never_written a
+  @ racy_test_then_set a @ partial_automaton a
+
+let pass =
+  Pass.v ~name:"register-discipline"
+    ~doc:"shared accesses must respect the declared register file" run

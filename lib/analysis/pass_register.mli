@@ -1,0 +1,7 @@
+(** register-discipline: shared accesses must respect the declared
+    register file — in-bounds indices, writes inside the declared value
+    domain, no reads of registers nothing ever writes, no unguarded
+    test-then-set races, and automata total on the responses their
+    environment can actually produce. *)
+
+val pass : Pass.t

@@ -1,0 +1,26 @@
+let run (a : Automaton.t) =
+  List.map
+    (fun (c : Automaton.collision) ->
+      let via_node, via_resp = c.Automaton.c_via in
+      let witness =
+        Automaton.witness_via a ~me:c.c_proc via_node via_resp
+          ~target:c.c_repr
+      in
+      let suffix =
+        match c.c_responses with
+        | [] -> ""
+        | rs ->
+          Printf.sprintf " after responses [%s]"
+            (String.concat "; " (List.map Finding.response_to_string rs))
+      in
+      Finding.make ~rule:"repr-soundness/collision" ~severity:Finding.Error
+        ~algo:a.algo.Lb_shmem.Algorithm.name ~n:a.n ~proc:c.c_proc ~witness
+        (Printf.sprintf
+           "repr %S names two observably different local states: %s%s \
+            (state equality by repr is unsound for this algorithm)"
+           c.c_repr c.c_detail suffix))
+    a.collisions
+
+let pass =
+  Pass.v ~name:"repr-soundness"
+    ~doc:"distinct reachable states must have distinct reprs" run

@@ -1,0 +1,8 @@
+(** repr-soundness: every consumer of the model — the SC cost model, the
+    bounded model checker, trace IO — compares local states by [repr],
+    so a repr shared by two observably different states silently merges
+    them (the [yang_anderson] ["rt2"] bug PR 2 fixed dynamically; this
+    pass catches the class statically, with a witness path to each of
+    the two colliding states). *)
+
+val pass : Pass.t

@@ -10,7 +10,21 @@ type result = {
   bits : int;
 }
 
+(* The construction of §5 only knows how to serialize reads and writes
+   (Construct would raise [Unsupported_primitive] deep inside the sweep);
+   refuse RMW algorithms up front, with the lint rule that names the
+   contract. *)
+let require_registers_only ~what (algo : Algorithm.t) =
+  if not (Algorithm.registers_only algo) then
+    invalid_arg
+      (Printf.sprintf
+         "%s: algorithm %S is declared Uses_rmw; the lower-bound pipeline \
+          covers only the paper's read/write-register model \
+          (kind-honesty/undeclared-rmw is the matching `mutexlb lint` rule)"
+         what algo.Algorithm.name)
+
 let run algo ~n pi =
+  require_registers_only ~what:"Pipeline.run" algo;
   let construction = Construct.run algo ~n pi in
   let encoding = Encode.encode construction in
   let canonical = Linearize.execution construction in
@@ -89,6 +103,7 @@ let certify algo ~n ~perms ?(exhaustive = false) ?jobs () =
   (* An empty family would "certify" garbage: mean_cost = 0/0 = nan,
      min_cost = max_int and lower_bound_bits = log2 0 = -inf. *)
   if perms = [] then invalid_arg "Pipeline.certify: empty permutation family";
+  require_registers_only ~what:"Pipeline.certify" algo;
   (* Each run_checked allocates its own construction arena, encoder
      state and decoder state, and the library keeps no module-level
      mutable state, so the per-pi runs are independent and can fan out

@@ -17,6 +17,12 @@ type result = {
 }
 
 val run : Lb_shmem.Algorithm.t -> n:int -> Permutation.t -> result
+(** Raises [Invalid_argument] if the algorithm is declared [Uses_rmw]:
+    the construction covers only the paper's read/write-register model
+    (§8 discusses the extension), and failing up front with the
+    [kind-honesty/undeclared-rmw] lint rule named beats the
+    [Unsupported_primitive] crash that used to surface mid-sweep.
+    [certify] refuses likewise. *)
 
 val check : Lb_shmem.Algorithm.t -> n:int -> result -> (unit, string) Result.t
 (** Verifies, returning the first failure:

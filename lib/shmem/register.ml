@@ -1,6 +1,41 @@
-type spec = { name : string; init : Step.value; home : int option }
+type spec = {
+  name : string;
+  init : Step.value;
+  home : int option;
+  domain : (Step.value * Step.value) option;
+}
 
-let spec ?(init = 0) ?home name = { name; init; home }
+let spec ?(init = 0) ?home ?domain name =
+  if name = "" then invalid_arg "Register.spec: empty register name";
+  if init < 0 then
+    invalid_arg
+      (Printf.sprintf "Register.spec %s: negative initial value %d" name init);
+  (match domain with
+  | None -> ()
+  | Some (lo, hi) ->
+    if lo < 0 then
+      invalid_arg
+        (Printf.sprintf "Register.spec %s: negative value domain [%d, %d]" name
+           lo hi);
+    if hi < lo then
+      invalid_arg
+        (Printf.sprintf "Register.spec %s: empty value domain [%d, %d]" name lo
+           hi);
+    if init < lo || init > hi then
+      invalid_arg
+        (Printf.sprintf
+           "Register.spec %s: non-canonical initial value %d outside the \
+            declared domain [%d, %d]"
+           name init lo hi));
+  { name; init; home; domain }
+
+let in_domain s v =
+  match s.domain with None -> v >= 0 | Some (lo, hi) -> lo <= v && v <= hi
+
+let domain_values s =
+  match s.domain with
+  | None -> None
+  | Some (lo, hi) -> Some (List.init (hi - lo + 1) (fun i -> lo + i))
 
 let initial_values specs = Array.map (fun s -> s.init) specs
 

@@ -4,18 +4,51 @@
     register specifications; register indices in {!Step.action} refer to
     positions in that array. *)
 
-type spec = { name : string; init : Step.value; home : int option }
+type spec = {
+  name : string;
+  init : Step.value;
+  home : int option;
+  domain : (Step.value * Step.value) option;
+}
 (** A multi-reader multi-writer register with a display name, an initial
     value (§3.1: "a shared variable consists of a type and an initial
-    value"), and an optional {e home} process for the DSM cost model: in
-    distributed shared memory, an access by the home process is local
+    value"), an optional {e home} process for the DSM cost model, and an
+    optional declared value {e domain}.
+
+    In distributed shared memory, an access by the home process is local
     (free) and any other access is remote. [home = None] models a register
     kept in global memory (every access remote). The SC and CC models
-    ignore [home]. *)
+    ignore [home].
 
-val spec : ?init:Step.value -> ?home:int -> string -> spec
-(** [spec ?init ?home name] builds a specification; [init] defaults to [0],
-    [home] to [None]. *)
+    [domain = Some (lo, hi)] declares the inclusive range of values the
+    register may ever hold (its "type" in the paper's sense). The static
+    analyzer ([Lb_analysis]) checks every reachable write against it and
+    uses it as the response alphabet when exploring process automata;
+    [domain = None] means unbounded non-negative, and the analyzer falls
+    back to the values it observes being written. *)
+
+val spec :
+  ?init:Step.value ->
+  ?home:int ->
+  ?domain:Step.value * Step.value ->
+  string ->
+  spec
+(** [spec ?init ?home ?domain name] builds a specification; [init]
+    defaults to [0], [home] and [domain] to [None].
+
+    Raises [Invalid_argument] on an ill-formed declaration, at
+    construction time rather than deep inside a model-checking run:
+    an empty [name], a negative [init], a negative or empty domain
+    ([lo < 0] or [hi < lo]), or a non-canonical initial value (an [init]
+    outside the declared domain). *)
+
+val in_domain : spec -> Step.value -> bool
+(** [in_domain s v] holds when [v] is a legal value for [s]: inside the
+    declared domain, or merely non-negative when no domain is declared. *)
+
+val domain_values : spec -> Step.value list option
+(** Every value of the declared domain in increasing order, or [None]
+    when the register is unbounded. *)
 
 val initial_values : spec array -> Step.value array
 (** Fresh register file holding each register's initial value. *)

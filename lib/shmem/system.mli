@@ -34,6 +34,12 @@ type outcome = {
 val init : Algorithm.t -> n:int -> t
 (** Fresh system in the default initial state [s0]. *)
 
+val rmw_result : Step.value -> Step.rmw_op -> Step.value
+(** [rmw_result old op] is the value a register holding [old] contains
+    after [op] (the returned {e response} of an RMW is always [old]).
+    Exposed for the static analyzer, which folds it over a register's
+    value set to over-approximate what RMW steps can store. *)
+
 val copy : t -> t
 (** Deep copy (registers and process array). *)
 

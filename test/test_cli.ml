@@ -132,6 +132,48 @@ let test_bad_perm () =
   let status, _ = run_cmd "pipeline -a bakery -n 3 -p 0,1" in
   Alcotest.(check int) "exit 2" 2 status
 
+let test_lint_registry_clean () =
+  let _, out = check_runs "lint" "lint --sizes 2,3 -j 2" 0 in
+  Alcotest.(check bool) "clean" true (Astring_contains.contains out "lint: clean");
+  Alcotest.(check bool) "expected findings marked" true
+    (Astring_contains.contains out "[expected]")
+
+let test_lint_no_allowlist_fails () =
+  let status, out =
+    run_cmd "lint -a broken_spinlock --sizes 2 --no-allowlist -v"
+  in
+  Alcotest.(check int) "exit 1" 1 status;
+  Alcotest.(check bool) "racy rule" true
+    (Astring_contains.contains out "register-discipline/racy-test-then-set");
+  Alcotest.(check bool) "witness printed" true
+    (Astring_contains.contains out "witness p")
+
+let test_lint_json () =
+  let _, out = check_runs "lint json" "lint -a peterson2 --sizes 2 --json" 0 in
+  Alcotest.(check bool) "json clean" true
+    (Astring_contains.contains out "\"clean\":true")
+
+let test_lint_usage_errors () =
+  let status, _ = run_cmd "lint -a nonsense" in
+  Alcotest.(check int) "unknown algo exit 2" 2 status;
+  let status, _ = run_cmd "lint --sizes banana" in
+  Alcotest.(check int) "bad sizes exit 2" 2 status;
+  let status, _ = run_cmd "lint --max-nodes 0" in
+  Alcotest.(check int) "bad max-nodes exit 2" 2 status
+
+(* the pipeline-family subcommands refuse RMW algorithms up front with a
+   usage error; run/check still accept them *)
+let test_rmw_gate () =
+  let status, out = run_cmd "pipeline -a tas -n 2" in
+  Alcotest.(check int) "pipeline refuses" 2 status;
+  Alcotest.(check bool) "names the rule" true
+    (Astring_contains.contains out "kind-honesty/undeclared-rmw");
+  let status, _ = run_cmd "construct -a ticket -n 3" in
+  Alcotest.(check int) "construct refuses" 2 status;
+  let status, _ = run_cmd "certify -a mcs -n 3 --perms 2" in
+  Alcotest.(check int) "certify refuses" 2 status;
+  ignore (check_runs "run still accepts rmw" "run -a tas -n 2" 0)
+
 let suite =
   [
     Alcotest.test_case "list" `Quick test_list;
@@ -151,4 +193,10 @@ let suite =
     Alcotest.test_case "experiments --only" `Quick test_experiments_only;
     Alcotest.test_case "unknown algorithm" `Quick test_unknown_algo;
     Alcotest.test_case "bad permutation" `Quick test_bad_perm;
+    Alcotest.test_case "lint registry clean" `Slow test_lint_registry_clean;
+    Alcotest.test_case "lint --no-allowlist fails" `Quick
+      test_lint_no_allowlist_fails;
+    Alcotest.test_case "lint --json" `Quick test_lint_json;
+    Alcotest.test_case "lint usage errors" `Quick test_lint_usage_errors;
+    Alcotest.test_case "rmw gate on pipeline commands" `Quick test_rmw_gate;
   ]
