@@ -8,7 +8,9 @@
           dune exec bench/main.exe -- timings -- timings only
           dune exec bench/main.exe -- checks  -- model-check sweep only
           dune exec bench/main.exe -- sweep   -- E1 speedup measurement
-                                                 (writes BENCH_PARALLEL.json) *)
+                                                 (writes BENCH_PARALLEL.json)
+          dune exec bench/main.exe -- store   -- cold vs warm durable sweep
+                                                 (writes BENCH_STORE.json) *)
 
 open Bechamel
 open Toolkit
@@ -297,9 +299,114 @@ let run_sweep () =
   close_out oc;
   print_endline "wrote BENCH_PARALLEL.json"
 
+(* --------------------- durable store sweep --------------------------- *)
+
+(* Cold (empty store, everything computed) vs warm (same family again,
+   everything a cache hit) wall clock of the durable certify sweep. The
+   warm run must be 100% hits with a byte-identical certificate — the
+   store must never change results, only skip recomputation. Appends the
+   measurement to BENCH_STORE.json. *)
+let run_store () =
+  print_endline "\n=== Durable store: cold vs warm certify sweep ===\n";
+  let algo = Lb_algos.Yang_anderson.algorithm and n = 9 and count = 96 in
+  let perms =
+    Lb_core.Permutation.sample (Lb_util.Rng.create 20060723) ~n ~count
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mutexlb-bench-store-%d" (Unix.getpid ()))
+  in
+  let store = Lb_store.Store.open_ ~dir in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let y = f () in
+    (y, Unix.gettimeofday () -. t0)
+  in
+  let run () =
+    Lb_store.Sweep.certify ~store algo ~n ~perms ~exhaustive:false ()
+  in
+  let (cold_cert, cold), cold_s = time run in
+  let (warm_cert, warm), warm_s = time run in
+  let cp = cold.Lb_store.Sweep.progress and wp = warm.Lb_store.Sweep.progress in
+  if wp.Lb_store.Sweep.p_hits <> count || wp.Lb_store.Sweep.p_computed <> 0 then
+    failwith "store bench: warm sweep was not 100% cache hits";
+  let render = function
+    | Some c -> Format.asprintf "%a" Lb_core.Bounds.pp_certificate c
+    | None -> failwith "store bench: sweep produced no certificate"
+  in
+  if render cold_cert <> render warm_cert then
+    failwith "store bench: warm certificate differs from cold";
+  let t =
+    Lb_util.Table.create
+      ~title:
+        (Printf.sprintf "certify yang_anderson n=%d (%d perms, jobs=%d)" n
+           count
+           (Lb_util.Pool.default_jobs ()))
+      [
+        ("run", Lb_util.Table.Left);
+        ("seconds", Lb_util.Table.Right);
+        ("hits", Lb_util.Table.Right);
+        ("computed", Lb_util.Table.Right);
+      ]
+  in
+  Lb_util.Table.add_row t
+    [
+      "cold";
+      Printf.sprintf "%.3f" cold_s;
+      string_of_int cp.Lb_store.Sweep.p_hits;
+      string_of_int cp.Lb_store.Sweep.p_computed;
+    ];
+  Lb_util.Table.add_row t
+    [
+      "warm";
+      Printf.sprintf "%.3f" warm_s;
+      string_of_int wp.Lb_store.Sweep.p_hits;
+      string_of_int wp.Lb_store.Sweep.p_computed;
+    ];
+  Lb_util.Table.print t;
+  Printf.printf "\nwarm/cold: %.1fx faster (certificates byte-identical)\n"
+    (cold_s /. warm_s);
+  let oc = open_out "BENCH_STORE.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"durable certify sweep (yang_anderson n=%d, %d \
+     perms)\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"seconds_cold\": %.3f,\n\
+    \  \"seconds_warm\": %.3f,\n\
+    \  \"warm_speedup\": %.3f,\n\
+    \  \"warm_hit_rate\": 1.0,\n\
+    \  \"certificates_identical\": true\n\
+     }\n"
+    n count
+    (Lb_util.Pool.default_jobs ())
+    cold_s warm_s (cold_s /. warm_s);
+  close_out oc;
+  print_endline "wrote BENCH_STORE.json";
+  (* scrub the throwaway store *)
+  Lb_store.Store.fold store ~init:() ~f:(fun () ~key _ ->
+      Lb_store.Store.remove store ~key);
+  List.iter Sys.remove (Lb_store.Store.manifest_paths store);
+  List.iter
+    (fun sub ->
+      let d = Filename.concat dir sub in
+      if Sys.file_exists d && Sys.is_directory d then begin
+        Array.iter
+          (fun shard ->
+            let sd = Filename.concat d shard in
+            if Sys.is_directory sd then
+              (try Sys.rmdir sd with Sys_error _ -> ()))
+          (Sys.readdir d);
+        try Sys.rmdir d with Sys_error _ -> ()
+      end)
+    [ "objects"; "manifests" ];
+  try Sys.rmdir dir with Sys_error _ -> ()
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "tables" || what = "all" then Lb_exp.Exp_all.run ();
   if what = "checks" || what = "all" then run_checks ();
   if what = "sweep" || what = "all" then run_sweep ();
+  if what = "store" || what = "all" then run_store ();
   if what = "timings" || what = "all" then run_timings ()

@@ -87,8 +87,68 @@ let parse_perm ~n ~seed = function
 
 (* ------------------------------- list -------------------------------- *)
 
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let list_json () =
+  let algo_json (a : Lb_shmem.Algorithm.t) =
+    (* register count at a representative size: n = 4, clamped to the
+       algorithm's max_n so fixed-size entries (peterson2) report their
+       real footprint *)
+    let rep_n =
+      match a.Lb_shmem.Algorithm.max_n with
+      | None -> 4
+      | Some k -> min 4 k
+    in
+    let regs = Array.length (a.Lb_shmem.Algorithm.registers ~n:rep_n) in
+    let faulty =
+      List.exists
+        (fun (f : Lb_shmem.Algorithm.t) ->
+          f.Lb_shmem.Algorithm.name = a.Lb_shmem.Algorithm.name)
+        Lb_algos.Registry.faulty
+    in
+    Printf.sprintf
+      "  {\"name\": %s, \"kind\": %s, \"rmw\": %b, \"min_n\": 1, \"max_n\": \
+       %s, \"registers_at_n\": %d, \"register_count\": %d, \"faulty\": %b, \
+       \"description\": %s}"
+      (json_string a.Lb_shmem.Algorithm.name)
+      (json_string
+         (match a.Lb_shmem.Algorithm.kind with
+         | Lb_shmem.Algorithm.Registers_only -> "registers"
+         | Lb_shmem.Algorithm.Uses_rmw -> "rmw"))
+      (a.Lb_shmem.Algorithm.kind = Lb_shmem.Algorithm.Uses_rmw)
+      (match a.Lb_shmem.Algorithm.max_n with
+      | None -> "null"
+      | Some k -> string_of_int k)
+      rep_n regs faulty
+      (json_string a.Lb_shmem.Algorithm.description)
+  in
+  Printf.printf "[\n%s\n]\n"
+    (String.concat ",\n" (List.map algo_json Lb_algos.Registry.all))
+
 let list_cmd =
-  let run () =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit the registry as a JSON array (name, kind, rmw flag, \
+                n-range, register count) instead of the table.")
+  in
+  let list_table () =
     let t =
       Lb_util.Table.create
         [
@@ -114,8 +174,11 @@ let list_cmd =
       Lb_algos.Registry.all;
     Lb_util.Table.print t
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the algorithm registry")
-    Term.(const run $ const ())
+  let run json = if json then list_json () else list_table () in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List the algorithm registry (--json for machine-readable)")
+    Term.(const run $ json_arg)
 
 (* -------------------------------- run -------------------------------- *)
 
@@ -370,11 +433,61 @@ let decode_cmd =
 
 (* ------------------------------ certify ------------------------------ *)
 
+let store_arg =
+  let doc =
+    "Durable result store directory. Completed permutations are served from \
+     the store and new ones written to it, so an interrupted sweep resumes \
+     where it left off."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Quarantine per-permutation failures (recorded in the store manifest and \
+     summarized at the end) instead of failing fast. Requires $(b,--store)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let events_arg =
+  let doc = "Append sweep telemetry as JSONL events to $(docv). Requires $(b,--store)." in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let save_traces_arg =
+  let doc = "Also store each permutation's E_pi bit string. Requires $(b,--store)." in
+  Arg.(value & flag & info [ "save-traces" ] ~doc)
+
+let require_store ~cmd ~store ~resume ~events ~save_traces =
+  if store = None && (resume || events <> None || save_traces) then begin
+    Printf.eprintf
+      "%s: --resume, --events and --save-traces only make sense with a \
+       durable store; add --store DIR\n"
+      cmd;
+    exit 2
+  end
+
+(* Satellite: `--perms K` with K > n! used to pretend it sampled K distinct
+   permutations when only n! exist. Clamp to the full (exhaustive) family
+   with a warning instead. factorial is exact for n <= 20; past that n!
+   dwarfs any conceivable K, so no clamping is needed. *)
+let clamp_perms ~n perms =
+  if n <= 20 then begin
+    let total = Lb_util.Xmath.factorial n in
+    if perms > total then begin
+      Printf.eprintf
+        "certify: --perms %d exceeds n! = %d at n=%d; clamping to the full \
+         family\n%!"
+        perms total n;
+      total
+    end
+    else perms
+  end
+  else perms
+
 let certify_cmd =
   let perms_arg =
     Arg.(value & opt int 24 & info [ "perms" ] ~docv:"K" ~doc:"Permutations to sample.")
   in
-  let run algo_name n seed perms jobs =
+  let run algo_name n seed perms jobs store resume events save_traces =
     apply_jobs jobs;
     if perms <= 0 then begin
       Printf.eprintf
@@ -383,21 +496,90 @@ let certify_cmd =
         perms;
       exit 2
     end;
+    require_store ~cmd:"certify" ~store ~resume ~events ~save_traces;
     let algo = find_algo algo_name in
     require_registers_only ~cmd:"certify" algo;
+    let perms = clamp_perms ~n perms in
     let pis, exhaustive =
       if n <= 8 && Lb_util.Xmath.factorial n <= perms then
         (Lb_core.Permutation.all n, true)
       else
         (Lb_core.Permutation.sample (Lb_util.Rng.create seed) ~n ~count:perms, false)
     in
-    let cert = Lb_core.Pipeline.certify algo ~n ~perms:pis ~exhaustive () in
-    Format.printf "%a@." Lb_core.Bounds.pp_certificate cert
+    match store with
+    | None ->
+      let cert = Lb_core.Pipeline.certify algo ~n ~perms:pis ~exhaustive () in
+      Format.printf "%a@." Lb_core.Bounds.pp_certificate cert
+    | Some dir ->
+      let st = Lb_store.Store.open_ ~dir in
+      let events_oc =
+        Option.map
+          (fun path ->
+            open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          events
+      in
+      let total = List.length pis in
+      let step = max 1 (total / 10) in
+      let on_event ev =
+        (match events_oc with
+        | Some oc ->
+          output_string oc (Lb_store.Sweep.event_to_json ev);
+          output_char oc '\n'
+        | None -> ());
+        match ev with
+        | Lb_store.Sweep.Item { progress; _ }
+          when progress.Lb_store.Sweep.p_done mod step = 0
+               || progress.Lb_store.Sweep.p_done = total ->
+          Format.eprintf "certify: %a@." Lb_store.Sweep.pp_progress progress
+        | Lb_store.Sweep.Damaged_entry { key; diagnostic } ->
+          Format.eprintf "certify: damaged entry %s (%s); recomputing@." key
+            diagnostic
+        | _ -> ()
+      in
+      let finally () = Option.iter close_out events_oc in
+      Fun.protect ~finally (fun () ->
+          let cert, report =
+            Lb_store.Sweep.certify ~store:st ~resume ~save_traces ~on_event
+              algo ~n ~perms:pis ~exhaustive ()
+          in
+          let p = report.Lb_store.Sweep.progress in
+          (match cert with
+          | Some c -> Format.printf "%a@." Lb_core.Bounds.pp_certificate c
+          | None ->
+            Printf.printf
+              "no certificate: every permutation in the family failed\n");
+          Printf.printf "store          %s\n" dir;
+          Printf.printf
+            "store sweep    %d hits, %d computed, %d failed (%.1f%% hits)\n"
+            p.Lb_store.Sweep.p_hits p.Lb_store.Sweep.p_computed
+            p.Lb_store.Sweep.p_failed
+            (100.0
+            *. float_of_int p.Lb_store.Sweep.p_hits
+            /. float_of_int (max 1 p.Lb_store.Sweep.p_done));
+          Printf.printf "manifest       %s\n" report.Lb_store.Sweep.manifest_path;
+          (match report.Lb_store.Sweep.failures with
+          | [] -> ()
+          | fs ->
+            Printf.printf "failure digest (%d quarantined):\n" (List.length fs);
+            List.iteri
+              (fun i (f : Lb_store.Sweep.failure) ->
+                if i < 10 then
+                  Format.printf "  %a: %s@." Lb_core.Permutation.pp
+                    f.Lb_store.Sweep.f_pi f.Lb_store.Sweep.f_message)
+              fs;
+            if List.length fs > 10 then
+              Printf.printf "  ... and %d more (see manifest)\n"
+                (List.length fs - 10);
+            exit 1))
   in
   Cmd.v
     (Cmd.info "certify"
-       ~doc:"Aggregate the Theorem 7.5 certificate over a permutation family")
-    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg)
+       ~doc:
+         "Aggregate the Theorem 7.5 certificate over a permutation family. \
+          With --store DIR the sweep is durable: checkpointed, resumable, \
+          and served from cache on re-runs.")
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg
+          $ store_arg $ resume_arg $ events_arg $ save_traces_arg)
 
 (* ------------------------------ workload ------------------------------ *)
 
@@ -472,8 +654,14 @@ let experiments_cmd =
       & opt (some string) None
       & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids, e.g. E1,E3.")
   in
-  let run seed only jobs =
+  let run seed only jobs store resume =
     apply_jobs jobs;
+    require_store ~cmd:"experiments" ~store ~resume ~events:None
+      ~save_traces:false;
+    (match store with
+    | None -> ()
+    | Some dir ->
+      Lb_exp.Exp_common.set_store ~resume (Some (Lb_store.Store.open_ ~dir)));
     match only with
     | None -> Lb_exp.Exp_all.run ~seed ()
     | Some ids ->
@@ -488,8 +676,136 @@ let experiments_cmd =
         wanted
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables")
-    Term.(const run $ seed_arg $ only_arg $ jobs_arg)
+    (Cmd.info "experiments"
+       ~doc:
+         "Regenerate the EXPERIMENTS.md tables. With --store DIR the \
+          pipeline sweeps inside E1/E2 are served from (and persisted to) a \
+          durable result store.")
+    Term.(const run $ seed_arg $ only_arg $ jobs_arg $ store_arg $ resume_arg)
+
+(* -------------------------------- store ------------------------------- *)
+
+let store_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  let stat_cmd =
+    let run dir =
+      let st = Lb_store.Store.open_ ~dir in
+      let s = Lb_store.Store.stat st in
+      Printf.printf "store          %s\n" dir;
+      Printf.printf "entries        %d (%d with E_pi traces, %d damaged)\n"
+        s.Lb_store.Store.s_entries s.Lb_store.Store.s_with_trace
+        s.Lb_store.Store.s_damaged;
+      Printf.printf "object bytes   %d\n" s.Lb_store.Store.s_bytes;
+      Printf.printf "manifests      %d\n" s.Lb_store.Store.s_manifests;
+      if s.Lb_store.Store.s_by_algo <> [] then begin
+        Printf.printf "by (algo, n):\n";
+        List.iter
+          (fun (algo, n, count) ->
+            Printf.printf "  %-20s n=%-3d %d\n" algo n count)
+          s.Lb_store.Store.s_by_algo
+      end
+    in
+    Cmd.v
+      (Cmd.info "stat" ~doc:"Summarize a store: entry counts, sizes, sweeps")
+      Term.(const run $ dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let st = Lb_store.Store.open_ ~dir in
+      let ok, damaged =
+        Lb_store.Store.fold st ~init:(0, [])
+          ~f:(fun (ok, bad) ~key -> function
+            | Ok _ -> (ok + 1, bad)
+            | Error diag -> (ok, (key, diag) :: bad))
+      in
+      let damaged = List.rev damaged in
+      List.iter
+        (fun (key, diag) ->
+          Printf.printf "DAMAGED %s\n  %s\n  %s\n" key
+            (Lb_store.Store.object_path st ~key)
+            diag)
+        damaged;
+      Printf.printf "verified       %d entries ok, %d damaged\n" ok
+        (List.length damaged);
+      if damaged <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-parse and re-hash every entry; report damage. Exits 1 if any \
+            entry fails verification.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let dry_arg =
+      Arg.(value & flag
+           & info [ "dry-run" ] ~doc:"Report what would be dropped; delete nothing.")
+    in
+    let run dir dry =
+      let st = Lb_store.Store.open_ ~dir in
+      (* current behavioral fingerprints, memoized per (algo, n) *)
+      let fps : (string * int, string option) Hashtbl.t = Hashtbl.create 16 in
+      let current_fp ~algo_name ~n =
+        match Hashtbl.find_opt fps (algo_name, n) with
+        | Some fp -> fp
+        | None ->
+          let fp =
+            match Lb_algos.Registry.find algo_name with
+            | None -> None
+            | Some a ->
+              if Lb_shmem.Algorithm.supports a n then
+                Some (Lb_store.Store_key.fingerprint a ~n)
+              else None
+          in
+          Hashtbl.add fps (algo_name, n) fp;
+          fp
+      in
+      let keep, drop =
+        Lb_store.Store.fold st ~init:(0, [])
+          ~f:(fun (keep, drop) ~key -> function
+            | Error diag -> (keep, (key, "damaged: " ^ diag) :: drop)
+            | Ok (e : Lb_store.Store.entry) -> (
+              match
+                current_fp ~algo_name:e.Lb_store.Store.e_algo
+                  ~n:e.Lb_store.Store.e_n
+              with
+              | None ->
+                ( keep,
+                  ( key,
+                    Printf.sprintf "unknown algorithm %S (or unsupported n=%d)"
+                      e.Lb_store.Store.e_algo e.Lb_store.Store.e_n )
+                  :: drop )
+              | Some fp when fp <> e.Lb_store.Store.e_fp ->
+                (keep, (key, "stale fingerprint: " ^ e.Lb_store.Store.e_algo) :: drop)
+              | Some _ -> (keep + 1, drop)))
+      in
+      let drop = List.rev drop in
+      List.iter
+        (fun (key, why) ->
+          Printf.printf "%s %s (%s)\n"
+            (if dry then "would drop" else "drop")
+            key why;
+          if not dry then Lb_store.Store.remove st ~key)
+        drop;
+      Printf.printf "gc             %d kept, %d %s\n" keep (List.length drop)
+        (if dry then "would be dropped" else "dropped")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Drop entries whose algorithm fingerprint no longer matches the \
+            current code (plus damaged and unknown-algorithm entries). Keys \
+            embed the fingerprint, so stale entries can never be served by \
+            mistake -- gc only reclaims the space.")
+      Term.(const run $ dir_arg $ dry_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a durable result store (stat, verify, gc)")
+    [ stat_cmd; verify_cmd; gc_cmd ]
 
 (* -------------------------------- lint -------------------------------- *)
 
@@ -607,5 +923,5 @@ let () =
           [
             list_cmd; run_cmd; check_cmd; construct_cmd; pipeline_cmd;
             decode_cmd; certify_cmd; workload_cmd; adversary_cmd;
-            experiments_cmd; lint_cmd;
+            experiments_cmd; store_cmd; lint_cmd;
           ]))

@@ -99,20 +99,29 @@ let run_checked algo ~n pi =
       (Printf.sprintf "pipeline check failed (%s, n=%d, pi=%s): %s"
          algo.Algorithm.name n (Permutation.to_string pi) e)
 
-let certify algo ~n ~perms ?(exhaustive = false) ?jobs () =
+type record = {
+  r_pi : Permutation.t;
+  r_cost : int;
+  r_bits : int;
+  r_exec_fp : string;
+}
+
+let record_of_result r =
+  {
+    r_pi = r.pi;
+    r_cost = r.cost;
+    r_bits = r.bits;
+    r_exec_fp = Execution.fingerprint r.decoded;
+  }
+
+let certificate_of_records (algo : Algorithm.t) ~n ~exhaustive records =
   (* An empty family would "certify" garbage: mean_cost = 0/0 = nan,
      min_cost = max_int and lower_bound_bits = log2 0 = -inf. *)
-  if perms = [] then invalid_arg "Pipeline.certify: empty permutation family";
-  require_registers_only ~what:"Pipeline.certify" algo;
-  (* Each run_checked allocates its own construction arena, encoder
-     state and decoder state, and the library keeps no module-level
-     mutable state, so the per-pi runs are independent and can fan out
-     across domains. Pool.map collects in input order, so the
-     certificate is bit-for-bit identical at every job count. *)
-  let results = Lb_util.Pool.map ?jobs (fun pi -> run_checked algo ~n pi) perms in
-  let costs = List.map (fun r -> r.cost) results in
-  let bits = List.map (fun r -> r.bits) results in
-  let fingerprints = List.map (fun r -> Execution.fingerprint r.decoded) results in
+  if records = [] then
+    invalid_arg "Pipeline.certificate_of_records: empty record list";
+  let costs = List.map (fun r -> r.r_cost) records in
+  let bits = List.map (fun r -> r.r_bits) records in
+  let fingerprints = List.map (fun r -> r.r_exec_fp) records in
   let distinct =
     List.length (List.sort_uniq compare fingerprints) = List.length fingerprints
   in
@@ -123,7 +132,7 @@ let certify algo ~n ~perms ?(exhaustive = false) ?jobs () =
   {
     Bounds.algo = algo.Algorithm.name;
     n;
-    perms = List.length perms;
+    perms = List.length records;
     exhaustive;
     max_cost = List.fold_left max 0 costs;
     min_cost = List.fold_left min max_int costs;
@@ -133,8 +142,27 @@ let certify algo ~n ~perms ?(exhaustive = false) ?jobs () =
     bits_per_cost =
       List.fold_left
         (fun acc r ->
-          Float.max acc (float_of_int r.bits /. float_of_int (max 1 r.cost)))
-        0.0 results;
-    lower_bound_bits = Lb_util.Xmath.log2 (float_of_int (List.length perms));
+          Float.max acc (float_of_int r.r_bits /. float_of_int (max 1 r.r_cost)))
+        0.0 records;
+    lower_bound_bits =
+      Lb_util.Xmath.log2 (float_of_int (List.length records));
     distinct;
   }
+
+let certify algo ~n ~perms ?(exhaustive = false) ?jobs () =
+  if perms = [] then invalid_arg "Pipeline.certify: empty permutation family";
+  require_registers_only ~what:"Pipeline.certify" algo;
+  (* Each run_checked allocates its own construction arena, encoder
+     state and decoder state, and the library keeps no module-level
+     mutable state, so the per-pi runs are independent and can fan out
+     across domains. Pool.map collects in input order, so the
+     certificate is bit-for-bit identical at every job count — and the
+     durable sweep engine (Lb_store.Sweep), which aggregates the same
+     records through certificate_of_records, reproduces it exactly from
+     cached entries. *)
+  let records =
+    Lb_util.Pool.map ?jobs
+      (fun pi -> record_of_result (run_checked algo ~n pi))
+      perms
+  in
+  certificate_of_records algo ~n ~exhaustive records

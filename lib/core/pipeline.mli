@@ -42,6 +42,30 @@ val check : Lb_shmem.Algorithm.t -> n:int -> result -> (unit, string) Result.t
 val run_checked : Lb_shmem.Algorithm.t -> n:int -> Permutation.t -> result
 (** {!run} followed by {!check}; raises [Failure] on a check failure. *)
 
+type record = {
+  r_pi : Permutation.t;
+  r_cost : int;  (** C(alpha_pi) *)
+  r_bits : int;  (** |E_pi| *)
+  r_exec_fp : string;  (** {!Lb_shmem.Execution.fingerprint} of the decode *)
+}
+(** The distilled per-permutation facts a certificate is aggregated
+    from — everything {!certify} needs, and exactly what the durable
+    result store ([Lb_store]) persists per entry, so warm sweeps rebuild
+    certificates without re-running the pipeline. *)
+
+val record_of_result : result -> record
+
+val certificate_of_records :
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  exhaustive:bool ->
+  record list ->
+  Bounds.certificate
+(** Aggregate a certificate from records in family order. {!certify} is
+    exactly [map run_checked] + this, so any source of the same records
+    — a fresh sweep, a warm store, or a mix — yields a byte-identical
+    certificate. Raises [Invalid_argument] on the empty list. *)
+
 val certify :
   Lb_shmem.Algorithm.t ->
   n:int ->

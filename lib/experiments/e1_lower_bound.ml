@@ -37,7 +37,7 @@ let table ?(seed = Exp_common.default_seed) ?(budget = 24) ~algos ~ns () =
   in
   let row ((algo : Lb_shmem.Algorithm.t), n) =
     let perms, exhaustive = Exp_common.perms_for ~seed ~n ~budget in
-    let cert = Lb_core.Pipeline.certify algo ~n ~perms ~exhaustive () in
+    let cert = Exp_common.certify_sweep algo ~n ~perms ~exhaustive in
     [
       algo.Lb_shmem.Algorithm.name;
       string_of_int n;

@@ -21,26 +21,24 @@ let table ?(seed = Exp_common.default_seed) ?(budget = 12) ~algos ~ns () =
         (fun n ->
           if Lb_shmem.Algorithm.supports algo n then begin
             let perms, _ = Exp_common.perms_for ~seed ~n ~budget in
-            let results =
-              Exp_common.map_perms
-                (fun pi -> Lb_core.Pipeline.run_checked algo ~n pi)
-                perms
-            in
+            (* perms_for guarantees a non-empty family (budget >= 1), so
+               the summarize calls below can never see an empty sample *)
+            let results = Exp_common.records_for algo ~n perms in
             let ratios =
               List.map
-                (fun (r : Lb_core.Pipeline.result) ->
-                  float_of_int r.Lb_core.Pipeline.bits
-                  /. float_of_int (max 1 r.Lb_core.Pipeline.cost))
+                (fun (r : Lb_core.Pipeline.record) ->
+                  float_of_int r.Lb_core.Pipeline.r_bits
+                  /. float_of_int (max 1 r.Lb_core.Pipeline.r_cost))
                 results
             in
             let s = Stats.summarize ratios in
             let costs =
               Stats.summarize_ints
-                (List.map (fun r -> r.Lb_core.Pipeline.cost) results)
+                (List.map (fun r -> r.Lb_core.Pipeline.r_cost) results)
             in
             let bits =
               Stats.summarize_ints
-                (List.map (fun r -> r.Lb_core.Pipeline.bits) results)
+                (List.map (fun r -> r.Lb_core.Pipeline.r_bits) results)
             in
             Table.add_row t
               [

@@ -1,0 +1,276 @@
+open Lb_shmem
+
+type item_outcome = Hit | Computed | Failed of string
+
+type progress = {
+  p_total : int;
+  p_done : int;
+  p_hits : int;
+  p_computed : int;
+  p_failed : int;
+  p_elapsed_s : float;
+  p_rate : float;
+  p_eta_s : float;
+}
+
+type event =
+  | Start of { total : int; sweep_id : string }
+  | Item of {
+      index : int;
+      pi : Lb_core.Permutation.t;
+      outcome : item_outcome;
+      progress : progress;
+    }
+  | Damaged_entry of { key : string; diagnostic : string }
+  | Checkpoint of { manifest : string; done_ : int; total : int }
+  | Finished of { progress : progress; manifest : string }
+
+type failure = { f_pi : Lb_core.Permutation.t; f_message : string }
+
+type report = {
+  records : Lb_core.Pipeline.record list;
+  failures : failure list;
+  progress : progress;
+  manifest_path : string;
+}
+
+let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
+    ?(save_traces = false) ?(on_event = fun _ -> ()) (algo : Algorithm.t) ~n
+    ~perms () =
+  if perms = [] then invalid_arg "Sweep.sweep: empty permutation family";
+  if checkpoint_every < 1 then
+    invalid_arg "Sweep.sweep: checkpoint_every must be >= 1";
+  if not (Algorithm.registers_only algo) then
+    invalid_arg
+      (Printf.sprintf
+         "Sweep.sweep: algorithm %S is declared Uses_rmw; the lower-bound \
+          pipeline covers only the read/write-register model"
+         algo.Algorithm.name);
+  let name = algo.Algorithm.name in
+  let fp = Store_key.fingerprint algo ~n in
+  let model = Store_key.sc_model in
+  let pi_arr = Array.of_list perms in
+  let total = Array.length pi_arr in
+  let key_arr =
+    Array.map (fun pi -> Store_key.derive ~fp ~algo:name ~n ~pi ~model) pi_arr
+  in
+  let sid = Store_key.sweep_id ~fp ~algo:name ~n ~perms ~model in
+  let mpath = Store.manifest_path store ~id:sid in
+  (* All shared state below is touched only under [lock]; entry files
+     are written lock-free (each key is handed to exactly one worker). *)
+  let lock = Mutex.create () in
+  let outcomes = Array.make total None in
+  let hits = ref 0 and computed = ref 0 and failed = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let progress_locked () =
+    let done_ = !hits + !computed + !failed in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+    {
+      p_total = total;
+      p_done = done_;
+      p_hits = !hits;
+      p_computed = !computed;
+      p_failed = !failed;
+      p_elapsed_s = elapsed;
+      p_rate = rate;
+      p_eta_s =
+        (if done_ >= total then 0.0
+         else if rate > 0.0 then float_of_int (total - done_) /. rate
+         else infinity);
+    }
+  in
+  let manifest_locked () =
+    {
+      Manifest.m_algo = name;
+      m_fp = fp;
+      m_n = n;
+      m_model = model;
+      m_total = total;
+      m_outcomes =
+        Array.to_list
+          (Array.mapi
+             (fun i o ->
+               ( pi_arr.(i),
+                 match o with
+                 | None -> Manifest.Pending key_arr.(i)
+                 | Some (Hit | Computed) -> Manifest.Done key_arr.(i)
+                 | Some (Failed msg) -> Manifest.Failed (key_arr.(i), msg) ))
+             outcomes);
+    }
+  in
+  let checkpoint_locked () = Manifest.save ~path:mpath (manifest_locked ()) in
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+  in
+  locked (fun () -> on_event (Start { total; sweep_id = sid }));
+  let work i =
+    let pi = pi_arr.(i) and key = key_arr.(i) in
+    let compute () =
+      let r = Lb_core.Pipeline.run_checked algo ~n pi in
+      let rc = Lb_core.Pipeline.record_of_result r in
+      Store.put store
+        {
+          Store.e_algo = name;
+          e_fp = fp;
+          e_n = n;
+          e_pi = pi;
+          e_model = model;
+          e_cost = rc.Lb_core.Pipeline.r_cost;
+          e_bits = rc.Lb_core.Pipeline.r_bits;
+          e_exec_fp = rc.Lb_core.Pipeline.r_exec_fp;
+          e_ebits =
+            (if save_traces then
+               Some r.Lb_core.Pipeline.encoding.Lb_core.Encode.bits
+             else None);
+        };
+      rc
+    in
+    let outcome, record =
+      match Store.lookup store ~key with
+      | `Hit e ->
+        ( Hit,
+          Some
+            {
+              Lb_core.Pipeline.r_pi = pi;
+              r_cost = e.Store.e_cost;
+              r_bits = e.Store.e_bits;
+              r_exec_fp = e.Store.e_exec_fp;
+            } )
+      | (`Absent | `Damaged _) as found -> (
+        (match found with
+        | `Damaged diagnostic ->
+          locked (fun () -> on_event (Damaged_entry { key; diagnostic }))
+        | `Absent -> ());
+        match compute () with
+        | rc -> (Computed, Some rc)
+        | exception e when resume ->
+          let msg =
+            match e with Failure m -> m | e -> Printexc.to_string e
+          in
+          (Failed msg, None))
+    in
+    locked (fun () ->
+        outcomes.(i) <- Some outcome;
+        (match outcome with
+        | Hit -> incr hits
+        | Computed -> incr computed
+        | Failed _ -> incr failed);
+        let progress = progress_locked () in
+        if progress.p_done mod checkpoint_every = 0 || progress.p_done = total
+        then begin
+          checkpoint_locked ();
+          on_event
+            (Checkpoint { manifest = mpath; done_ = progress.p_done; total })
+        end;
+        on_event (Item { index = i; pi; outcome; progress }));
+    record
+  in
+  let indices = List.init total (fun i -> i) in
+  (* On a fail-fast abort ([resume = false] and a pipeline failure), the
+     checkpoint below still records the units that did complete before
+     the exception propagates. *)
+  let records_opt =
+    Fun.protect
+      ~finally:(fun () -> locked checkpoint_locked)
+      (fun () -> Lb_util.Pool.map ?jobs work indices)
+  in
+  let progress = locked progress_locked in
+  locked (fun () -> on_event (Finished { progress; manifest = mpath }));
+  let failures =
+    List.filteri (fun i _ -> match outcomes.(i) with
+        | Some (Failed _) -> true
+        | _ -> false)
+      indices
+    |> List.map (fun i ->
+           match outcomes.(i) with
+           | Some (Failed msg) -> { f_pi = pi_arr.(i); f_message = msg }
+           | _ -> assert false)
+  in
+  {
+    records = List.filter_map Fun.id records_opt;
+    failures;
+    progress;
+    manifest_path = mpath;
+  }
+
+let certify ~store ?resume ?jobs ?checkpoint_every ?save_traces ?on_event algo
+    ~n ~perms ?(exhaustive = false) () =
+  let report =
+    sweep ~store ?resume ?jobs ?checkpoint_every ?save_traces ?on_event algo
+      ~n ~perms ()
+  in
+  let cert =
+    match report.records with
+    | [] -> None
+    | records ->
+      Some (Lb_core.Pipeline.certificate_of_records algo ~n ~exhaustive records)
+  in
+  (cert, report)
+
+let pp_progress ppf p =
+  Format.fprintf ppf "%d/%d done (%d hits, %d computed, %d failed) %.1f/s%s"
+    p.p_done p.p_total p.p_hits p.p_computed p.p_failed p.p_rate
+    (if p.p_done >= p.p_total then ""
+     else if Float.is_finite p.p_eta_s then
+       Printf.sprintf " eta %.0fs" p.p_eta_s
+     else " eta ?")
+
+(* ------------------------------ telemetry ----------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let pi_json pi =
+  json_string
+    (String.concat ","
+       (Array.to_list
+          (Array.map string_of_int (Lb_core.Permutation.to_array pi))))
+
+let progress_json p =
+  Printf.sprintf
+    "\"done\":%d,\"total\":%d,\"hits\":%d,\"computed\":%d,\"failed\":%d,\
+     \"elapsed_s\":%.3f,\"rate\":%.3f,\"eta_s\":%s"
+    p.p_done p.p_total p.p_hits p.p_computed p.p_failed p.p_elapsed_s p.p_rate
+    (if Float.is_finite p.p_eta_s then Printf.sprintf "%.1f" p.p_eta_s
+     else "null")
+
+let event_to_json = function
+  | Start { total; sweep_id } ->
+    Printf.sprintf "{\"event\":\"start\",\"total\":%d,\"sweep\":%s}" total
+      (json_string sweep_id)
+  | Item { index; pi; outcome; progress } ->
+    let outcome_json =
+      match outcome with
+      | Hit -> "\"hit\""
+      | Computed -> "\"computed\""
+      | Failed msg -> Printf.sprintf "\"failed\",\"message\":%s" (json_string msg)
+    in
+    Printf.sprintf "{\"event\":\"item\",\"index\":%d,\"pi\":%s,\"outcome\":%s,%s}"
+      index (pi_json pi) outcome_json (progress_json progress)
+  | Damaged_entry { key; diagnostic } ->
+    Printf.sprintf "{\"event\":\"damaged\",\"key\":%s,\"diagnostic\":%s}"
+      (json_string key) (json_string diagnostic)
+  | Checkpoint { manifest; done_; total } ->
+    Printf.sprintf
+      "{\"event\":\"checkpoint\",\"manifest\":%s,\"done\":%d,\"total\":%d}"
+      (json_string manifest) done_ total
+  | Finished { progress; manifest } ->
+    Printf.sprintf "{\"event\":\"finished\",%s,\"manifest\":%s}"
+      (progress_json progress) (json_string manifest)

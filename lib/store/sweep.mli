@@ -1,0 +1,112 @@
+(** Checkpointed, resumable π-sweeps over the content-addressed store.
+
+    The sweep engine wraps the per-π lower-bound pipeline
+    ({!Lb_core.Pipeline.run_checked}) with durability:
+
+    {ul
+    {- every completed permutation is written to the {!Store} as its own
+       atomic entry {e immediately}, so a crash or Ctrl-C loses at most
+       the in-flight work of each worker domain;}
+    {- on (re-)run, permutations whose key already resolves to a valid
+       entry are skipped — their recorded cost/bits/decode-fingerprint
+       feed the certificate without touching Construct/Encode/Decode;}
+    {- damaged entries (truncated, corrupt, stale format version) are
+       diagnosed, surfaced as an event, and transparently recomputed;}
+    {- with [~resume:true], a per-π pipeline failure is {e quarantined}
+       (recorded in the manifest, reported in the result) instead of
+       aborting the sweep — the rest of the family still completes;
+       without it the first failure propagates fail-fast, exactly like
+       {!Lb_core.Pipeline.certify};}
+    {- a {!Manifest} snapshot is checkpointed atomically every
+       [checkpoint_every] completions and finalized at the end. The
+       final manifest and certificate are pure functions of the inputs:
+       byte-identical whether the sweep ran once or was interrupted and
+       resumed, at any job count.}}
+
+    Work fans out across domains via {!Lb_util.Pool.map} (inheriting
+    its nested-sequential degradation), so a store-backed sweep can sit
+    inside a parallel experiment grid. *)
+
+type item_outcome =
+  | Hit  (** served from the store *)
+  | Computed  (** ran the pipeline, entry written *)
+  | Failed of string  (** quarantined pipeline failure ([~resume:true]) *)
+
+type progress = {
+  p_total : int;
+  p_done : int;  (** hits + computed + failed *)
+  p_hits : int;
+  p_computed : int;
+  p_failed : int;
+  p_elapsed_s : float;
+  p_rate : float;  (** completions per second, wall clock *)
+  p_eta_s : float;  (** remaining/rate; 0 when finished, inf when unknown *)
+}
+
+type event =
+  | Start of { total : int; sweep_id : string }
+  | Item of {
+      index : int;  (** position in the permutation family *)
+      pi : Lb_core.Permutation.t;
+      outcome : item_outcome;
+      progress : progress;
+    }
+  | Damaged_entry of { key : string; diagnostic : string }
+      (** emitted before the unit is recomputed *)
+  | Checkpoint of { manifest : string; done_ : int; total : int }
+  | Finished of { progress : progress; manifest : string }
+
+type failure = { f_pi : Lb_core.Permutation.t; f_message : string }
+
+type report = {
+  records : Lb_core.Pipeline.record list;
+      (** successful units, in family order *)
+  failures : failure list;  (** quarantined units, in family order *)
+  progress : progress;
+  manifest_path : string;
+}
+
+val sweep :
+  store:Store.t ->
+  ?resume:bool ->
+  ?jobs:int ->
+  ?checkpoint_every:int ->
+  ?save_traces:bool ->
+  ?on_event:(event -> unit) ->
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  perms:Lb_core.Permutation.t list ->
+  unit ->
+  report
+(** Run (or resume) the sweep. [resume] defaults to [false] (fail-fast);
+    [checkpoint_every] to [64]; [save_traces] (store the E_pi bit
+    strings in each entry) to [false]. [on_event] is called under the
+    engine's lock — keep it cheap; event order between items reflects
+    completion order and is not deterministic across job counts (the
+    manifest and report are). Raises [Invalid_argument] on an empty
+    family or an RMW algorithm, like {!Lb_core.Pipeline.certify}. *)
+
+val certify :
+  store:Store.t ->
+  ?resume:bool ->
+  ?jobs:int ->
+  ?checkpoint_every:int ->
+  ?save_traces:bool ->
+  ?on_event:(event -> unit) ->
+  Lb_shmem.Algorithm.t ->
+  n:int ->
+  perms:Lb_core.Permutation.t list ->
+  ?exhaustive:bool ->
+  unit ->
+  Lb_core.Bounds.certificate option * report
+(** {!sweep}, then aggregate the Theorem 7.5 certificate over the
+    successful units with {!Lb_core.Pipeline.certificate_of_records} —
+    for a failure-free sweep the certificate is byte-identical to a
+    direct {!Lb_core.Pipeline.certify} of the same family. [None] when
+    every unit was quarantined. *)
+
+val pp_progress : Format.formatter -> progress -> unit
+(** ["42/720 done (12 hits, 30 computed, 0 failed) 9.3/s eta 73s"]. *)
+
+val event_to_json : event -> string
+(** One JSONL object per event, for the [--events] telemetry log. *)

@@ -161,6 +161,145 @@ let test_lint_usage_errors () =
   let status, _ = run_cmd "lint --max-nodes 0" in
   Alcotest.(check int) "bad max-nodes exit 2" 2 status
 
+let test_list_json () =
+  let _, out = check_runs "list --json" "list --json" 0 in
+  Alcotest.(check bool) "array" true (String.length out > 0 && out.[0] = '[');
+  Alcotest.(check bool) "ya entry" true
+    (Astring_contains.contains out "\"name\": \"yang_anderson\"");
+  Alcotest.(check bool) "rmw flag" true
+    (Astring_contains.contains out "\"rmw\": true");
+  Alcotest.(check bool) "register count" true
+    (Astring_contains.contains out "\"register_count\"");
+  Alcotest.(check bool) "faulty flag" true
+    (Astring_contains.contains out "\"faulty\": true")
+
+(* Satellite regression: --perms K with K > n! claimed K distinct
+   permutations when only n! exist; it must clamp with a warning and go
+   exhaustive *)
+let test_certify_perms_clamp () =
+  let _, out =
+    check_runs "certify clamp" "certify -a yang_anderson -n 3 --perms 24" 0
+  in
+  Alcotest.(check bool) "warns" true
+    (Astring_contains.contains out "exceeds n! = 6");
+  Alcotest.(check bool) "goes exhaustive" true
+    (Astring_contains.contains out "(6 perms, exhaustive)")
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "mutexlb_cli_store" "" in
+  Sys.remove dir;
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_certify_store_warm () =
+  with_temp_dir (fun dir ->
+      let args =
+        Printf.sprintf "certify -a yang_anderson -n 4 --perms 24 --store %s" dir
+      in
+      let _, cold = check_runs "certify cold" args 0 in
+      Alcotest.(check bool) "cold computes" true
+        (Astring_contains.contains cold "24 computed");
+      let _, warm = check_runs "certify warm" args 0 in
+      Alcotest.(check bool) "warm is all hits" true
+        (Astring_contains.contains warm "24 hits, 0 computed, 0 failed (100.0% hits)");
+      (* same certificate body, modulo the hit-rate lines *)
+      let cert_of out =
+        List.filter
+          (fun l -> not (Astring_contains.contains l "store"
+                         || Astring_contains.contains l "certify:"
+                         || Astring_contains.contains l "manifest"))
+          (String.split_on_char '\n' out)
+      in
+      Alcotest.(check (list string)) "certificate identical" (cert_of cold)
+        (cert_of warm);
+      (* store maintenance commands over the populated store *)
+      let _, out = check_runs "store stat" (Printf.sprintf "store stat %s" dir) 0 in
+      Alcotest.(check bool) "stat counts" true
+        (Astring_contains.contains out "entries        24");
+      let _, out = check_runs "store verify" (Printf.sprintf "store verify %s" dir) 0 in
+      Alcotest.(check bool) "verify ok" true
+        (Astring_contains.contains out "24 entries ok, 0 damaged");
+      let _, out = check_runs "store gc" (Printf.sprintf "store gc %s --dry-run" dir) 0 in
+      Alcotest.(check bool) "gc keeps" true
+        (Astring_contains.contains out "24 kept, 0 would be dropped");
+      (* corrupt one object: verify exits 1 and names the file; a fresh
+         certify run transparently recomputes it *)
+      let objects = Filename.concat dir "objects" in
+      let shard = Filename.concat objects (Sys.readdir objects).(0) in
+      let victim = Filename.concat shard (Sys.readdir shard).(0) in
+      Out_channel.with_open_bin victim (fun oc ->
+          Out_channel.output_string oc "mutexlb-store-entry 1\ngarbage");
+      let status, out = run_cmd (Printf.sprintf "store verify %s" dir) in
+      Alcotest.(check int) "verify fails" 1 status;
+      Alcotest.(check bool) "damage reported" true
+        (Astring_contains.contains out "1 damaged");
+      let _, out = check_runs "certify heals" args 0 in
+      Alcotest.(check bool) "one recompute" true
+        (Astring_contains.contains out "23 hits, 1 computed");
+      ignore (check_runs "verify healed" (Printf.sprintf "store verify %s" dir) 0))
+
+let test_certify_store_events () =
+  with_temp_dir (fun dir ->
+      let log = Filename.temp_file "mutexlb_cli" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove log)
+        (fun () ->
+          ignore
+            (check_runs "certify events"
+               (Printf.sprintf
+                  "certify -a yang_anderson -n 3 --perms 6 --store %s --events %s"
+                  dir log)
+               0);
+          let content = In_channel.with_open_text log In_channel.input_all in
+          Alcotest.(check bool) "start event" true
+            (Astring_contains.contains content "\"start\"");
+          Alcotest.(check bool) "finished event" true
+            (Astring_contains.contains content "\"finished\"")))
+
+let test_store_flags_require_store () =
+  let status, out = run_cmd "certify -a yang_anderson -n 3 --perms 6 --resume" in
+  Alcotest.(check int) "resume exit 2" 2 status;
+  Alcotest.(check bool) "clean error" true
+    (Astring_contains.contains out "add --store DIR");
+  let status, _ = run_cmd "certify -a yang_anderson -n 3 --perms 6 --save-traces" in
+  Alcotest.(check int) "save-traces exit 2" 2 status;
+  let status, _ = run_cmd "experiments --only E12 --resume" in
+  Alcotest.(check int) "experiments resume exit 2" 2 status
+
+let test_certify_store_quarantine () =
+  with_temp_dir (fun dir ->
+      (* without --resume the first pipeline failure is fatal (nonzero),
+         with it the sweep completes and exits 1 with a digest *)
+      let status, out =
+        run_cmd
+          (Printf.sprintf
+             "certify -a broken_spinlock -n 3 --perms 6 --store %s --resume" dir)
+      in
+      Alcotest.(check int) "quarantine exit 1" 1 status;
+      Alcotest.(check bool) "digest" true
+        (Astring_contains.contains out "failure digest");
+      Alcotest.(check bool) "reason shown" true
+        (Astring_contains.contains out "pipeline check failed"))
+
+let test_experiments_store () =
+  with_temp_dir (fun dir ->
+      (* E2 at its test sizes routes its sweeps through the store; a
+         second run must produce the identical table from cache *)
+      let args = Printf.sprintf "experiments --only E2 --store %s" dir in
+      let _, cold = check_runs "experiments cold" args 0 in
+      let _, warm = check_runs "experiments warm" args 0 in
+      Alcotest.(check string) "tables identical" cold warm;
+      let _, out = check_runs "store populated" (Printf.sprintf "store stat %s" dir) 0 in
+      Alcotest.(check bool) "has entries" true
+        (not (Astring_contains.contains out "entries        0 ")))
+
 (* the pipeline-family subcommands refuse RMW algorithms up front with a
    usage error; run/check still accept them *)
 let test_rmw_gate () =
@@ -199,4 +338,14 @@ let suite =
     Alcotest.test_case "lint --json" `Quick test_lint_json;
     Alcotest.test_case "lint usage errors" `Quick test_lint_usage_errors;
     Alcotest.test_case "rmw gate on pipeline commands" `Quick test_rmw_gate;
+    Alcotest.test_case "list --json" `Quick test_list_json;
+    Alcotest.test_case "certify --perms clamp" `Quick test_certify_perms_clamp;
+    Alcotest.test_case "certify --store warm + maintenance" `Quick
+      test_certify_store_warm;
+    Alcotest.test_case "certify --store --events" `Quick test_certify_store_events;
+    Alcotest.test_case "store flags require --store" `Quick
+      test_store_flags_require_store;
+    Alcotest.test_case "certify --store quarantine" `Quick
+      test_certify_store_quarantine;
+    Alcotest.test_case "experiments --store" `Slow test_experiments_store;
   ]

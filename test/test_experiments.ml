@@ -116,6 +116,16 @@ let test_perms_for () =
     (List.length
        (List.sort_uniq compare (List.map Lb_core.Permutation.to_array perms)))
 
+let test_perms_for_bad_budget () =
+  (* an empty family would feed empty samples to Stats.summarize and
+     Pipeline.certify downstream; refuse it at the source *)
+  List.iter
+    (fun budget ->
+      match Lb_exp.Exp_common.perms_for ~seed:1 ~n:4 ~budget with
+      | _ -> Alcotest.failf "budget %d accepted" budget
+      | exception Invalid_argument _ -> ())
+    [ 0; -3 ]
+
 let suite =
   [
     Alcotest.test_case "E1 table" `Quick test_e1;
@@ -130,4 +140,5 @@ let suite =
     Alcotest.test_case "E12 table" `Quick test_e12;
     Alcotest.test_case "experiment ids" `Quick test_experiment_ids;
     Alcotest.test_case "perms_for" `Quick test_perms_for;
+    Alcotest.test_case "perms_for bad budget" `Quick test_perms_for_bad_budget;
   ]

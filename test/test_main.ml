@@ -28,6 +28,7 @@ let () =
       ("workload+adversary", Test_workload_adversary.suite);
       ("fairness", Test_fairness.suite);
       ("experiments", Test_experiments.suite);
+      ("store", Test_store.suite);
       ("lint", Test_lint.suite);
       ("cli", Test_cli.suite);
       ("properties", Test_properties.suite);

@@ -19,6 +19,18 @@ let test_summary_empty () =
   Alcotest.check_raises "empty raises" (Invalid_argument "Stats.summarize: empty")
     (fun () -> ignore (Stats.summarize []))
 
+(* mean and percentile must refuse empty samples the same way summarize
+   does — silent NaN fields would poison every downstream table *)
+let test_mean_empty () =
+  Alcotest.(check (float 1e-9)) "mean" 4.0 (Stats.mean [ 2.0; 4.0; 6.0 ]);
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stats.mean []))
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [] 50.0))
+
 let test_summarize_ints () =
   let s = Stats.summarize_ints [ 2; 4; 6 ] in
   Alcotest.(check (float 1e-9)) "mean" 4.0 s.Stats.mean
@@ -129,6 +141,8 @@ let suite =
     Alcotest.test_case "stats summary" `Quick test_summary;
     Alcotest.test_case "stats singleton" `Quick test_summary_singleton;
     Alcotest.test_case "stats empty" `Quick test_summary_empty;
+    Alcotest.test_case "stats mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "stats percentile empty" `Quick test_percentile_empty;
     Alcotest.test_case "stats ints" `Quick test_summarize_ints;
     Alcotest.test_case "stats percentile" `Quick test_percentile;
     Alcotest.test_case "stats ratio" `Quick test_ratio;
