@@ -10,7 +10,9 @@
           dune exec bench/main.exe -- sweep   -- E1 speedup measurement
                                                  (writes BENCH_PARALLEL.json)
           dune exec bench/main.exe -- store   -- cold vs warm durable sweep
-                                                 (writes BENCH_STORE.json) *)
+                                                 (writes BENCH_STORE.json)
+          dune exec bench/main.exe -- chaos   -- fault-wrapper overhead
+                                                 (writes BENCH_CHAOS.json) *)
 
 open Bechamel
 open Toolkit
@@ -403,10 +405,133 @@ let run_store () =
     [ "objects"; "manifests" ];
   try Sys.rmdir dir with Sys_error _ -> ()
 
+(* --------------------- chaos wrapping overhead ----------------------- *)
+
+(* Cost of the fault-injection wrapper on the model checker. The empty
+   control plan routes every transition of every process through the
+   full Inject.wrap closure chain without injecting anything, so the
+   wrapped state space must match the bare one state-for-state and any
+   slowdown is pure wrapper dispatch (target: < 10%, advisory — timing
+   noise must not fail CI). A benign crash-at-rem plan is measured
+   alongside to show the bounded state inflation a real fault costs.
+   Writes BENCH_CHAOS.json. *)
+let run_chaos () =
+  print_endline "\n=== Chaos: fault-wrapper overhead on the model checker ===\n";
+  let algo = Lb_algos.Yang_anderson.algorithm and n = 3 and rounds = 1 in
+  let control =
+    Lb_faults.Inject.wrap { Lb_faults.Fault.label = "control"; faults = [] } algo
+  in
+  let crash_rem =
+    Lb_faults.Inject.wrap
+      {
+        Lb_faults.Fault.label = "crash-rem";
+        faults =
+          [
+            Lb_faults.Fault.Crash
+              { proc = 0; at = Lb_faults.Fault.In_section Lb_shmem.Step.Rem };
+          ];
+      }
+      algo
+  in
+  (* best-of-3 to shave allocator/GC noise, like a tiny bechamel *)
+  let best a =
+    let best = ref None in
+    for _ = 1 to 3 do
+      let r = Lb_mutex.Model_check.explore a ~n ~rounds ~jobs:1 in
+      match !best with
+      | Some b when b.Lb_mutex.Model_check.seconds <= r.Lb_mutex.Model_check.seconds
+        -> ()
+      | _ -> best := Some r
+    done;
+    Option.get !best
+  in
+  (* one throwaway exploration so the first timed variant doesn't pay
+     the page-in / major-heap warm-up alone *)
+  ignore (Lb_mutex.Model_check.explore algo ~n ~rounds ~jobs:1);
+  let bare = best algo in
+  let ctrl = best control in
+  let crash = best crash_rem in
+  (match
+     ( bare.Lb_mutex.Model_check.verdict,
+       ctrl.Lb_mutex.Model_check.verdict,
+       crash.Lb_mutex.Model_check.verdict )
+   with
+  | ( Lb_mutex.Model_check.Verified,
+      Lb_mutex.Model_check.Verified,
+      Lb_mutex.Model_check.Verified ) -> ()
+  | _ -> failwith "chaos bench: expected verified on all three variants");
+  if
+    bare.Lb_mutex.Model_check.states <> ctrl.Lb_mutex.Model_check.states
+    || bare.Lb_mutex.Model_check.transitions
+       <> ctrl.Lb_mutex.Model_check.transitions
+  then failwith "chaos bench: control plan changed the state space";
+  let secs r = r.Lb_mutex.Model_check.seconds in
+  let overhead_pct =
+    if secs bare > 0.0 then (secs ctrl -. secs bare) /. secs bare *. 100.0
+    else 0.0
+  in
+  let inflation_pct =
+    float_of_int
+      (crash.Lb_mutex.Model_check.states - bare.Lb_mutex.Model_check.states)
+    /. float_of_int bare.Lb_mutex.Model_check.states
+    *. 100.0
+  in
+  let t =
+    Lb_util.Table.create
+      ~title:
+        (Printf.sprintf "model check yang_anderson n=%d rounds=%d, jobs=1" n
+           rounds)
+      [
+        ("variant", Lb_util.Table.Left);
+        ("states", Lb_util.Table.Right);
+        ("transitions", Lb_util.Table.Right);
+        ("seconds", Lb_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, r) ->
+      Lb_util.Table.add_row t
+        [
+          name;
+          string_of_int r.Lb_mutex.Model_check.states;
+          string_of_int r.Lb_mutex.Model_check.transitions;
+          Printf.sprintf "%.3f" (secs r);
+        ])
+    [ ("bare", bare); ("wrapped, empty plan", ctrl);
+      ("wrapped, crash at rem", crash) ];
+  Lb_util.Table.print t;
+  Printf.printf
+    "\nwrapper overhead (empty plan): %+.1f%% (target < 10%%, advisory)\n\
+     state inflation (crash at rem): %+.1f%%\n"
+    overhead_pct inflation_pct;
+  let oc = open_out "BENCH_CHAOS.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"fault-wrapper overhead (yang_anderson n=%d \
+     rounds=%d, jobs=1)\",\n\
+    \  \"states\": %d,\n\
+    \  \"transitions\": %d,\n\
+    \  \"counts_identical_bare_vs_control\": true,\n\
+    \  \"bare\": { \"seconds\": %.4f },\n\
+    \  \"wrapped_control\": { \"seconds\": %.4f },\n\
+    \  \"wrapped_crash_rem\": { \"seconds\": %.4f, \"states\": %d, \
+     \"transitions\": %d },\n\
+    \  \"wrapper_overhead_pct\": %.2f,\n\
+    \  \"overhead_target_pct\": 10.0,\n\
+    \  \"crash_state_inflation_pct\": %.2f\n\
+     }\n"
+    n rounds bare.Lb_mutex.Model_check.states
+    bare.Lb_mutex.Model_check.transitions (secs bare) (secs ctrl) (secs crash)
+    crash.Lb_mutex.Model_check.states crash.Lb_mutex.Model_check.transitions
+    overhead_pct inflation_pct;
+  close_out oc;
+  print_endline "wrote BENCH_CHAOS.json"
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "tables" || what = "all" then Lb_exp.Exp_all.run ();
   if what = "checks" || what = "all" then run_checks ();
   if what = "sweep" || what = "all" then run_sweep ();
   if what = "store" || what = "all" then run_store ();
+  if what = "chaos" || what = "all" then run_chaos ();
   if what = "timings" || what = "all" then run_timings ()

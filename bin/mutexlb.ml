@@ -238,7 +238,15 @@ let check_cmd =
   let max_states_arg =
     Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"K" ~doc:"State budget.")
   in
-  let run algo_names n rounds max_states jobs =
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:
+               "Wall-clock budget per exploration; on expiry the verdict \
+                degrades to a bounded 'deadline exceeded' report (exit \
+                status 3) instead of running away.")
+  in
+  let run algo_names n rounds max_states deadline jobs =
     apply_jobs jobs;
     let algos =
       String.split_on_char ',' algo_names
@@ -270,7 +278,8 @@ let check_cmd =
     (* the per-algorithm explorations are independent: fan them out *)
     let reports =
       Lb_util.Pool.map
-        (fun algo -> Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states)
+        (fun algo ->
+          Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states ?deadline)
         algos
     in
     let status = ref 0 in
@@ -286,13 +295,15 @@ let check_cmd =
           (Lb_mutex.Model_check.bytes_per_state r);
         match r.Lb_mutex.Model_check.verdict with
         | Lb_mutex.Model_check.Mutex_violation tr
-        | Lb_mutex.Model_check.Deadlock tr ->
+        | Lb_mutex.Model_check.Deadlock tr
+        | Lb_mutex.Model_check.Ill_formed { trace = tr; _ } ->
           Format.printf "witness:@.%a@."
             (Lb_shmem.Execution.pp_with_names
                (algo.Lb_shmem.Algorithm.registers ~n))
             tr;
           status := 1
-        | Lb_mutex.Model_check.Bound_exceeded _ ->
+        | Lb_mutex.Model_check.Bound_exceeded _
+        | Lb_mutex.Model_check.Deadline_exceeded _ ->
           if !status = 0 then status := 3
         | Lb_mutex.Model_check.Verified -> ())
       algos reports;
@@ -304,7 +315,9 @@ let check_cmd =
          "Exhaustively model-check mutual exclusion at small n. Accepts a \
           comma-separated algorithm list; the per-algorithm sweeps run in \
           parallel.")
-    Term.(const run $ algo_arg $ n_arg $ rounds_arg $ max_states_arg $ jobs_arg)
+    Term.(
+      const run $ algo_arg $ n_arg $ rounds_arg $ max_states_arg $ deadline_arg
+      $ jobs_arg)
 
 (* ----------------------------- construct ----------------------------- *)
 
@@ -411,7 +424,7 @@ let decode_cmd =
   in
   let run file =
     let algo_name, n, bits =
-      try Lb_core.Trace_io.bits_of_string (Lb_core.Trace_io.load ~path:file)
+      try Lb_core.Trace_io.bits_of_string (Lb_core.Trace_io.load ~path:file ())
       with Lb_core.Trace_io.Parse_error { line; detail } ->
         Printf.eprintf "decode: %s:%d: %s\n" file line detail;
         exit 2
@@ -456,11 +469,13 @@ let save_traces_arg =
   let doc = "Also store each permutation's E_pi bit string. Requires $(b,--store)." in
   Arg.(value & flag & info [ "save-traces" ] ~doc)
 
-let require_store ~cmd ~store ~resume ~events ~save_traces =
-  if store = None && (resume || events <> None || save_traces) then begin
+let require_store ?(pi_timeout = None) ~cmd ~store ~resume ~events
+    ~save_traces () =
+  if store = None && (resume || events <> None || save_traces || pi_timeout <> None)
+  then begin
     Printf.eprintf
-      "%s: --resume, --events and --save-traces only make sense with a \
-       durable store; add --store DIR\n"
+      "%s: --resume, --events, --save-traces and --pi-timeout only make \
+       sense with a durable store; add --store DIR\n"
       cmd;
     exit 2
   end
@@ -487,7 +502,17 @@ let certify_cmd =
   let perms_arg =
     Arg.(value & opt int 24 & info [ "perms" ] ~docv:"K" ~doc:"Permutations to sample.")
   in
-  let run algo_name n seed perms jobs store resume events save_traces =
+  let pi_timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "pi-timeout" ] ~docv:"SECONDS"
+             ~doc:
+               "Per-permutation wall-clock budget: a unit that overruns is \
+                quarantined (requires $(b,--resume)) or aborts the sweep. \
+                The check is cooperative — the unit finishes, its result \
+                is discarded before reaching the store.")
+  in
+  let run algo_name n seed perms jobs store resume events save_traces
+      pi_timeout =
     apply_jobs jobs;
     if perms <= 0 then begin
       Printf.eprintf
@@ -496,7 +521,13 @@ let certify_cmd =
         perms;
       exit 2
     end;
-    require_store ~cmd:"certify" ~store ~resume ~events ~save_traces;
+    require_store ~pi_timeout ~cmd:"certify" ~store ~resume ~events
+      ~save_traces ();
+    (match pi_timeout with
+    | Some t when t <= 0.0 ->
+      Printf.eprintf "certify: --pi-timeout must be positive\n";
+      exit 2
+    | Some _ | None -> ());
     let algo = find_algo algo_name in
     require_registers_only ~cmd:"certify" algo;
     let perms = clamp_perms ~n perms in
@@ -539,8 +570,8 @@ let certify_cmd =
       let finally () = Option.iter close_out events_oc in
       Fun.protect ~finally (fun () ->
           let cert, report =
-            Lb_store.Sweep.certify ~store:st ~resume ~save_traces ~on_event
-              algo ~n ~perms:pis ~exhaustive ()
+            Lb_store.Sweep.certify ~store:st ~resume ~save_traces ?pi_timeout
+              ~on_event algo ~n ~perms:pis ~exhaustive ()
           in
           let p = report.Lb_store.Sweep.progress in
           (match cert with
@@ -579,7 +610,8 @@ let certify_cmd =
           With --store DIR the sweep is durable: checkpointed, resumable, \
           and served from cache on re-runs.")
     Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg
-          $ store_arg $ resume_arg $ events_arg $ save_traces_arg)
+          $ store_arg $ resume_arg $ events_arg $ save_traces_arg
+          $ pi_timeout_arg)
 
 (* ------------------------------ workload ------------------------------ *)
 
@@ -657,7 +689,7 @@ let experiments_cmd =
   let run seed only jobs store resume =
     apply_jobs jobs;
     require_store ~cmd:"experiments" ~store ~resume ~events:None
-      ~save_traces:false;
+      ~save_traces:false ();
     (match store with
     | None -> ()
     | Some dir ->
@@ -910,6 +942,97 @@ let lint_cmd =
     Term.(const run $ algos_arg $ sizes_arg $ jobs_arg $ json_arg
           $ verbose_arg $ no_allow_arg $ max_nodes_arg)
 
+(* -------------------------------- chaos ------------------------------- *)
+
+let chaos_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the machine-readable JSON matrix.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the JSON matrix to $(docv).")
+  in
+  let random_arg =
+    Arg.(value & opt int 0
+         & info [ "random" ] ~docv:"K"
+             ~doc:
+               "Append $(docv) randomly generated fault plans (expectation: \
+                anything but an engine crash) to the curated matrix.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Seed for $(b,--random) plan generation.")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 200_000
+         & info [ "max-states" ] ~docv:"K"
+             ~doc:"State budget per model-check cell.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:
+               "Wall-clock budget per cell. A cell that hits it reports \
+                deadline_exceeded and fails its expectation — boundedness \
+                at the price of determinism, so leave unset for CI diffs.")
+  in
+  let run json out random seed max_states deadline jobs =
+    apply_jobs jobs;
+    if random < 0 then begin
+      Printf.eprintf "chaos: --random must be >= 0\n";
+      exit 2
+    end;
+    if max_states < 1 then begin
+      Printf.eprintf "chaos: --max-states must be >= 1\n";
+      exit 2
+    end;
+    let cells =
+      Lb_faults.Matrix.shipped
+      @ (if random > 0 then
+           Lb_faults.Matrix.random_cells ~seed ~count:random
+         else [])
+    in
+    let t = Lb_faults.Matrix.run ~max_states ?deadline cells in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Lb_faults.Matrix.to_json t);
+      close_out oc
+    | None -> ());
+    if json then print_string (Lb_faults.Matrix.to_json t)
+    else Format.printf "%a" Lb_faults.Matrix.pp t;
+    if not t.Lb_faults.Matrix.honest then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injection detection matrix: inject crash, \
+          lost/stale/corrupt register and starvation faults into the \
+          algorithm zoo and verify every violation is caught (and every \
+          benign plan survives). Exits 0 when the matrix is honest, 1 \
+          otherwise, 2 on usage errors."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Each matrix cell wraps an algorithm in a deterministic fault \
+              plan ($(b,Lb_faults.Inject)) and runs a detection engine — \
+              the bounded model checker for crash and register faults, a \
+              concrete schedule with starvation windows for liveness \
+              faults. The wrapped algorithm's name carries the plan label, \
+              so every verdict names the fault that caused it.";
+           `P
+             "The matrix is a pure function of its description: rerunning \
+              at any $(b,--jobs) produces byte-identical JSON (the CI \
+              chaos smoke job diffs exactly that).";
+         ])
+    Term.(
+      const run $ json_arg $ out_arg $ random_arg $ seed_arg $ max_states_arg
+      $ deadline_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "mutexlb" ~version:"1.0.0"
@@ -923,5 +1046,5 @@ let () =
           [
             list_cmd; run_cmd; check_cmd; construct_cmd; pipeline_cmd;
             decode_cmd; certify_cmd; workload_cmd; adversary_cmd;
-            experiments_cmd; store_cmd; lint_cmd;
+            experiments_cmd; store_cmd; lint_cmd; chaos_cmd;
           ]))

@@ -39,33 +39,52 @@ let run algo ~n pi =
     bits = Encode.length_bits encoding;
   }
 
+exception
+  Check_failed of {
+    algo : string;
+    n : int;
+    pi : Permutation.t;
+    stage : string;
+    message : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Check_failed { algo; n; pi; stage; message } ->
+      Some
+        (Printf.sprintf "pipeline check failed (%s, n=%d, pi=%s) at %s: %s"
+           algo n (Permutation.to_string pi) stage message)
+    | _ -> None)
+
 let ( let* ) = Result.bind
 
-let check_execution algo ~n ~what pi exec =
+(* Internal checks report [(stage, message)]: the stage names which link
+   of the construct → encode → decode chain broke, and survives into
+   {!Check_failed} so sweep quarantines and CLI output can say more than
+   "check failed". *)
+let check_execution algo ~n ~stage pi exec =
+  let fail fmt = Printf.ksprintf (fun m -> Error (stage, m)) fmt in
   let* () =
     match Lb_mutex.Checker.check_algorithm algo ~n exec with
     | Ok () -> Ok ()
-    | Error (`Violation v) ->
-      Error
-        (Printf.sprintf "%s: %s" what (Lb_mutex.Checker.violation_to_string v))
-    | Error (`Mismatch m) -> Error (Printf.sprintf "%s: replay: %s" what m)
+    | Error (`Violation v) -> fail "%s" (Lb_mutex.Checker.violation_to_string v)
+    | Error (`Mismatch m) -> fail "replay: %s" m
   in
   let* () =
     let sections = Lb_mutex.Checker.completed_sections ~n exec in
     if Array.for_all (fun c -> c = 1) sections then Ok ()
-    else Error (Printf.sprintf "%s: not every process completed once" what)
+    else fail "not every process completed once"
   in
   let order = Execution.crit_order exec in
   if order = Array.to_list (Permutation.to_array pi) then Ok ()
   else
-    Error
-      (Printf.sprintf "%s: CS order %s differs from pi %s" what
-         (String.concat "," (List.map string_of_int order))
-         (Permutation.to_string pi))
+    fail "CS order %s differs from pi %s"
+      (String.concat "," (List.map string_of_int order))
+      (Permutation.to_string pi)
 
-let check algo ~n r =
-  let* () = check_execution algo ~n ~what:"canonical" r.pi r.canonical in
-  let* () = check_execution algo ~n ~what:"decoded" r.pi r.decoded in
+let check_staged algo ~n r =
+  let* () = check_execution algo ~n ~stage:"canonical" r.pi r.canonical in
+  let* () = check_execution algo ~n ~stage:"decoded" r.pi r.decoded in
   let* () =
     let rec go i =
       if i >= n then Ok ()
@@ -74,30 +93,37 @@ let check algo ~n r =
           (Execution.projection r.decoded i)
           (Execution.projection r.canonical i)
       then go (i + 1)
-      else Error (Printf.sprintf "projection of p%d differs" i)
+      else Error ("projection", Printf.sprintf "projection of p%d differs" i)
     in
     go 0
   in
   let* () =
     let dc = Lb_cost.State_change.cost algo ~n r.decoded in
     if dc = r.cost then Ok ()
-    else Error (Printf.sprintf "decoded cost %d <> canonical cost %d" dc r.cost)
+    else
+      Error
+        ( "cost",
+          Printf.sprintf "decoded cost %d <> canonical cost %d" dc r.cost )
   in
   let* () =
-    if r.bits > 0 then Ok () else Error "empty encoding"
+    if r.bits > 0 then Ok () else Error ("encoding", "empty encoding")
   in
   let reparsed = Encode.parse ~n r.encoding.Encode.bits in
   if reparsed = r.encoding.Encode.cells then Ok ()
-  else Error "cells do not round-trip through the binary form"
+  else Error ("roundtrip", "cells do not round-trip through the binary form")
+
+let check algo ~n r =
+  match check_staged algo ~n r with
+  | Ok () -> Ok ()
+  | Error (stage, message) -> Error (stage ^ ": " ^ message)
 
 let run_checked algo ~n pi =
   let r = run algo ~n pi in
-  match check algo ~n r with
+  match check_staged algo ~n r with
   | Ok () -> r
-  | Error e ->
-    failwith
-      (Printf.sprintf "pipeline check failed (%s, n=%d, pi=%s): %s"
-         algo.Algorithm.name n (Permutation.to_string pi) e)
+  | Error (stage, message) ->
+    raise
+      (Check_failed { algo = algo.Algorithm.name; n; pi; stage; message })
 
 type record = {
   r_pi : Permutation.t;

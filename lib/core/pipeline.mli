@@ -24,6 +24,21 @@ val run : Lb_shmem.Algorithm.t -> n:int -> Permutation.t -> result
     [Unsupported_primitive] crash that used to surface mid-sweep.
     [certify] refuses likewise. *)
 
+exception
+  Check_failed of {
+    algo : string;
+    n : int;
+    pi : Permutation.t;
+    stage : string;
+    message : string;
+  }
+(** A verification stage of {!check} rejected a {!result}. [stage] is one
+    of ["canonical"], ["decoded"] (execution-level checks), ["projection"],
+    ["cost"], ["encoding"] or ["roundtrip"], so a quarantined sweep entry
+    or a CI log names the broken link of the construct → encode → decode
+    chain, not just "check failed". A printer is registered with
+    [Printexc], so generic handlers render it readably. *)
+
 val check : Lb_shmem.Algorithm.t -> n:int -> result -> (unit, string) Result.t
 (** Verifies, returning the first failure:
     {ol
@@ -40,7 +55,8 @@ val check : Lb_shmem.Algorithm.t -> n:int -> result -> (unit, string) Result.t
     {- [|E_pi| > 0] and the parsed cells round-trip.}} *)
 
 val run_checked : Lb_shmem.Algorithm.t -> n:int -> Permutation.t -> result
-(** {!run} followed by {!check}; raises [Failure] on a check failure. *)
+(** {!run} followed by {!check}; raises {!Check_failed} on a check
+    failure. *)
 
 type record = {
   r_pi : Permutation.t;

@@ -88,7 +88,11 @@ let execution_to_string ~algo ~n exec =
     exec;
   Buffer.contents buf
 
-let execution_of_string s =
+let default_max_steps = 1_000_000
+
+let execution_of_string ?(max_steps = default_max_steps) s =
+  if max_steps < 1 then
+    invalid_arg "Trace_io.execution_of_string: max_steps must be >= 1";
   let lines, eof = numbered_non_empty_lines s in
   let rest = parse_header ~magic:"mutexlb-trace" lines in
   let algo, n, rest = parse_meta ~eof rest in
@@ -97,6 +101,12 @@ let execution_of_string s =
     (fun (lineno, line) ->
       match String.split_on_char ' ' line with
       | "step" :: who :: action_tokens -> (
+        if Execution.length exec >= max_steps then
+          fail lineno
+            (Printf.sprintf
+               "trace exceeds the %d-step limit (raise ?max_steps to parse \
+                bigger traces)"
+               max_steps);
         match int_of_string_opt who with
         | Some who when who >= 0 && who < n ->
           Execution.append exec (Step.step who (action_of_tokens lineno action_tokens))
@@ -131,7 +141,11 @@ let bits_to_string ~algo ~n bits =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
-let bits_of_string s =
+let default_max_bits = 1 lsl 25
+
+let bits_of_string ?(max_bits = default_max_bits) s =
+  if max_bits < 1 then
+    invalid_arg "Trace_io.bits_of_string: max_bits must be >= 1";
   let lines, eof = numbered_non_empty_lines s in
   let rest = parse_header ~magic:"mutexlb-bits" lines in
   let algo, n, rest = parse_meta ~eof rest in
@@ -140,6 +154,12 @@ let bits_of_string s =
     match String.split_on_char ' ' bits_line with
     | [ "bits"; count; hex ] -> (
       match int_of_string_opt count with
+      | Some total when total > max_bits ->
+        fail ln
+          (Printf.sprintf
+             "declared %d bits exceeds the %d-bit limit (raise ?max_bits to \
+              parse bigger encodings)"
+             total max_bits)
       | Some total when total >= 0 ->
         if String.length hex <> (total + 3) / 4 then fail ln "hex length mismatch";
         let nibble i =
@@ -187,8 +207,19 @@ let save ~path content =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
-let load ~path =
+let default_max_bytes = 64 * 1024 * 1024
+
+let load ?(max_bytes = default_max_bytes) ~path () =
+  if max_bytes < 1 then invalid_arg "Trace_io.load: max_bytes must be >= 1";
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+    (fun () ->
+      let len = in_channel_length ic in
+      if len > max_bytes then
+        fail 0
+          (Printf.sprintf
+             "%s is %d bytes, over the %d-byte limit (raise ?max_bytes to \
+              load bigger artifacts)"
+             path len max_bytes);
+      really_input_string ic len)

@@ -21,22 +21,30 @@
     {e physical} line number of the input. *)
 
 exception Parse_error of { line : int; detail : string }
+(** Parse or resource-limit failure. [line] is the physical line of the
+    input ([0] for file-level problems such as an oversized artifact). *)
 
 val execution_to_string :
   algo:string -> n:int -> Lb_shmem.Execution.t -> string
 
 val execution_of_string :
-  string -> string * int * Lb_shmem.Execution.t
+  ?max_steps:int -> string -> string * int * Lb_shmem.Execution.t
 (** Returns (algorithm name, n, execution). The caller resolves the name
-    against its registry and may replay-validate. *)
+    against its registry and may replay-validate. Rejects traces longer
+    than [max_steps] (default one million) with a {!Parse_error} naming
+    the limit — a hostile or corrupted artifact cannot balloon memory. *)
 
 val bits_to_string : algo:string -> n:int -> bool array -> string
 
-val bits_of_string : string -> string * int * bool array
+val bits_of_string : ?max_bits:int -> string -> string * int * bool array
+(** Rejects encodings whose declared bit count exceeds [max_bits]
+    (default [2{^25}]) {e before} allocating for them. *)
 
 val save : path:string -> string -> unit
 (** Write a serialized artifact to a file, atomically: the content goes
     to a temp file in the target's directory first and is renamed into
     place, so a crash mid-write never clobbers an existing artifact. *)
 
-val load : path:string -> string
+val load : ?max_bytes:int -> path:string -> unit -> string
+(** Read a whole artifact. Refuses files over [max_bytes] (default
+    64 MiB) with a {!Parse_error} at line 0, before reading them in. *)

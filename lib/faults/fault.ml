@@ -1,0 +1,105 @@
+open Lb_shmem
+
+type point = After_steps of int | In_section of Step.crit
+
+type fault =
+  | Crash of { proc : int; at : point }
+  | Lost_write of { proc : int; nth : int }
+  | Stale_read of { proc : int; nth : int }
+  | Corrupt_write of { proc : int; nth : int; off_domain : bool }
+  | Starve of { proc : int; from_ : int; len : int }
+
+type plan = { label : string; faults : fault list }
+
+let label_ok s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '-')
+       s
+
+let proc_of = function
+  | Crash { proc; _ }
+  | Lost_write { proc; _ }
+  | Stale_read { proc; _ }
+  | Corrupt_write { proc; _ }
+  | Starve { proc; _ } -> proc
+
+let validate ~n plan =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if not (label_ok plan.label) then
+    err "plan label %S must be non-empty over [a-z0-9_-]" plan.label
+  else
+    let check f =
+      let p = proc_of f in
+      if p < 0 || p >= n then err "fault targets p%d but n=%d" p n
+      else
+        match f with
+        | Crash { at = After_steps k; _ } when k < 1 ->
+          err "crash After_steps %d: trigger must be >= 1" k
+        | Lost_write { nth; _ } | Stale_read { nth; _ }
+        | Corrupt_write { nth; _ }
+          when nth < 1 ->
+          err "nth=%d: access counters are 1-based" nth
+        | Starve { from_; len; _ } when from_ < 0 || len < 1 ->
+          err "starve window [%d, %d+%d) is empty or negative" from_ from_ len
+        | Crash _ | Lost_write _ | Stale_read _ | Corrupt_write _ | Starve _ ->
+          Ok ()
+    in
+    List.fold_left
+      (fun acc f -> match acc with Error _ -> acc | Ok () -> check f)
+      (Ok ()) plan.faults
+
+let validate_exn ~n plan =
+  match validate ~n plan with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Lb_faults.Fault.validate: " ^ m)
+
+let point_to_string = function
+  | After_steps k -> Printf.sprintf "step%d" k
+  | In_section c -> Step.crit_name c
+
+let fault_to_string = function
+  | Crash { proc; at } ->
+    Printf.sprintf "crash_p%d_at_%s" proc (point_to_string at)
+  | Lost_write { proc; nth } -> Printf.sprintf "lost_write_p%d_nth%d" proc nth
+  | Stale_read { proc; nth } -> Printf.sprintf "stale_read_p%d_nth%d" proc nth
+  | Corrupt_write { proc; nth; off_domain } ->
+    Printf.sprintf "corrupt_write_p%d_nth%d_%s" proc nth
+      (if off_domain then "off" else "in")
+  | Starve { proc; from_; len } ->
+    Printf.sprintf "starve_p%d_from%d_len%d" proc from_ len
+
+let generate rng ~n =
+  let proc = Lb_util.Rng.int rng n in
+  let nth () = 1 + Lb_util.Rng.int rng 3 in
+  let fault =
+    match Lb_util.Rng.int rng 5 with
+    | 0 ->
+      let at =
+        match Lb_util.Rng.int rng 5 with
+        | 0 -> After_steps (1 + Lb_util.Rng.int rng 8)
+        | 1 -> In_section Step.Try
+        | 2 -> In_section Step.Enter
+        | 3 -> In_section Step.Exit
+        | _ -> In_section Step.Rem
+      in
+      Crash { proc; at }
+    | 1 -> Lost_write { proc; nth = nth () }
+    | 2 -> Stale_read { proc; nth = nth () }
+    | 3 ->
+      Corrupt_write { proc; nth = nth (); off_domain = Lb_util.Rng.bool rng }
+    | _ ->
+      Starve
+        { proc; from_ = Lb_util.Rng.int rng 16; len = 1 + Lb_util.Rng.int rng 64 }
+  in
+  { label = fault_to_string fault; faults = [ fault ] }
+
+let pp_fault ppf f = Format.pp_print_string ppf (fault_to_string f)
+
+let pp_plan ppf p =
+  Format.fprintf ppf "%s{%a}" p.label
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp_fault)
+    p.faults

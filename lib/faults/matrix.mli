@@ -1,0 +1,87 @@
+(** The chaos detection matrix: does the tree's checking machinery
+    actually catch injected faults?
+
+    Each {!cell} pairs an algorithm, a fault {!Fault.plan} and a
+    detection engine with an {e expectation}: benign plans on correct
+    algorithms must come back clean, and every violating plan must be
+    caught — with the verdict row naming the injected fault (the
+    wrapped algorithm's name carries the plan label). A matrix whose
+    cells all meet their expectations is {e honest}.
+
+    {2 Determinism}
+
+    Every shipped cell is a pure function of its description: fault
+    triggers are schedule-independent, model-check verdicts are
+    jobs-independent by construction, schedule cells use fixed seeds and
+    step budgets, and neither the rows nor the JSON rendering contain
+    timing data. Hence {!to_json} output is byte-identical at any
+    [?jobs] — the CI chaos smoke job diffs exactly that. The optional
+    [?deadline] guard trades this determinism for boundedness; shipped
+    runs leave it off and any [deadline_exceeded] outcome marks the cell
+    dishonest rather than silently passing it. *)
+
+type engine =
+  | Model_check of { rounds : int }
+      (** exhaustive exploration via {!Lb_mutex.Model_check.explore} —
+          the engine for crash and register faults, which fire on the
+          target's own transitions under every schedule *)
+  | Schedule of { sched : sched; max_steps : int }
+      (** one concrete run via {!Lb_shmem.Runner.run} with the plan's
+          starvation windows applied to the picker — the engine for
+          {!Fault.Starve}, which the model checker (exploring all
+          schedules) cannot observe *)
+
+and sched = Round_robin | Random_sched of int  (** seed *)
+
+type expect =
+  | Benign  (** must come back ["verified"] / ["completed"] *)
+  | Detects of string list  (** outcome must be one of these *)
+  | Any
+      (** fuzzing: any outcome is fine except an engine crash —
+          ["engine_error:*"] means an exception escaped the checking
+          machinery, which is itself a robustness bug *)
+
+type cell = {
+  algo : string;  (** registry name of the {e unwrapped} algorithm *)
+  n : int;
+  plan : Fault.plan;
+  engine : engine;
+  expect : expect;
+}
+
+type row = { cell : cell; outcome : string; ok : bool }
+(** [outcome] is one of [verified], [completed], [mutex_violation],
+    [deadlock], [ill_formed], [stuck], [out_of_fuel], [bound_exceeded],
+    [deadline_exceeded], [invalid_access] (a corrupted value flowed into
+    a register index and the system model rejected the impossible
+    access — the rejection is the detection), or
+    [engine_error: <exn>]. Schedule cells that
+    complete (or run out of fuel) additionally pass their execution
+    through {!Lb_mutex.Checker.check}, so a safety violation surfacing
+    in a concrete schedule outranks the engine's own exit reason. *)
+
+type t = { rows : row list; passed : int; honest : bool }
+
+val shipped : cell list
+(** The curated matrix: benign crash/recovery and bounded-starvation
+    cells over correct algorithms (including a crash-restart cell at
+    [rounds = 2], the RME recovery scenario), one violating plan per
+    fault kind with its expected detection, and the unwrapped
+    [broken_spinlock] control. *)
+
+val random_cells : seed:int -> count:int -> cell list
+(** [count] fuzz cells with {!Fault.generate}d plans over a fixed
+    algorithm pool, expectation {!Any}. Reproducible from [seed]. *)
+
+val run : ?jobs:int -> ?max_states:int -> ?deadline:float -> cell list -> t
+(** Evaluate the cells (fanned out over {!Lb_util.Pool}, order
+    preserved). [max_states] (default [200_000]) bounds each
+    model-check cell; [deadline] (seconds, default none) bounds each
+    cell's wall-clock — see the determinism caveat above. *)
+
+val to_json : t -> string
+(** Stable rendering: one object per row in cell order, fixed key
+    order, no timing fields; ends with a summary line. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table plus the honesty verdict. *)

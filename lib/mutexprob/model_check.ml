@@ -4,7 +4,9 @@ type verdict =
   | Verified
   | Mutex_violation of Execution.t
   | Deadlock of Execution.t
+  | Ill_formed of { trace : Execution.t; who : int; detail : string }
   | Bound_exceeded of int
+  | Deadline_exceeded of int
 
 type report = {
   verdict : verdict;
@@ -82,24 +84,21 @@ let pack_initial interner ~rounds sys phases rems =
 
 (* --------------------------- phase tracking --------------------------- *)
 
-(* Apply the phase transition for a critical step; the algorithms under
-   test are well-formed automata, so a bad transition is a programming
-   error, not a checkable property. *)
+(* Apply the phase transition for a critical step. The zoo's automata are
+   well-formed and never hit the error branch, but fault-wrapped
+   algorithms (a crash-restart re-issuing [try] mid-protocol) do — so an
+   ill-formed transition is a checkable property with a witness trace,
+   not a programming error. *)
 let advance_phase phases who (c : Step.crit) =
-  let next =
-    match (phases.(who), c) with
-    | Checker.Remainder, Step.Try -> Checker.Trying
-    | Checker.Trying, Step.Enter -> Checker.Critical
-    | Checker.Critical, Step.Exit -> Checker.Exit_section
-    | Checker.Exit_section, Step.Rem -> Checker.Remainder
-    | ph, c ->
-      invalid_arg
-        (Printf.sprintf "model_check: p%d ill-formed %s in %s" who
-           (Step.crit_name c) (Checker.phase_name ph))
-  in
-  let out = Array.copy phases in
-  out.(who) <- next;
-  out
+  match (phases.(who), c) with
+  | Checker.Remainder, Step.Try -> Ok Checker.Trying
+  | Checker.Trying, Step.Enter -> Ok Checker.Critical
+  | Checker.Critical, Step.Exit -> Ok Checker.Exit_section
+  | Checker.Exit_section, Step.Rem -> Ok Checker.Remainder
+  | ph, c ->
+    Error
+      (Printf.sprintf "p%d performed %s while in its %s section" who
+         (Step.crit_name c) (Checker.phase_name ph))
 
 let crit_delta = function Step.Enter -> 1 | Step.Exit -> -1 | Step.Try | Step.Rem -> 0
 
@@ -177,6 +176,10 @@ type succ = {
   s_phases : Checker.phase array;
   s_rems : int array;
   s_ncrit : int;
+  s_ill : string option;
+      (** [Some detail] when [step] itself breaks the issuing process's
+          critical cycle — reported before dedup, since the malformed
+          target may alias an already-stored legitimate state *)
 }
 
 type expansion =
@@ -220,21 +223,26 @@ let expand ~rounds ~nregs ~interner ~memo entry =
           | action ->
             let sys' = System.copy_with entry.sys i p' in
             let step = Step.step i action in
-            let phases', rems', ncrit' =
+            let phases', rems', ncrit', ill =
               match action with
-              | Step.Crit c ->
-                let ph = advance_phase entry.phases i c in
-                let rm =
-                  if c = Step.Rem then begin
-                    let r = Array.copy entry.rems in
-                    r.(i) <- r.(i) + 1;
-                    r
-                  end
-                  else entry.rems
-                in
-                (ph, rm, entry.ncrit + crit_delta c)
+              | Step.Crit c -> (
+                match advance_phase entry.phases i c with
+                | Error detail ->
+                  (entry.phases, entry.rems, entry.ncrit, Some detail)
+                | Ok next ->
+                  let ph = Array.copy entry.phases in
+                  ph.(i) <- next;
+                  let rm =
+                    if c = Step.Rem then begin
+                      let r = Array.copy entry.rems in
+                      r.(i) <- r.(i) + 1;
+                      r
+                    end
+                    else entry.rems
+                  in
+                  (ph, rm, entry.ncrit + crit_delta c, None))
               | Step.Read _ | Step.Write _ | Step.Rmw _ ->
-                (entry.phases, entry.rems, entry.ncrit)
+                (entry.phases, entry.rems, entry.ncrit, None)
             in
             let key' = Array.copy entry.key in
             (match action with
@@ -245,7 +253,7 @@ let expand ~rounds ~nregs ~interner ~memo entry =
               encode_slot ~rounds pid' (phase_index phases'.(i)) rems'.(i);
             Some
               { step; s_sys = sys'; s_key = key'; s_phases = phases';
-                s_rems = rems'; s_ncrit = ncrit' })
+                s_rems = rems'; s_ncrit = ncrit'; s_ill = ill })
         unfinished
     in
     Succs { self_loops = !self_loops; succs }
@@ -276,13 +284,23 @@ let expand_layer ~jobs ~rounds ~nregs ~interner ~memo entries =
     List.concat (Lb_util.Pool.map ~jobs (List.map f) (chunk_list chunk entries))
   end
 
-let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs algo ~n =
+(* Poll the wall clock in the merge only every [deadline_poll_mask + 1]
+   transitions: a gettimeofday per insertion would dominate small runs. *)
+let deadline_poll_mask = 4095
+
+let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline algo ~n =
   let live0 = (Gc.stat ()).Gc.live_words in
   let t0 = Unix.gettimeofday () in
   let jobs = match jobs with Some j -> j | None -> Lb_util.Pool.default_jobs () in
   if jobs < 1 then invalid_arg "Model_check.explore: jobs must be >= 1";
   if max_states < 1 then
     invalid_arg "Model_check.explore: max_states must be >= 1";
+  let expires_at = Option.map (fun d -> t0 +. d) deadline in
+  let expired () =
+    match expires_at with
+    | None -> false
+    | Some t -> Unix.gettimeofday () > t
+  in
   let interner = Lb_util.Interner.create ~size_hint:1024 () in
   let memo = memo_create () in
   let init_sys = System.init algo ~n in
@@ -315,6 +333,9 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs algo ~n =
           rems = init_rems; ncrit = 0 } ]
   in
   while !verdict = None && !frontier <> [] do
+    if expired () then
+      verdict := Some (Deadline_exceeded (Lb_util.Vec.length parents))
+    else begin
     let entries = !frontier in
     let expansions = expand_layer ~jobs ~rounds ~nregs ~interner ~memo entries in
     (* sequential merge, in frontier order: dedup, verdicts and the
@@ -332,6 +353,24 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs algo ~n =
              List.iter
                (fun s ->
                  incr transitions;
+                 if
+                   !transitions land deadline_poll_mask = 0 && expired ()
+                 then begin
+                   verdict :=
+                     Some (Deadline_exceeded (Lb_util.Vec.length parents));
+                   raise Exit
+                 end;
+                 (* an ill-formed step is a verdict on the step itself,
+                    checked before dedup: its target key may alias an
+                    already-stored legitimate state *)
+                 (match s.s_ill with
+                 | Some detail ->
+                   let tr = trace_to entry.idx in
+                   Execution.append tr s.step;
+                   verdict :=
+                     Some (Ill_formed { trace = tr; who = s.step.Step.who; detail });
+                   raise Exit
+                 | None -> ());
                  if not (Ktbl.mem table s.s_key) then begin
                    if Lb_util.Vec.length parents >= max_states then begin
                      verdict :=
@@ -355,6 +394,7 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs algo ~n =
          entries expansions
      with Exit -> ());
     frontier := List.rev !next
+    end
   done;
   let verdict = match !verdict with None -> Verified | Some v -> v in
   let seconds = Unix.gettimeofday () -. t0 in
@@ -371,4 +411,9 @@ let pp_verdict ppf = function
     Format.fprintf ppf "MUTEX VIOLATION after %d steps" (Execution.length tr)
   | Deadlock tr ->
     Format.fprintf ppf "DEADLOCK after %d steps" (Execution.length tr)
+  | Ill_formed { trace; who; detail } ->
+    Format.fprintf ppf "ILL-FORMED after %d steps: p%d — %s"
+      (Execution.length trace) who detail
   | Bound_exceeded k -> Format.fprintf ppf "bound exceeded (%d states)" k
+  | Deadline_exceeded k ->
+    Format.fprintf ppf "deadline exceeded (%d states explored)" k

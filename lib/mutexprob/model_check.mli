@@ -44,10 +44,28 @@ type verdict =
       (** a witness trace ending with two processes critical *)
   | Deadlock of Lb_shmem.Execution.t
       (** a witness trace to a stuck, unfinished state *)
+  | Ill_formed of {
+      trace : Lb_shmem.Execution.t;
+      who : int;
+      detail : string;
+    }
+      (** a witness trace whose final step breaks process [who]'s
+          try/enter/exit/rem cycle. Unreachable for the well-formed
+          automata of the zoo; fault-wrapped algorithms
+          ({!Lb_faults.Inject}) reach it routinely — e.g. a process that
+          crashes mid-protocol and restarts in the remainder section
+          issues a second [try] from a non-remainder phase *)
   | Bound_exceeded of int
       (** the state budget filled up; carries the number of states
           actually stored, which never exceeds [max_states] — the bound
           is enforced at insertion time *)
+  | Deadline_exceeded of int
+      (** the wall-clock budget expired mid-exploration; carries the
+          number of states stored so far. Like {!Bound_exceeded} this is
+          a graceful bounded verdict with partial statistics, not an
+          error — but unlike every other verdict it depends on machine
+          speed, so determinism-sensitive consumers (the chaos matrix)
+          must treat it as inconclusive *)
 
 type report = {
   verdict : verdict;
@@ -64,6 +82,7 @@ val explore :
   ?rounds:int ->
   ?max_states:int ->
   ?jobs:int ->
+  ?deadline:float ->
   Lb_shmem.Algorithm.t ->
   n:int ->
   report
@@ -72,7 +91,12 @@ val explore :
     {!Lb_util.Pool.default_jobs} (layers are expanded sequentially when
     the frontier is small or when already inside a pool worker).
     [verdict], [states] and [transitions] do not depend on [jobs].
-    Raises [Invalid_argument] if [jobs] or [max_states] is [< 1]. *)
+    [deadline] is a wall-clock budget in seconds from the start of the
+    call; when it expires the exploration stops with
+    {!Deadline_exceeded} and partial statistics (the clock is polled
+    between layers and every few thousand insertions within a layer's
+    merge, so the overrun is bounded by one expansion batch). Raises
+    [Invalid_argument] if [jobs] or [max_states] is [< 1]. *)
 
 val states_per_sec : report -> float
 (** Exploration throughput, [states /. seconds]. *)

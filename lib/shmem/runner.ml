@@ -8,16 +8,31 @@ type view = {
 type picker = view -> int option
 
 exception Out_of_fuel of Execution.t
+exception Deadline_exceeded of Execution.t
 exception Stuck
 
-let run algo ~n ?(max_steps = 1_000_000) picker =
+(* Poll the wall clock only every [deadline_poll_mask + 1] steps: a
+   gettimeofday per automaton transition would dominate the engine. *)
+let deadline_poll_mask = 255
+
+let run algo ~n ?(max_steps = 1_000_000) ?deadline picker =
   let sys = System.init algo ~n in
   let exec = Execution.create () in
   let view =
     { sys; exec; rem_counts = Array.make n 0; enter_counts = Array.make n 0 }
   in
+  let expires_at =
+    match deadline with
+    | None -> None
+    | Some d -> Some (Unix.gettimeofday () +. d)
+  in
   let rec loop fuel =
     if fuel = 0 then raise (Out_of_fuel exec);
+    (match expires_at with
+    | Some t
+      when fuel land deadline_poll_mask = 0 && Unix.gettimeofday () > t ->
+      raise (Deadline_exceeded exec)
+    | Some _ | None -> ());
     match picker view with
     | None -> ()
     | Some i ->

@@ -19,14 +19,31 @@ exception Out_of_fuel of Execution.t
 (** Raised when [max_steps] is reached before the picker stops — usually a
     livelock or an unfair schedule. Carries the partial execution. *)
 
+exception Deadline_exceeded of Execution.t
+(** Raised when the [deadline] wall-clock budget given to {!run} expires
+    before the picker stops. Like {!Out_of_fuel} it carries the partial
+    execution built so far, which replays cleanly through
+    {!Execution.replay} — a resource guard, not an error: long-running
+    engines degrade to a bounded partial result instead of running away. *)
+
 exception Stuck
 (** Raised by {!sc_greedy} when no unfinished process can change its local
     state: every remaining process is busy-waiting on a register no one
     will write — a deadlock, impossible for a livelock-free algorithm. *)
 
 val run :
-  Algorithm.t -> n:int -> ?max_steps:int -> picker -> Execution.t * System.t
-(** Run from the initial state. [max_steps] defaults to [1_000_000]. *)
+  Algorithm.t ->
+  n:int ->
+  ?max_steps:int ->
+  ?deadline:float ->
+  picker ->
+  Execution.t * System.t
+(** Run from the initial state. [max_steps] defaults to [1_000_000].
+    [deadline] is a wall-clock budget in seconds measured from the start
+    of the run; when it expires, {!Deadline_exceeded} is raised with the
+    partial execution (the clock is polled every few hundred steps, so
+    the overrun is bounded by a few hundred automaton transitions). No
+    deadline is enforced when [deadline] is omitted. *)
 
 val round_robin : ?rounds:int -> unit -> picker
 (** Cycles over unfinished processes [0, 1, ..., n-1, 0, ...]; a process

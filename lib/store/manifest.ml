@@ -113,7 +113,7 @@ let of_string s =
 let save ~path m = Lb_core.Trace_io.save ~path (to_string m)
 
 let load ~path =
-  match Lb_core.Trace_io.load ~path with
+  match Lb_core.Trace_io.load ~path () with
   | s -> of_string s
   | exception Sys_error msg -> Error ("unreadable: " ^ msg)
 

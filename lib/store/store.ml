@@ -243,7 +243,7 @@ let lookup t ~key : lookup =
   let path = object_path t ~key in
   if not (Sys.file_exists path) then `Absent
   else
-    match Lb_core.Trace_io.load ~path with
+    match Lb_core.Trace_io.load ~path () with
     | s -> (
       match entry_of_string ~key s with
       | Ok e -> `Hit e

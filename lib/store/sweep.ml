@@ -34,12 +34,27 @@ type report = {
   manifest_path : string;
 }
 
+exception Pi_timeout of { pi : Lb_core.Permutation.t; limit : float }
+
+let () =
+  Printexc.register_printer (function
+    | Pi_timeout { pi; limit } ->
+      Some
+        (Printf.sprintf "pi=%s exceeded the per-pi wall-clock limit (%gs)"
+           (Lb_core.Permutation.to_string pi)
+           limit)
+    | _ -> None)
+
 let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
-    ?(save_traces = false) ?(on_event = fun _ -> ()) (algo : Algorithm.t) ~n
-    ~perms () =
+    ?(save_traces = false) ?pi_timeout ?(on_event = fun _ -> ())
+    (algo : Algorithm.t) ~n ~perms () =
   if perms = [] then invalid_arg "Sweep.sweep: empty permutation family";
   if checkpoint_every < 1 then
     invalid_arg "Sweep.sweep: checkpoint_every must be >= 1";
+  (match pi_timeout with
+  | Some t when t <= 0.0 ->
+    invalid_arg "Sweep.sweep: pi_timeout must be positive"
+  | Some _ | None -> ());
   if not (Algorithm.registers_only algo) then
     invalid_arg
       (Printf.sprintf
@@ -108,7 +123,19 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
   let work i =
     let pi = pi_arr.(i) and key = key_arr.(i) in
     let compute () =
+      let t_start = Unix.gettimeofday () in
       let r = Lb_core.Pipeline.run_checked algo ~n pi in
+      (* Cooperative, post-hoc deadline: OCaml domains cannot be
+         preempted mid-pipeline, so the unit runs to completion and is
+         then discarded — raised before the Store.put so a timed-out pi
+         is quarantined (not cached) and a resume on a faster machine
+         recomputes it. The message carries only the limit, never the
+         elapsed time, so manifests stay deterministic given the same
+         set of timed-out units. *)
+      (match pi_timeout with
+      | Some limit when Unix.gettimeofday () -. t_start > limit ->
+        raise (Pi_timeout { pi; limit })
+      | Some _ | None -> ());
       let rc = Lb_core.Pipeline.record_of_result r in
       Store.put store
         {
@@ -147,7 +174,13 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
         | rc -> (Computed, Some rc)
         | exception e when resume ->
           let msg =
-            match e with Failure m -> m | e -> Printexc.to_string e
+            match e with
+            | Lb_core.Pipeline.Check_failed { stage; message; _ } ->
+              Printf.sprintf "%s: %s" stage message
+            | Pi_timeout { limit; _ } ->
+              Printf.sprintf "per-pi wall-clock limit exceeded (%gs)" limit
+            | Failure m -> m
+            | e -> Printexc.to_string e
           in
           (Failed msg, None))
     in
@@ -195,11 +228,11 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
     manifest_path = mpath;
   }
 
-let certify ~store ?resume ?jobs ?checkpoint_every ?save_traces ?on_event algo
-    ~n ~perms ?(exhaustive = false) () =
+let certify ~store ?resume ?jobs ?checkpoint_every ?save_traces ?pi_timeout
+    ?on_event algo ~n ~perms ?(exhaustive = false) () =
   let report =
-    sweep ~store ?resume ?jobs ?checkpoint_every ?save_traces ?on_event algo
-      ~n ~perms ()
+    sweep ~store ?resume ?jobs ?checkpoint_every ?save_traces ?pi_timeout
+      ?on_event algo ~n ~perms ()
   in
   let cert =
     match report.records with

@@ -56,6 +56,15 @@ type event =
   | Checkpoint of { manifest : string; done_ : int; total : int }
   | Finished of { progress : progress; manifest : string }
 
+exception Pi_timeout of { pi : Lb_core.Permutation.t; limit : float }
+(** A unit overran the [pi_timeout] budget. The deadline is cooperative
+    and post-hoc — a pipeline unit cannot be preempted mid-run, so the
+    overrunning computation completes, its result is discarded {e before}
+    reaching the store, and the unit is quarantined (under [~resume]) or
+    the exception propagates (without). The quarantine message names the
+    limit but never the measured time, so two sweeps timing out on the
+    same units produce byte-identical manifests. *)
+
 type failure = { f_pi : Lb_core.Permutation.t; f_message : string }
 
 type report = {
@@ -72,6 +81,7 @@ val sweep :
   ?jobs:int ->
   ?checkpoint_every:int ->
   ?save_traces:bool ->
+  ?pi_timeout:float ->
   ?on_event:(event -> unit) ->
   Lb_shmem.Algorithm.t ->
   n:int ->
@@ -80,7 +90,9 @@ val sweep :
   report
 (** Run (or resume) the sweep. [resume] defaults to [false] (fail-fast);
     [checkpoint_every] to [64]; [save_traces] (store the E_pi bit
-    strings in each entry) to [false]. [on_event] is called under the
+    strings in each entry) to [false]. [pi_timeout] (seconds, default
+    none) bounds each unit's wall clock — see {!Pi_timeout} for the
+    exact (cooperative) semantics. [on_event] is called under the
     engine's lock — keep it cheap; event order between items reflects
     completion order and is not deterministic across job counts (the
     manifest and report are). Raises [Invalid_argument] on an empty
@@ -92,6 +104,7 @@ val certify :
   ?jobs:int ->
   ?checkpoint_every:int ->
   ?save_traces:bool ->
+  ?pi_timeout:float ->
   ?on_event:(event -> unit) ->
   Lb_shmem.Algorithm.t ->
   n:int ->

@@ -285,8 +285,9 @@ let test_certify_store_quarantine () =
       Alcotest.(check int) "quarantine exit 1" 1 status;
       Alcotest.(check bool) "digest" true
         (Astring_contains.contains out "failure digest");
+      (* quarantine reasons carry the typed Check_failed stage prefix *)
       Alcotest.(check bool) "reason shown" true
-        (Astring_contains.contains out "pipeline check failed"))
+        (Astring_contains.contains out "decoded: mutual exclusion"))
 
 let test_experiments_store () =
   with_temp_dir (fun dir ->

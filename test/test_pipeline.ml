@@ -64,6 +64,34 @@ let test_unsafe_algorithm_still_constructs () =
   let flat = Lb_algos.Yang_anderson_flat.algorithm in
   ignore (Pl.run_checked flat ~n:3 (P.reverse 3))
 
+let test_check_failed_exception () =
+  (* run_checked rejects the broken spinlock with a typed, fully-located
+     failure: algorithm, n, permutation and the stage that tripped *)
+  let broken = Lb_algos.Broken_spinlock.algorithm in
+  let pi = P.identity 3 in
+  match Pl.run_checked broken ~n:3 pi with
+  | _ -> Alcotest.fail "expected Check_failed"
+  | exception (Pl.Check_failed { algo; n; pi = pi'; stage; message } as e) ->
+    Alcotest.(check string) "algo" "broken_spinlock" algo;
+    Alcotest.(check int) "n" 3 n;
+    Alcotest.(check bool) "pi preserved" true (P.equal pi pi');
+    Alcotest.(check bool) "stage is a known link" true
+      (List.mem stage
+         [ "canonical"; "decoded"; "projection"; "cost"; "encoding"; "roundtrip" ]);
+    Alcotest.(check bool) "message non-empty" true (String.length message > 0);
+    (* the registered printer renders every locating field *)
+    let printed = Printexc.to_string e in
+    List.iter
+      (fun part ->
+        Alcotest.(check bool) (part ^ " printed") true
+          (Astring_contains.contains printed part))
+      [ "broken_spinlock"; "n=3"; stage; message ];
+    (* the Result-returning API agrees and prefixes the stage *)
+    (match Pl.check broken ~n:3 (Pl.run broken ~n:3 pi) with
+    | Ok () -> Alcotest.fail "check accepted what run_checked rejected"
+    | Error msg ->
+      Alcotest.(check string) "stage-prefixed message" (stage ^ ": " ^ message) msg)
+
 let test_result_fields () =
   let pi = P.reverse 3 in
   let r = Pl.run ya ~n:3 pi in
@@ -185,6 +213,7 @@ let suite =
     Alcotest.test_case "whole register zoo" `Quick test_whole_zoo;
     Alcotest.test_case "unsafe algorithms still construct" `Quick
       test_unsafe_algorithm_still_constructs;
+    Alcotest.test_case "check_failed exception" `Quick test_check_failed_exception;
     Alcotest.test_case "result fields" `Quick test_result_fields;
     Alcotest.test_case "check catches corruption" `Quick test_check_catches_corruption;
     Alcotest.test_case "check catches wrong pi" `Quick test_check_catches_wrong_pi;

@@ -238,7 +238,24 @@ let test_runner_fuel () =
   with
   | _ -> Alcotest.fail "expected Out_of_fuel"
   | exception Runner.Out_of_fuel partial ->
-    Alcotest.(check int) "partial length" 50 (Execution.length partial)
+    Alcotest.(check int) "partial length" 50 (Execution.length partial);
+    (* the partial execution is a legitimate prefix: it replays *)
+    ignore (Execution.replay toy ~n:2 partial)
+
+let test_runner_deadline () =
+  (* an expired wall-clock budget degrades to a replayable partial
+     execution instead of running away *)
+  match
+    Runner.run toy ~n:2 ~deadline:(-1.0) (fun view ->
+        ignore view;
+        Some 0)
+  with
+  | _ -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Runner.Deadline_exceeded partial ->
+    ignore (Execution.replay toy ~n:2 partial);
+    (* the clock is polled every few hundred steps, so the overrun on an
+       already-expired deadline is bounded by one polling window *)
+    Alcotest.(check bool) "bounded overrun" true (Execution.length partial <= 512)
 
 (* ----------------------------- Algorithm ----------------------------- *)
 
@@ -278,6 +295,7 @@ let suite =
     Alcotest.test_case "runner random" `Quick test_runner_random;
     Alcotest.test_case "runner sc greedy" `Quick test_runner_sc_greedy;
     Alcotest.test_case "runner fuel" `Quick test_runner_fuel;
+    Alcotest.test_case "runner deadline" `Quick test_runner_deadline;
     Alcotest.test_case "algorithm helpers" `Quick test_algorithm_helpers;
     Alcotest.test_case "proc equal state" `Quick test_proc_equal_state;
   ]

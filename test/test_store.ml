@@ -407,7 +407,7 @@ let test_sweep_quarantine () =
       (* fail-fast without ~resume, exactly like Pipeline.certify *)
       (match Sweep.sweep ~store:st broken ~n:3 ~perms () with
       | _ -> Alcotest.fail "expected the broken pipeline to raise"
-      | exception Failure _ -> ());
+      | exception Lb_core.Pipeline.Check_failed _ -> ());
       (* with ~resume the failures are quarantined and the family finishes *)
       let cert, r = Sweep.certify ~store:st ~resume:true broken ~n:3 ~perms () in
       let p = r.Sweep.progress in
@@ -435,6 +435,46 @@ let test_sweep_quarantine () =
       Alcotest.(check string) "manifest stable under resume"
         (read_file r.Sweep.manifest_path)
         (read_file r2.Sweep.manifest_path))
+
+let test_sweep_pi_timeout () =
+  with_store (fun st ->
+      let perms = perms_of 3 in
+      (* an impossibly tight budget: every unit overruns, and with
+         ~resume each is quarantined instead of cached *)
+      let _, r =
+        Sweep.certify ~store:st ~resume:true ~pi_timeout:1e-9 ya ~n:3 ~perms ()
+      in
+      let p = r.Sweep.progress in
+      Alcotest.(check int) "every unit quarantined" 6 p.Sweep.p_failed;
+      List.iter
+        (fun f ->
+          Alcotest.(check string) "message names the limit, not the elapsed time"
+            "per-pi wall-clock limit exceeded (1e-09s)" f.Sweep.f_message)
+        r.Sweep.failures;
+      (* capture now: the successful re-run below overwrites this path *)
+      let quarantined_manifest = read_file r.Sweep.manifest_path in
+      (* timed-out units were never persisted: a run without the budget
+         computes everything fresh and succeeds *)
+      let cert, r2 = Sweep.certify ~store:st ya ~n:3 ~perms () in
+      Alcotest.(check int) "no stale hits" 0 r2.Sweep.progress.Sweep.p_hits;
+      Alcotest.(check bool) "certificate recovered" true (cert <> None);
+      (* deterministic manifests: a second timed-out sweep is byte-identical *)
+      with_store (fun st2 ->
+          let _, ra =
+            Sweep.certify ~store:st2 ~resume:true ~pi_timeout:1e-9 ya ~n:3 ~perms ()
+          in
+          Alcotest.(check string) "manifest reproducible" quarantined_manifest
+            (read_file ra.Sweep.manifest_path));
+      (* without ~resume the timeout propagates fail-fast *)
+      with_store (fun st3 ->
+          match Sweep.sweep ~store:st3 ~pi_timeout:1e-9 ya ~n:3 ~perms () with
+          | _ -> Alcotest.fail "expected Pi_timeout"
+          | exception Sweep.Pi_timeout { limit; _ } ->
+            Alcotest.(check (float 0.0)) "limit carried" 1e-9 limit);
+      (* a non-positive budget is a usage error *)
+      match Sweep.sweep ~store:st ~pi_timeout:0.0 ya ~n:3 ~perms () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
 
 let test_sweep_events_json () =
   with_store (fun st ->
@@ -512,6 +552,7 @@ let suite =
     Alcotest.test_case "sweep interrupted + resumed" `Slow test_sweep_interrupted_resume;
     Alcotest.test_case "sweep recomputes damage" `Quick test_sweep_recomputes_damage;
     Alcotest.test_case "sweep quarantine" `Quick test_sweep_quarantine;
+    Alcotest.test_case "sweep pi timeout" `Quick test_sweep_pi_timeout;
     Alcotest.test_case "sweep events json" `Quick test_sweep_events_json;
     Alcotest.test_case "sweep rejects bad input" `Quick test_sweep_rejects_bad_input;
     Alcotest.test_case "exp_common store plumbing" `Quick test_exp_common_store;

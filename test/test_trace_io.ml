@@ -137,8 +137,45 @@ let test_file_roundtrip () =
     (fun () ->
       let exec = (Lb_mutex.Canonical.run ya ~n:2).Lb_mutex.Canonical.exec in
       T.save ~path (T.execution_to_string ~algo:"yang_anderson" ~n:2 exec);
-      let _, _, exec' = T.execution_of_string (T.load ~path) in
+      let _, _, exec' = T.execution_of_string (T.load ~path ()) in
       Alcotest.(check bool) "file roundtrip" true (Execution.equal exec exec'))
+
+let test_resource_caps () =
+  (* a hostile artifact cannot balloon memory: the parsers refuse
+     oversized inputs with a Parse_error naming the limit *)
+  let big_trace =
+    "mutexlb-trace 1\nalgo x\nn 2\n"
+    ^ String.concat "" (List.init 10 (fun _ -> "step 0 try\n"))
+  in
+  (match T.execution_of_string ~max_steps:5 big_trace with
+  | _ -> Alcotest.fail "oversized trace accepted"
+  | exception T.Parse_error { detail; _ } ->
+    Alcotest.(check bool) "names the step limit" true
+      (Astring_contains.contains detail "5-step limit"));
+  (* the default limit still parses it *)
+  ignore (T.execution_of_string big_trace);
+  (* declared bit count over the cap is rejected before allocation *)
+  (match T.bits_of_string ~max_bits:8 "mutexlb-bits 1\nalgo x\nn 2\nbits 16 abcd\n" with
+  | _ -> Alcotest.fail "oversized bits accepted"
+  | exception T.Parse_error { detail; _ } ->
+    Alcotest.(check bool) "names the bit limit" true
+      (Astring_contains.contains detail "8-bit limit"));
+  (* an absurd declared count must not OOM even without an explicit cap *)
+  (match T.bits_of_string "mutexlb-bits 1\nalgo x\nn 2\nbits 999999999999 00\n" with
+  | _ -> Alcotest.fail "absurd bit count accepted"
+  | exception T.Parse_error _ -> ());
+  (* file-size cap: refused at line 0 before reading the content in *)
+  let path = Filename.temp_file "mutexlb" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      T.save ~path "mutexlb-trace 1\nalgo x\nn 2\nstep 0 try\n";
+      match T.load ~max_bytes:8 ~path () with
+      | _ -> Alcotest.fail "oversized file accepted"
+      | exception T.Parse_error { line; detail } ->
+        Alcotest.(check int) "file-level error is line 0" 0 line;
+        Alcotest.(check bool) "names the byte limit" true
+          (Astring_contains.contains detail "8-byte limit"))
 
 let test_save_is_atomic_replace () =
   (* save writes a temp file and renames it into place: overwriting an
@@ -156,7 +193,7 @@ let test_save_is_atomic_replace () =
       T.save ~path "first version\n";
       T.save ~path "second version\n";
       Alcotest.(check string) "latest content wins" "second version\n"
-        (T.load ~path);
+        (T.load ~path ());
       Alcotest.(check (list string)) "no temp files left" [ "artifact.trace" ]
         (Array.to_list (Sys.readdir dir)))
 
@@ -177,6 +214,7 @@ let suite =
     Alcotest.test_case "error line numbers" `Quick test_error_line_numbers;
     Alcotest.test_case "blank lines accepted" `Quick test_blank_lines_accepted;
     Alcotest.test_case "bits padding canonical" `Quick test_bits_padding_canonical;
+    Alcotest.test_case "resource caps" `Quick test_resource_caps;
     Alcotest.test_case "save atomic replace" `Quick test_save_is_atomic_replace;
     Alcotest.test_case "bits roundtrip" `Quick test_bits_roundtrip;
     Alcotest.test_case "bits odd lengths" `Quick test_bits_odd_lengths;
@@ -221,7 +259,7 @@ let test_dot_save () =
       let c = Lb_core.Construct.run ya ~n:2 (P.identity 2) in
       Lb_core.Dot.save ~path c;
       Alcotest.(check bool) "file written" true
-        (Astring_contains.contains (T.load ~path) "digraph"))
+        (Astring_contains.contains (T.load ~path ()) "digraph"))
 
 let suite =
   suite
