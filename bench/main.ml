@@ -210,6 +210,44 @@ and run_core_comparison () =
       Printf.sprintf "%.0f" (sps par);
       Printf.sprintf "%.0f" (bps par);
     ];
+  (* the out-of-core configuration: same workload under a fixed budget
+     the resident set does not fit in, so shards evict and membership
+     streams the spill runs — counts must still match exactly, and the
+     accounted peak must respect the budget *)
+  let budget = 2 * 1024 * 1024 in
+  let spill =
+    let d = Filename.temp_file "mutexlb_bench_spill" "" in
+    Sys.remove d;
+    d
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let budgeted =
+    Fun.protect
+      ~finally:(fun () -> rm_rf spill)
+      (fun () ->
+        Lb_mutex.Model_check.explore algo ~n ~rounds ~mem_budget:budget
+          ~spill_dir:spill)
+  in
+  if
+    budgeted.Lb_mutex.Model_check.verdict <> seq.Lb_mutex.Model_check.verdict
+    || budgeted.Lb_mutex.Model_check.states <> seq.Lb_mutex.Model_check.states
+    || budgeted.Lb_mutex.Model_check.transitions
+       <> seq.Lb_mutex.Model_check.transitions
+  then failwith "core comparison: budgeted and in-RAM cores disagree";
+  Lb_util.Table.add_row t
+    [
+      Printf.sprintf "spilled, %d MiB budget" (budget / 1024 / 1024);
+      Printf.sprintf "%.3f" budgeted.Lb_mutex.Model_check.seconds;
+      Printf.sprintf "%.0f" (sps budgeted);
+      Printf.sprintf "%.0f" (bps budgeted);
+    ];
   Lb_util.Table.print t;
   Printf.printf
     "\nspeedup (packed jobs=1 vs legacy): %.2fx states/s, %.2fx lower B/state\n"
@@ -231,13 +269,17 @@ and run_core_comparison () =
      \"bytes_per_state\": %.1f },\n\
     \  \"packed_jobsN\": { \"jobs\": %d, \"seconds\": %.3f, \
      \"states_per_sec\": %.0f, \"bytes_per_state\": %.1f },\n\
+    \  \"budgeted\": { \"mem_budget_bytes\": %d, \"seconds\": %.3f, \
+     \"states_per_sec\": %.0f, \"bytes_per_state\": %.1f, \
+     \"counts_identical_to_in_ram\": true },\n\
     \  \"speedup_states_per_sec\": %.3f,\n\
     \  \"shrink_bytes_per_state\": %.3f\n\
      }\n"
     n rounds seq.Lb_mutex.Model_check.states
     seq.Lb_mutex.Model_check.transitions jobs legacy_s legacy_states_per_sec
     legacy_bytes_per_state seq.Lb_mutex.Model_check.seconds (sps seq) (bps seq)
-    jobs par.Lb_mutex.Model_check.seconds (sps par) (bps par)
+    jobs par.Lb_mutex.Model_check.seconds (sps par) (bps par) budget
+    budgeted.Lb_mutex.Model_check.seconds (sps budgeted) (bps budgeted)
     (sps seq /. legacy_states_per_sec)
     (legacy_bytes_per_state /. bps seq);
   close_out oc;

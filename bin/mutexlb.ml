@@ -231,6 +231,20 @@ let run_cmd =
 
 (* ------------------------------- check ------------------------------- *)
 
+let verdict_slug = function
+  | Lb_mutex.Model_check.Verified -> "verified"
+  | Lb_mutex.Model_check.Mutex_violation _ -> "mutex_violation"
+  | Lb_mutex.Model_check.Deadlock _ -> "deadlock"
+  | Lb_mutex.Model_check.Ill_formed _ -> "ill_formed"
+  | Lb_mutex.Model_check.Bound_exceeded _ -> "bound_exceeded"
+  | Lb_mutex.Model_check.Deadline_exceeded _ -> "deadline_exceeded"
+  | Lb_mutex.Model_check.Mem_exceeded _ -> "mem_exceeded"
+
+let lossy_slug = function
+  | None -> "none"
+  | Some Lb_mutex.Model_check.Bitstate -> "bitstate"
+  | Some Lb_mutex.Model_check.Hash_compact -> "hashcompact"
+
 let check_cmd =
   let rounds_arg =
     Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R" ~doc:"Critical sections per process.")
@@ -244,10 +258,74 @@ let check_cmd =
              ~doc:
                "Wall-clock budget per exploration; on expiry the verdict \
                 degrades to a bounded 'deadline exceeded' report (exit \
-                status 3) instead of running away.")
+                status 3) instead of running away. With $(b,--spill-dir) \
+                the interrupted check stays resumable.")
   in
-  let run algo_names n rounds max_states deadline jobs =
+  let mem_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "mem-budget" ] ~docv:"MIB"
+             ~doc:
+               "Memory budget in MiB for the exploration's accounted \
+                footprint, enforced at layer boundaries. Without \
+                $(b,--spill-dir) an over-budget check stops with \
+                'mem_exceeded' (exit 3); with it, cold visited-set shards \
+                spill to disk and the check completes exactly.")
+  in
+  let spill_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "spill-dir" ] ~docv:"DIR"
+             ~doc:
+               "Checkpoint every completed BFS layer under \
+                $(docv)/ALGO_nN_rR (keys, frontier, node log, manifest). \
+                Enables $(b,--resume) and out-of-core eviction under \
+                $(b,--mem-budget). Spill bytes are identical at every \
+                $(b,--jobs) value.")
+  in
+  let check_resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:
+               "Continue from the spill directory's last completed layer \
+                (or report its recorded final verdict without \
+                re-exploring). Requires $(b,--spill-dir). Verdict and \
+                counts are identical to an uninterrupted run.")
+  in
+  let lossy_arg =
+    Arg.(value
+         & opt
+             (some
+                (enum
+                   [ ("bitstate", Lb_mutex.Model_check.Bitstate);
+                     ("hashcompact", Lb_mutex.Model_check.Hash_compact) ]))
+             None
+         & info [ "lossy" ] ~docv:"MODE"
+             ~doc:
+               "SPIN-style reduced-memory visited set: $(b,bitstate) \
+                (three-probe bit filter) or $(b,hashcompact) (60-bit \
+                fingerprints). May drop states on collision, so the \
+                verdict is marked non-certifying — stickily, across any \
+                resume of the same spill directory.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit one JSON object per algorithm instead of the text \
+                report. No timing fields, so output is byte-identical \
+                across machines and $(b,--jobs) values.")
+  in
+  let run algo_names n rounds max_states deadline mem_budget spill_dir resume
+      lossy json jobs =
     apply_jobs jobs;
+    if resume && spill_dir = None then begin
+      Printf.eprintf "check: --resume requires --spill-dir DIR\n";
+      exit 2
+    end;
+    (match mem_budget with
+    | Some b when b < 1 ->
+      Printf.eprintf "check: --mem-budget must be >= 1 MiB (got %d)\n" b;
+      exit 2
+    | Some _ | None -> ());
     let algos =
       String.split_on_char ',' algo_names
       |> List.map String.trim
@@ -275,35 +353,65 @@ let check_cmd =
       Printf.eprintf "check: no listed algorithm supports n=%d\n" n;
       exit 2
     end;
+    let mem_budget = Option.map (fun b -> b * 1024 * 1024) mem_budget in
+    let spill_for (a : Lb_shmem.Algorithm.t) =
+      Option.map
+        (fun dir ->
+          Filename.concat dir
+            (Printf.sprintf "%s_n%d_r%d" a.Lb_shmem.Algorithm.name n rounds))
+        spill_dir
+    in
     (* the per-algorithm explorations are independent: fan them out *)
     let reports =
       Lb_util.Pool.map
         (fun algo ->
-          Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states ?deadline)
+          Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states ?deadline
+            ?mem_budget ?spill_dir:(spill_for algo) ~resume ?lossy)
         algos
     in
     let status = ref 0 in
     List.iter2
       (fun (algo : Lb_shmem.Algorithm.t) r ->
-        Format.printf
-          "%s n=%d rounds=%d: %a (%d states, %d transitions, %.0f states/s, \
-           %.0f B/state)@."
-          algo.Lb_shmem.Algorithm.name n rounds Lb_mutex.Model_check.pp_verdict
-          r.Lb_mutex.Model_check.verdict r.Lb_mutex.Model_check.states
-          r.Lb_mutex.Model_check.transitions
-          (Lb_mutex.Model_check.states_per_sec r)
-          (Lb_mutex.Model_check.bytes_per_state r);
+        if json then
+          Printf.printf
+            "{\"algo\": %s, \"n\": %d, \"rounds\": %d, \"verdict\": %s, \
+             \"states\": %d, \"transitions\": %d, \"lossy\": %s, \
+             \"certified\": %b}\n"
+            (json_string algo.Lb_shmem.Algorithm.name)
+            n rounds
+            (json_string (verdict_slug r.Lb_mutex.Model_check.verdict))
+            r.Lb_mutex.Model_check.states r.Lb_mutex.Model_check.transitions
+            (json_string (lossy_slug r.Lb_mutex.Model_check.lossy))
+            (Lb_mutex.Model_check.certifying r
+            && r.Lb_mutex.Model_check.verdict = Lb_mutex.Model_check.Verified)
+        else begin
+          Format.printf
+            "%s n=%d rounds=%d: %a%s (%d states, %d transitions, %.0f \
+             states/s, %.0f B/state)@."
+            algo.Lb_shmem.Algorithm.name n rounds
+            Lb_mutex.Model_check.pp_verdict r.Lb_mutex.Model_check.verdict
+            (match r.Lb_mutex.Model_check.lossy with
+            | None -> ""
+            | Some m ->
+              Printf.sprintf " [non-certifying: lossy %s]"
+                (lossy_slug (Some m)))
+            r.Lb_mutex.Model_check.states r.Lb_mutex.Model_check.transitions
+            (Lb_mutex.Model_check.states_per_sec r)
+            (Lb_mutex.Model_check.bytes_per_state r)
+        end;
         match r.Lb_mutex.Model_check.verdict with
         | Lb_mutex.Model_check.Mutex_violation tr
         | Lb_mutex.Model_check.Deadlock tr
         | Lb_mutex.Model_check.Ill_formed { trace = tr; _ } ->
-          Format.printf "witness:@.%a@."
-            (Lb_shmem.Execution.pp_with_names
-               (algo.Lb_shmem.Algorithm.registers ~n))
-            tr;
+          if not json then
+            Format.printf "witness:@.%a@."
+              (Lb_shmem.Execution.pp_with_names
+                 (algo.Lb_shmem.Algorithm.registers ~n))
+              tr;
           status := 1
         | Lb_mutex.Model_check.Bound_exceeded _
-        | Lb_mutex.Model_check.Deadline_exceeded _ ->
+        | Lb_mutex.Model_check.Deadline_exceeded _
+        | Lb_mutex.Model_check.Mem_exceeded _ ->
           if !status = 0 then status := 3
         | Lb_mutex.Model_check.Verified -> ())
       algos reports;
@@ -312,12 +420,15 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Exhaustively model-check mutual exclusion at small n. Accepts a \
+         "Model-check mutual exclusion at small n — exhaustively, or \
+          out-of-core under a memory budget with disk spill and resume, or \
+          lossily in SPIN's bitstate/hash-compaction modes. Accepts a \
           comma-separated algorithm list; the per-algorithm sweeps run in \
           parallel.")
     Term.(
       const run $ algo_arg $ n_arg $ rounds_arg $ max_states_arg $ deadline_arg
-      $ jobs_arg)
+      $ mem_budget_arg $ spill_dir_arg $ check_resume_arg $ lossy_arg
+      $ json_arg $ jobs_arg)
 
 (* ----------------------------- construct ----------------------------- *)
 
@@ -511,8 +622,18 @@ let certify_cmd =
                 The check is cooperative — the unit finishes, its result \
                 is discarded before reaching the store.")
   in
+  let checkpoint_every_arg =
+    Arg.(value & opt int 64
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:
+               "Rewrite the sweep manifest after every $(docv) completed \
+                units (failures checkpoint eagerly regardless, so \
+                quarantine entries are never recomputed on resume). \
+                Smaller values narrow the window of re-served hits after \
+                a crash at the cost of more manifest rewrites.")
+  in
   let run algo_name n seed perms jobs store resume events save_traces
-      pi_timeout =
+      pi_timeout checkpoint_every =
     apply_jobs jobs;
     if perms <= 0 then begin
       Printf.eprintf
@@ -528,6 +649,11 @@ let certify_cmd =
       Printf.eprintf "certify: --pi-timeout must be positive\n";
       exit 2
     | Some _ | None -> ());
+    if checkpoint_every < 1 then begin
+      Printf.eprintf "certify: --checkpoint-every must be >= 1 (got %d)\n"
+        checkpoint_every;
+      exit 2
+    end;
     let algo = find_algo algo_name in
     require_registers_only ~cmd:"certify" algo;
     let perms = clamp_perms ~n perms in
@@ -570,8 +696,9 @@ let certify_cmd =
       let finally () = Option.iter close_out events_oc in
       Fun.protect ~finally (fun () ->
           let cert, report =
-            Lb_store.Sweep.certify ~store:st ~resume ~save_traces ?pi_timeout
-              ~on_event algo ~n ~perms:pis ~exhaustive ()
+            Lb_store.Sweep.certify ~store:st ~resume ~checkpoint_every
+              ~save_traces ?pi_timeout ~on_event algo ~n ~perms:pis
+              ~exhaustive ()
           in
           let p = report.Lb_store.Sweep.progress in
           (match cert with
@@ -611,7 +738,7 @@ let certify_cmd =
           and served from cache on re-runs.")
     Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg
           $ store_arg $ resume_arg $ events_arg $ save_traces_arg
-          $ pi_timeout_arg)
+          $ pi_timeout_arg $ checkpoint_every_arg)
 
 (* ------------------------------ workload ------------------------------ *)
 

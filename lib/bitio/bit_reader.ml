@@ -1,17 +1,41 @@
-type t = { data : bool array; mutable pos : int }
+type src = Bools of bool array | Str of string
+
+type t = { src : src; len : int; mutable pos : int }
 
 exception Exhausted
 
-let of_bool_array data = { data; pos = 0 }
+let of_bool_array data = { src = Bools data; len = Array.length data; pos = 0 }
 let of_writer w = of_bool_array (Bit_writer.to_bool_array w)
 
+let of_string ?bits s =
+  let max_bits = 8 * String.length s in
+  let len =
+    match bits with
+    | None -> max_bits
+    | Some b ->
+      if b < 0 || b > max_bits then
+        invalid_arg
+          (Printf.sprintf "Bit_reader.of_string: %d bits in a %d-byte string"
+             b (String.length s));
+      b
+  in
+  { src = Str s; len; pos = 0 }
+
 let pos t = t.pos
-let remaining t = Array.length t.data - t.pos
+let remaining t = t.len - t.pos
 let at_end t = remaining t = 0
 
 let bit t =
-  if t.pos >= Array.length t.data then raise Exhausted;
-  let b = t.data.(t.pos) in
+  if t.pos >= t.len then raise Exhausted;
+  let b =
+    match t.src with
+    | Bools data -> Array.unsafe_get data t.pos
+    | Str s ->
+      (Char.code (String.unsafe_get s (t.pos lsr 3))
+       lsr (7 - (t.pos land 7)))
+      land 1
+      = 1
+  in
   t.pos <- t.pos + 1;
   b
 

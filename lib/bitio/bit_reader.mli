@@ -13,6 +13,14 @@ val of_bool_array : bool array -> t
 val of_writer : Bit_writer.t -> t
 (** Reader over the exact bits of the writer (no padding). *)
 
+val of_string : ?bits:int -> string -> t
+(** Reader over a packed byte string (MSB-first within each byte) — the
+    inverse of writing {!Bit_writer.to_bytes} to a file. The string is
+    not copied or expanded, so reading an on-disk spill run costs its
+    file size, not 8x it. [bits] bounds the readable prefix (default:
+    every bit of the string, including any zero padding the writer
+    added); raises [Invalid_argument] if it exceeds [8 * length]. *)
+
 val pos : t -> int
 (** Bits consumed so far. *)
 

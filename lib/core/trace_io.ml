@@ -188,24 +188,7 @@ let bits_of_string ?(max_bits = default_max_bits) s =
 
 (* -------------------------------- files ------------------------------ *)
 
-let save ~path content =
-  (* Write to a temp file in the same directory and rename into place:
-     [open_out path] truncates immediately, so a crash mid-write would
-     destroy a previously saved artifact. Rename within one directory is
-     atomic, so readers only ever see the old or the new content. *)
-  let tmp =
-    Filename.temp_file ~temp_dir:(Filename.dirname path) ".mutexlb" ".tmp"
-  in
-  match
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc content)
-  with
-  | () -> Sys.rename tmp path
-  | exception e ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    raise e
+let save ~path content = Lb_util.Fsio.write_atomic ~path content
 
 let default_max_bytes = 64 * 1024 * 1024
 

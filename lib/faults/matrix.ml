@@ -28,6 +28,7 @@ let verdict_outcome = function
   | Lb_mutex.Model_check.Ill_formed _ -> "ill_formed"
   | Lb_mutex.Model_check.Bound_exceeded _ -> "bound_exceeded"
   | Lb_mutex.Model_check.Deadline_exceeded _ -> "deadline_exceeded"
+  | Lb_mutex.Model_check.Mem_exceeded _ -> "mem_exceeded"
 
 let violation_outcome = function
   | Lb_mutex.Checker.Not_well_formed _ -> "ill_formed"

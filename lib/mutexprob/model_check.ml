@@ -7,6 +7,9 @@ type verdict =
   | Ill_formed of { trace : Execution.t; who : int; detail : string }
   | Bound_exceeded of int
   | Deadline_exceeded of int
+  | Mem_exceeded of int
+
+type lossy = Bitstate | Hash_compact
 
 type report = {
   verdict : verdict;
@@ -14,8 +17,10 @@ type report = {
   transitions : int;
   live_words : int;
   seconds : float;
+  lossy : lossy option;
 }
 
+let certifying r = r.lossy = None
 let states_per_sec r = float_of_int r.states /. Float.max 1e-9 r.seconds
 
 let bytes_per_state r =
@@ -36,7 +41,12 @@ let bytes_per_state r =
    Interning each Proc.repr through Lb_util.Interner makes the key
    injective by construction — no delimiter scheme over raw repr strings
    to collide — and means each distinct repr string is hashed once,
-   after which state hashing and equality touch only machine ints. *)
+   after which state hashing and equality touch only machine ints.
+
+   Ids are assigned in the sequential merge, in frontier order, never by
+   the expansion workers: a key is then a pure function of the explored
+   graph, identical at every job count and across a kill/resume
+   boundary, which is what lets spilled key runs be byte-stable. *)
 
 module Key = struct
   type t = int array
@@ -61,6 +71,16 @@ module Key = struct
     !h land max_int
 end
 
+(* A second, independent mix over the same slots. Shard selection and
+   the lossy filters need hash bits uncorrelated with {!Key.hash}, which
+   already feeds the per-shard tables' bucket choice. *)
+let hash2 (a : int array) =
+  let h = ref 0x27d4eb2f165667c5 in
+  for i = 0 to Array.length a - 1 do
+    h := (!h lxor (Array.unsafe_get a i * 0x165667b1)) * 0x100000001b3
+  done;
+  !h land max_int
+
 module Ktbl = Hashtbl.Make (Key)
 
 let phase_index = function
@@ -71,13 +91,12 @@ let phase_index = function
 
 let encode_slot ~rounds pid phase rem = ((pid lsl 2) lor phase) * (rounds + 1) + rem
 
-let pack_initial interner ~rounds sys phases rems =
-  let nregs = System.num_regs sys in
+let pack_state ~rounds ~nregs ~intern sys phases rems =
   let n = Array.length phases in
   let key = Array.make (nregs + n) 0 in
   Array.blit sys.System.regs 0 key 0 nregs;
   for i = 0 to n - 1 do
-    let pid = Lb_util.Interner.intern interner (System.state_repr sys i) in
+    let pid = intern (System.state_repr sys i) in
     key.(nregs + i) <- encode_slot ~rounds pid (phase_index phases.(i)) rems.(i)
   done;
   key
@@ -106,23 +125,23 @@ let crit_delta = function Step.Enter -> 1 | Step.Exit -> -1 | Step.Try | Step.Re
 
 (* The automata are deterministic and [Proc.repr] witnesses a process's
    local state, so (process index, interned state id, response)
-   determines the advanced process, its interned id, and whether the
-   state changed. Caching that triple turns the hot path — one automaton
-   transition plus one repr string construction plus one intern per
-   (state, process) — into a single int-triple table lookup. The process
-   index must be part of the key: reprs are only unique per process (two
-   processes may both report "spin"), and an advanced [Proc.t] closes
-   over its own identity. The cache is a pure function memo: its
-   contents never affect results, so sharing it across worker domains
-   under a mutex keeps the exploration deterministic.
-
+   determines the advanced process and whether the state changed.
+   Caching that triple turns the hot path — one automaton transition
+   plus one repr string construction per (state, process) — into a
+   single int-triple table lookup. The process index must be part of the
+   key: reprs are only unique per process (two processes may both report
+   "spin"), and an advanced [Proc.t] closes over its own identity.
    Response codes never collide: a given (process, state id) has one
    fixed pending action, so it sees either only [Ack] (writes, critical
    steps — coded 0) or only [Got v] (reads, rmw — coded by the value
-   read). *)
+   read). The cache is a pure function memo: its contents never affect
+   results, so sharing it across worker domains under a mutex keeps the
+   exploration deterministic. The advanced process's id is NOT cached
+   here — interning happens merge-side (see the key comment above); the
+   merge keeps its own single-domain (who, pid, response) -> id memo. *)
 type memo = {
   mlock : Mutex.t;
-  mtbl : (int * int * int, Proc.t * int * bool) Hashtbl.t;
+  mtbl : (int * int * int, Proc.t * bool) Hashtbl.t;
 }
 
 let memo_create () = { mlock = Mutex.create (); mtbl = Hashtbl.create 1024 }
@@ -132,27 +151,26 @@ let resp_code (action : Step.action) (key : int array) =
   | Step.Read r | Step.Rmw (r, _) -> Array.unsafe_get key r
   | Step.Write _ | Step.Crit _ -> 0
 
-(* Advance process [i] of [entry.sys], through the memo: returns its
-   pending action, the advanced process, the advanced process's interned
-   state id, and whether the local state is unchanged. *)
-let step_memo memo interner sys (key : int array) i pid =
+(* Advance process [i] of [sys], through the memo: returns its pending
+   action, the advanced process, and whether the local state is
+   unchanged. *)
+let step_memo memo sys (key : int array) i pid =
   let p = sys.System.procs.(i) in
   let action = p.Proc.pending in
   let mk = (i, pid, resp_code action key) in
   Mutex.lock memo.mlock;
   match Hashtbl.find_opt memo.mtbl mk with
-  | Some (p', pid', stuck) ->
+  | Some (p', stuck) ->
     Mutex.unlock memo.mlock;
-    (action, p', pid', stuck)
+    (action, p', stuck)
   | None ->
     Mutex.unlock memo.mlock;
     let p' = System.advance_proc sys i in
-    let pid' = Lb_util.Interner.intern interner p'.Proc.repr in
     let stuck = Proc.equal_state p p' in
     Mutex.lock memo.mlock;
-    Hashtbl.replace memo.mtbl mk (p', pid', stuck);
+    Hashtbl.replace memo.mtbl mk (p', stuck);
     Mutex.unlock memo.mlock;
-    (action, p', pid', stuck)
+    (action, p', stuck)
 
 (* ------------------------- layer-parallel BFS ------------------------- *)
 
@@ -173,6 +191,12 @@ type succ = {
   step : Step.t;
   s_sys : System.t;
   s_key : int array;
+      (** the stepping process's own slot still holds the parent's value;
+          the sequential merge completes it once the successor repr has a
+          deterministic id *)
+  s_repr : string;  (** advanced process's local-state witness *)
+  s_phase_idx : int;
+  s_rem : int;
   s_phases : Checker.phase array;
   s_rems : int array;
   s_ncrit : int;
@@ -188,34 +212,32 @@ type expansion =
   | Succs of { self_loops : int; succs : succ list }
 
 (* Expand one frontier entry: enumerate the steps of its unfinished
-   processes. Pure up to interner insertions, so layers can fan out
-   across domains; all verdict decisions happen in the sequential
-   merge. A pending read that cannot change the reader's local state is
-   a guaranteed self-loop (reads mutate nothing else), so it is counted
-   as a transition without copying or stepping the system — busy-wait
-   spinning, the bulk of a mutex state space, costs no allocation. *)
-let expand ~rounds ~nregs ~interner ~memo entry =
+   processes. Pure — no interning, no shared mutation beyond the memo —
+   so layers can fan out across domains; all verdict decisions and id
+   assignment happen in the sequential merge. A pending read that cannot
+   change the reader's local state is a guaranteed self-loop (reads
+   mutate nothing else), so it is counted as a transition without
+   copying or stepping the system — busy-wait spinning, the bulk of a
+   mutex state space, costs no allocation. *)
+let expand ~rounds ~nregs ~memo entry =
   let n = Array.length entry.phases in
   let unfinished = ref [] in
   for i = n - 1 downto 0 do
     if entry.rems.(i) < rounds then begin
       (* process i's interned state id sits in its packed slot *)
       let pid = (entry.key.(nregs + i) / (rounds + 1)) lsr 2 in
-      let action, p', pid', stuck =
-        step_memo memo interner entry.sys entry.key i pid
-      in
-      unfinished := (i, action, p', pid', stuck) :: !unfinished
+      let action, p', stuck = step_memo memo entry.sys entry.key i pid in
+      unfinished := (i, action, p', stuck) :: !unfinished
     end
   done;
   let unfinished = !unfinished in
-  if unfinished <> []
-     && List.for_all (fun (_, _, _, _, stuck) -> stuck) unfinished
+  if unfinished <> [] && List.for_all (fun (_, _, _, stuck) -> stuck) unfinished
   then Deadlocked
   else begin
     let self_loops = ref 0 in
     let succs =
       List.filter_map
-        (fun (i, action, p', pid', stuck) ->
+        (fun (i, action, p', stuck) ->
           match action with
           | Step.Read _ when stuck ->
             incr self_loops;
@@ -249,11 +271,11 @@ let expand ~rounds ~nregs ~interner ~memo entry =
             | Step.Write (r, _) | Step.Rmw (r, _) ->
               key'.(r) <- sys'.System.regs.(r)
             | Step.Read _ | Step.Crit _ -> ());
-            key'.(nregs + i) <-
-              encode_slot ~rounds pid' (phase_index phases'.(i)) rems'.(i);
             Some
-              { step; s_sys = sys'; s_key = key'; s_phases = phases';
-                s_rems = rems'; s_ncrit = ncrit'; s_ill = ill })
+              { step; s_sys = sys'; s_key = key'; s_repr = p'.Proc.repr;
+                s_phase_idx = phase_index phases'.(i); s_rem = rems'.(i);
+                s_phases = phases'; s_rems = rems'; s_ncrit = ncrit';
+                s_ill = ill })
         unfinished
     in
     Succs { self_loops = !self_loops; succs }
@@ -272,8 +294,8 @@ let chunk_list size xs =
   in
   go [] [] 0 xs
 
-let expand_layer ~jobs ~rounds ~nregs ~interner ~memo entries =
-  let f = expand ~rounds ~nregs ~interner ~memo in
+let expand_layer ~jobs ~rounds ~nregs ~memo entries =
+  let f = expand ~rounds ~nregs ~memo in
   let len = List.length entries in
   if jobs <= 1 || len < par_threshold || Lb_util.Pool.in_worker () then
     List.map f entries
@@ -288,122 +310,775 @@ let expand_layer ~jobs ~rounds ~nregs ~interner ~memo entries =
    transitions: a gettimeofday per insertion would dominate small runs. *)
 let deadline_poll_mask = 4095
 
-let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline algo ~n =
-  let live0 = (Gc.stat ()).Gc.live_words in
+(* ------------------------ memory accounting --------------------------- *)
+
+(* Deterministic, explicitly-modeled footprint of everything the
+   exploration retains, in words. The previous Gc.stat live-words delta
+   moved with allocator noise from other domains, so B/state differed
+   between two identical runs; these fixed per-structure constants make
+   the figure (and any [mem_budget] decision that hangs off it) a pure
+   function of the explored graph. *)
+let word_bytes = Sys.word_size / 8
+let nshards = 64
+let words_per_node_ram = 9 (* two vec slots + step record + action *)
+let words_per_memo_entry = 12 (* bucket + key triple + boxed pair *)
+let words_per_id_entry = 8 (* bucket + key triple + int *)
+let words_per_hash_entry = 5 (* bucket + boxed int key *)
+let words_per_name len = 7 + ((len + 7) / 8) (* vec + tbl slots + string *)
+
+(* ------------------------------ visited ------------------------------- *)
+
+(* The visited set. Exact mode shards by an independent hash so cold
+   shards can spill to disk individually; the lossy modes are SPIN's two
+   classics — a bitstate filter (three probes per key) and hash
+   compaction (a 60-bit fingerprint per state) — which trade certainty
+   for memory and taint the report as non-certifying. *)
+type exact = {
+  shards : unit Ktbl.t array;
+  complete : bool array;
+      (** a complete shard's resident table holds every key ever inserted
+          into it, so a resident miss is a definitive miss; evicting or
+          partially reloading a shard clears the flag and membership
+          falls back to the on-disk runs *)
+  shard_words : int array;
+  mutable resident_words : int;
+}
+
+type visited =
+  | Exact of exact
+  | Bits of { filter : Bytes.t; mask : int }
+  | Hashes of (int, unit) Hashtbl.t
+
+let fp60 key = ((Key.hash key lsl 30) lxor hash2 key) land ((1 lsl 60) - 1)
+
+let bits_member filter mask key =
+  let h1 = Key.hash key and h2 = hash2 key lor 1 in
+  let hit = ref true in
+  for j = 0 to 2 do
+    let b = (h1 + (j * h2)) land mask in
+    if (Char.code (Bytes.unsafe_get filter (b lsr 3)) lsr (b land 7)) land 1 = 0
+    then hit := false
+  done;
+  !hit
+
+let bits_set filter mask key =
+  let h1 = Key.hash key and h2 = hash2 key lor 1 in
+  for j = 0 to 2 do
+    let b = (h1 + (j * h2)) land mask in
+    Bytes.unsafe_set filter (b lsr 3)
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get filter (b lsr 3)) lor (1 lsl (b land 7))))
+  done
+
+let floor_pow2 x =
+  let r = ref 1 in
+  while !r * 2 <= x && !r < 1 lsl 40 do
+    r := !r * 2
+  done;
+  !r
+
+(* --------------------------- spill session ---------------------------- *)
+
+type session = {
+  sp : Check_spill.t;
+  log : Check_spill.Nodes.log;
+  mutable runs : (int * int) list;  (** (layer, key count), ascending *)
+  mutable flushed_ids : int;  (** interner ids persisted to disk *)
+}
+
+let lossy_string ~bits = function
+  | None -> "none"
+  | Some Bitstate -> Printf.sprintf "bitstate:%d" bits
+  | Some Hash_compact -> "hashcompact"
+
+let lossy_of_string s =
+  if s = "none" then Ok (None, 0)
+  else if s = "hashcompact" then Ok (Some Hash_compact, 0)
+  else
+    match String.index_opt s ':' with
+    | Some i
+      when String.sub s 0 i = "bitstate" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some bits when bits >= 8 -> Ok (Some Bitstate, bits)
+      | _ -> Error (Printf.sprintf "bad bitstate size in %S" s))
+    | _ -> Error (Printf.sprintf "unknown lossy mode %S" s)
+
+(* ------------------------------ explore ------------------------------- *)
+
+let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
+    ?spill_dir ?(resume = false) ?lossy algo ~n =
   let t0 = Unix.gettimeofday () in
   let jobs = match jobs with Some j -> j | None -> Lb_util.Pool.default_jobs () in
   if jobs < 1 then invalid_arg "Model_check.explore: jobs must be >= 1";
   if max_states < 1 then
     invalid_arg "Model_check.explore: max_states must be >= 1";
+  (match mem_budget with
+  | Some b when b < 1 ->
+    invalid_arg "Model_check.explore: mem_budget must be >= 1"
+  | _ -> ());
+  if resume && spill_dir = None then
+    invalid_arg "Model_check.explore: resume requires a spill_dir";
   let expires_at = Option.map (fun d -> t0 +. d) deadline in
   let expired () =
     match expires_at with
     | None -> false
     | Some t -> Unix.gettimeofday () > t
   in
-  let interner = Lb_util.Interner.create ~size_hint:1024 () in
-  let memo = memo_create () in
   let init_sys = System.init algo ~n in
   let nregs = System.num_regs init_sys in
-  let init_phases = Array.make n Checker.Remainder in
-  let init_rems = Array.make n 0 in
-  let init_key = pack_initial interner ~rounds init_sys init_phases init_rems in
-  (* node table: key -> index for dedup, plus per-node parent index and
-     incoming step — enough to rebuild any witness trace *)
-  let table = Ktbl.create 4096 in
-  let parents = Lb_util.Vec.create () in
-  let steps = Lb_util.Vec.create () in
-  Ktbl.replace table init_key 0;
-  Lb_util.Vec.push parents (-1);
-  Lb_util.Vec.push steps (Step.step 0 (Step.Crit Step.Try)) (* root: unused *);
-  let trace_to idx =
-    let acc = ref [] in
-    let i = ref idx in
-    while !i <> 0 do
-      acc := Lb_util.Vec.get steps !i :: !acc;
-      i := Lb_util.Vec.get parents !i
+  let keylen = nregs + n in
+  let manifest =
+    match spill_dir with
+    | Some dir when resume -> (
+      match Check_spill.load_manifest ~dir with
+      | `Absent -> None
+      | `Damaged e ->
+        failwith (Printf.sprintf "Model_check.explore: resume: %s" e)
+      | `Manifest m ->
+        let want name got want =
+          if got <> want then
+            invalid_arg
+              (Printf.sprintf
+                 "Model_check.explore: resume: manifest has %s = %d, this run wants %d"
+                 name got want)
+        in
+        if m.Check_spill.c_algo <> algo.Algorithm.name then
+          invalid_arg
+            (Printf.sprintf
+               "Model_check.explore: resume: manifest is for %s, not %s"
+               m.Check_spill.c_algo algo.Algorithm.name);
+        want "n" m.Check_spill.c_n n;
+        want "nregs" m.Check_spill.c_nregs nregs;
+        want "rounds" m.Check_spill.c_rounds rounds;
+        want "maxstates" m.Check_spill.c_max_states max_states;
+        want "shards" m.Check_spill.c_nshards nshards;
+        want "keylen" m.Check_spill.c_keylen keylen;
+        Some m)
+    | _ -> None
+  in
+  (* The lossy mode is sticky across a resume: a directory explored
+     lossily can never be promoted to a certifying verdict by resuming
+     with different flags, so the manifest's mode overrides the
+     caller's. *)
+  let lossy, manifest_bits =
+    match manifest with
+    | None -> (lossy, 0)
+    | Some m -> (
+      match lossy_of_string m.Check_spill.c_lossy with
+      | Ok (l, bits) -> (l, bits)
+      | Error e -> failwith (Printf.sprintf "Model_check.explore: resume: %s" e))
+  in
+  let bits_size =
+    if manifest_bits > 0 then manifest_bits
+    else
+      match mem_budget with
+      | Some b -> max (1 lsl 16) (floor_pow2 (4 * b))
+      | None -> 1 lsl 25
+  in
+  let lossy_str = lossy_string ~bits:bits_size lossy in
+  match manifest with
+  | Some ({ Check_spill.c_status = Check_spill.Final f; _ } as m) ->
+    (* the previous run already reached a final verdict: rebuild its
+       report from the node log instead of re-exploring *)
+    let dir = Option.get spill_dir in
+    let sp =
+      Check_spill.open_ ~dir ~names_bytes:m.Check_spill.c_interner_bytes
+        ~node_count:m.Check_spill.c_states
+    in
+    Fun.protect ~finally:(fun () -> Check_spill.close sp) @@ fun () ->
+    let log = Check_spill.Nodes.of_handle sp in
+    let trace_to idx =
+      let acc = ref [] in
+      let i = ref idx in
+      while !i <> 0 do
+        let parent, st = Check_spill.Nodes.get log !i in
+        acc := st :: !acc;
+        i := parent
+      done;
+      Execution.of_steps !acc
+    in
+    let verdict =
+      match f.Check_spill.f_verdict with
+      | "verified" -> Verified
+      | "bound_exceeded" -> Bound_exceeded f.Check_spill.f_count
+      | "mem_exceeded" -> Mem_exceeded f.Check_spill.f_count
+      | "mutex_violation" -> Mutex_violation (trace_to f.Check_spill.f_node)
+      | "deadlock" -> Deadlock (trace_to f.Check_spill.f_node)
+      | "ill_formed" -> (
+        let tr = trace_to f.Check_spill.f_node in
+        match f.Check_spill.f_step with
+        | [ who; tag; reg; a; b ] ->
+          Execution.append tr (Check_spill.decode_step who tag reg a b);
+          Ill_formed
+            { trace = tr; who = f.Check_spill.f_who;
+              detail = f.Check_spill.f_detail }
+        | _ ->
+          failwith "Model_check.explore: resume: bad ill-formed step record")
+      | v ->
+        failwith
+          (Printf.sprintf "Model_check.explore: resume: unknown verdict %S" v)
+    in
+    {
+      verdict;
+      states = m.Check_spill.c_states;
+      transitions = m.Check_spill.c_transitions;
+      live_words = m.Check_spill.c_words;
+      seconds = Unix.gettimeofday () -. t0;
+      lossy;
+    }
+  | _ ->
+    let interner = Lb_util.Interner.create ~size_hint:1024 () in
+    let interner_words = ref 0 in
+    let interner_hwm = ref 0 in
+    let intern s =
+      let id = Lb_util.Interner.intern interner s in
+      if id >= !interner_hwm then begin
+        interner_hwm := id + 1;
+        interner_words := !interner_words + words_per_name (String.length s)
+      end;
+      id
+    in
+    let memo = memo_create () in
+    let idmemo : (int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let words_per_key = keylen + 6 in
+    let visited =
+      match lossy with
+      | Some Bitstate ->
+        Bits { filter = Bytes.make (bits_size / 8) '\000'; mask = bits_size - 1 }
+      | Some Hash_compact -> Hashes (Hashtbl.create 4096)
+      | None ->
+        Exact
+          {
+            shards = Array.init nshards (fun _ -> Ktbl.create 64);
+            complete = Array.make nshards true;
+            shard_words = Array.make nshards 0;
+            resident_words = 0;
+          }
+    in
+    let shard_of key = (hash2 key lsr 8) land (nshards - 1) in
+    let session =
+      match spill_dir with
+      | None -> None
+      | Some dir ->
+        let names_bytes, node_count, runs =
+          match manifest with
+          | Some m ->
+            ( m.Check_spill.c_interner_bytes,
+              m.Check_spill.c_states,
+              m.Check_spill.c_runs )
+          | None -> (0, 0, [])
+        in
+        let sp = Check_spill.open_ ~dir ~names_bytes ~node_count in
+        Some
+          { sp; log = Check_spill.Nodes.of_handle sp; runs; flushed_ids = 0 }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match session with Some s -> Check_spill.close s.sp | None -> ())
+    @@ fun () ->
+    let nodes_ram =
+      match session with
+      | Some _ -> None
+      | None -> Some (Lb_util.Vec.create (), Lb_util.Vec.create ())
+    in
+    let node_push ~parent step =
+      match (nodes_ram, session) with
+      | Some (parents, steps), _ ->
+        Lb_util.Vec.push parents parent;
+        Lb_util.Vec.push steps step
+      | None, Some s -> Check_spill.Nodes.append s.log ~parent step
+      | None, None -> assert false
+    in
+    let node_get i =
+      match (nodes_ram, session) with
+      | Some (parents, steps), _ ->
+        (Lb_util.Vec.get parents i, Lb_util.Vec.get steps i)
+      | None, Some s -> Check_spill.Nodes.get s.log i
+      | None, None -> assert false
+    in
+    let trace_to idx =
+      let acc = ref [] in
+      let i = ref idx in
+      while !i <> 0 do
+        let parent, st = node_get !i in
+        acc := st :: !acc;
+        i := parent
+      done;
+      Execution.of_steps !acc
+    in
+    let states = ref 0 in
+    let transitions = ref 0 in
+    let peak_words = ref 0 in
+    let insert key =
+      match visited with
+      | Exact e ->
+        let sh = shard_of key in
+        Ktbl.replace e.shards.(sh) key ();
+        e.shard_words.(sh) <- e.shard_words.(sh) + words_per_key;
+        e.resident_words <- e.resident_words + words_per_key
+      | Bits { filter; mask } -> bits_set filter mask key
+      | Hashes h -> Hashtbl.replace h (fp60 key) ()
+    in
+    let member old_dups key =
+      match visited with
+      | Exact e ->
+        Ktbl.mem e.shards.(shard_of key) key
+        || (match old_dups with Some d -> Ktbl.mem d key | None -> false)
+      | Bits { filter; mask } -> bits_member filter mask key
+      | Hashes h -> Hashtbl.mem h (fp60 key)
+    in
+    let accounted () =
+      let visited_w =
+        match visited with
+        | Exact e -> e.resident_words
+        | Bits { filter; _ } -> (Bytes.length filter / 8) + 8
+        | Hashes h -> Hashtbl.length h * words_per_hash_entry
+      in
+      let nodes_w =
+        match session with
+        | Some s -> Check_spill.Nodes.tail_length s.log * words_per_node_ram
+        | None -> !states * words_per_node_ram
+      in
+      visited_w + nodes_w + !interner_words
+      + (Hashtbl.length memo.mtbl * words_per_memo_entry)
+      + (Hashtbl.length idmemo * words_per_id_entry)
+    in
+    let note_peak () =
+      let w = accounted () in
+      if w > !peak_words then peak_words := w
+    in
+    let layer = ref 0 in
+    let verdict_r = ref None in
+    let frontier = ref [] in
+    (* witness bookkeeping for the final manifest: node indices survive a
+       resume, Execution.t values do not *)
+    let final_node = ref (-1) in
+    let final_step = ref None in
+    let meta ~frontier_count ~status =
+      {
+        Check_spill.c_algo = algo.Algorithm.name;
+        c_n = n;
+        c_nregs = nregs;
+        c_rounds = rounds;
+        c_max_states = max_states;
+        c_nshards = nshards;
+        c_keylen = keylen;
+        c_lossy = lossy_str;
+        c_layer = !layer;
+        c_states = !states;
+        c_transitions = !transitions;
+        c_words = !peak_words;
+        c_interned = (match session with Some s -> s.flushed_ids | None -> 0);
+        c_interner_bytes =
+          (match session with
+          | Some s -> Check_spill.names_bytes s.sp
+          | None -> 0);
+        c_runs = (match session with Some s -> s.runs | None -> []);
+        c_frontier = frontier_count;
+        c_status = status;
+      }
+    in
+    let checkpoint s ~new_keys ~frontier_entries =
+      let dir = Check_spill.dir s.sp in
+      let run_keys =
+        match visited with
+        | Exact _ -> new_keys
+        | Hashes _ -> List.map (fun k -> [| fp60 k |]) new_keys
+        | Bits _ -> []
+      in
+      let nk = List.length run_keys in
+      if nk > 0 then begin
+        Check_spill.write_run ~dir ~layer:!layer run_keys;
+        s.runs <- s.runs @ [ (!layer, nk) ]
+      end;
+      Check_spill.write_frontier ~dir ~layer:!layer
+        (List.map (fun e -> e.idx) frontier_entries);
+      Check_spill.Nodes.flush s.log;
+      let sz = Lb_util.Interner.size interner in
+      if sz > s.flushed_ids then begin
+        Check_spill.append_names s.sp
+          (Lb_util.Interner.names_from interner s.flushed_ids);
+        s.flushed_ids <- sz
+      end;
+      (match visited with
+      | Bits { filter; _ } -> Check_spill.write_bits ~dir filter
+      | Exact _ | Hashes _ -> ());
+      Check_spill.save_manifest ~dir
+        (meta ~frontier_count:(List.length frontier_entries)
+           ~status:Check_spill.Running)
+    in
+    let evict e budget_w =
+      (* keys are durable in the runs by the time this is called (the
+         layer checkpoint precedes it), so dropping a resident shard only
+         costs future membership scans. Largest shards go first; the
+         order is a function of deterministic shard sizes. *)
+      let order = Array.init nshards (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          match compare e.shard_words.(b) e.shard_words.(a) with
+          | 0 -> compare a b
+          | c -> c)
+        order;
+      let target = 7 * budget_w / 10 in
+      Array.iter
+        (fun sh ->
+          if accounted () > target && e.shard_words.(sh) > 0 then begin
+            Ktbl.reset e.shards.(sh);
+            e.resident_words <- e.resident_words - e.shard_words.(sh);
+            e.shard_words.(sh) <- 0;
+            e.complete.(sh) <- false
+          end)
+        order
+    in
+    (* ---- root, or reload the last checkpoint ---- *)
+    (match manifest with
+    | Some m ->
+      let s = Option.get session in
+      let dir = Check_spill.dir s.sp in
+      List.iter (fun nm -> ignore (intern nm)) (Check_spill.load_names s.sp);
+      if Lb_util.Interner.size interner <> m.Check_spill.c_interned then
+        failwith
+          "Model_check.explore: resume: interner.names disagrees with manifest";
+      s.flushed_ids <- m.Check_spill.c_interned;
+      states := m.Check_spill.c_states;
+      transitions := m.Check_spill.c_transitions;
+      peak_words := m.Check_spill.c_words;
+      layer := m.Check_spill.c_layer;
+      (match visited with
+      | Exact e ->
+        (* reload resident tables from the runs until the budget's
+           high-water mark; past it, shards go incomplete and membership
+           streams the runs instead *)
+        let budget_w = Option.map (fun b -> b / word_bytes) mem_budget in
+        let stop = ref false in
+        List.iter
+          (fun (lay, _) ->
+            if not !stop then
+              Check_spill.iter_run_keys ~dir ~layer:lay ~keylen (fun k ->
+                  if not !stop then begin
+                    insert (Array.copy k);
+                    match budget_w with
+                    | Some bw when e.resident_words > 7 * bw / 10 ->
+                      stop := true
+                    | _ -> ()
+                  end))
+          s.runs;
+        if !stop then Array.fill e.complete 0 nshards false
+      | Bits { filter; _ } ->
+        let b = Check_spill.read_bits ~dir ~expect_bytes:(Bytes.length filter) in
+        Bytes.blit b 0 filter 0 (Bytes.length filter)
+      | Hashes h ->
+        List.iter
+          (fun (lay, _) ->
+            Check_spill.iter_run_keys ~dir ~layer:lay ~keylen:1 (fun k ->
+                Hashtbl.replace h k.(0) ()))
+          s.runs);
+      let idxs = Check_spill.read_frontier ~dir ~layer:!layer in
+      if List.length idxs <> m.Check_spill.c_frontier then
+        failwith
+          "Model_check.explore: resume: frontier file disagrees with manifest";
+      (* rebuild each frontier entry by replaying its step chain from
+         the root; reprs re-intern to their existing ids, so the packed
+         keys come out byte-identical *)
+      let rebuild idx =
+        let chain = ref [] in
+        let i = ref idx in
+        while !i <> 0 do
+          let parent, st = Check_spill.Nodes.get s.log !i in
+          chain := st :: !chain;
+          i := parent
+        done;
+        let sys = System.init algo ~n in
+        let phases = Array.make n Checker.Remainder in
+        let rems = Array.make n 0 in
+        let ncrit = ref 0 in
+        List.iter
+          (fun (st : Step.t) ->
+            (match st.Step.action with
+            | Step.Crit c -> (
+              match advance_phase phases st.Step.who c with
+              | Ok next ->
+                phases.(st.Step.who) <- next;
+                ncrit := !ncrit + crit_delta c;
+                if c = Step.Rem then
+                  rems.(st.Step.who) <- rems.(st.Step.who) + 1
+              | Error _ ->
+                failwith
+                  "Model_check.explore: resume: ill-formed step in node log")
+            | Step.Read _ | Step.Write _ | Step.Rmw _ -> ());
+            ignore (System.apply sys st))
+          !chain;
+        let key = pack_state ~rounds ~nregs ~intern sys phases rems in
+        { idx; sys; key; phases; rems; ncrit = !ncrit }
+      in
+      frontier := List.map rebuild idxs;
+      if Lb_util.Interner.size interner <> m.Check_spill.c_interned then
+        failwith "Model_check.explore: resume: interner diverged on replay"
+    | None ->
+      let phases = Array.make n Checker.Remainder in
+      let rems = Array.make n 0 in
+      let key = pack_state ~rounds ~nregs ~intern init_sys phases rems in
+      let root = { idx = 0; sys = init_sys; key; phases; rems; ncrit = 0 } in
+      insert key;
+      node_push ~parent:(-1) (Step.step 0 (Step.Crit Step.Try)) (* root: unused *);
+      states := 1;
+      frontier := [ root ];
+      note_peak ();
+      (match session with
+      | Some s -> checkpoint s ~new_keys:[ key ] ~frontier_entries:[ root ]
+      | None -> ()));
+    (* ---- layer loop ---- *)
+    while !verdict_r = None && !frontier <> [] do
+      if expired () then verdict_r := Some (Deadline_exceeded !states)
+      else begin
+        let entries = !frontier in
+        let expansions = expand_layer ~jobs ~rounds ~nregs ~memo entries in
+        (* pass A — complete successor keys, in frontier order: ids are
+           assigned here, sequentially, never in the expansion workers *)
+        let cands =
+          match (visited, session) with
+          | Exact e, Some s
+            when s.runs <> [] && Array.exists (fun c -> not c) e.complete ->
+            Some (Ktbl.create 512)
+          | _ -> None
+        in
+        List.iter2
+          (fun entry exp ->
+            match exp with
+            | Deadlocked -> ()
+            | Succs { succs; _ } ->
+              List.iter
+                (fun s ->
+                  if s.s_ill = None then begin
+                    let who = s.step.Step.who in
+                    let pid = (entry.key.(nregs + who) / (rounds + 1)) lsr 2 in
+                    let mk =
+                      (who, pid, resp_code s.step.Step.action entry.key)
+                    in
+                    let pid' =
+                      match Hashtbl.find_opt idmemo mk with
+                      | Some id -> id
+                      | None ->
+                        let id = intern s.s_repr in
+                        Hashtbl.replace idmemo mk id;
+                        id
+                    in
+                    s.s_key.(nregs + who) <-
+                      encode_slot ~rounds pid' s.s_phase_idx s.s_rem;
+                    match (cands, visited) with
+                    | Some c, Exact e ->
+                      let sh = shard_of s.s_key in
+                      if
+                        (not e.complete.(sh))
+                        && (not (Ktbl.mem e.shards.(sh) s.s_key))
+                        && not (Ktbl.mem c s.s_key)
+                      then Ktbl.replace c s.s_key ()
+                    | _ -> ()
+                  end)
+                succs)
+          entries expansions;
+        (* membership pass over the spilled runs, only for keys that
+           could not be decided against resident shards — SPIN-style
+           delayed duplicate detection, one streaming scan per layer *)
+        let old_dups =
+          match cands with
+          | Some c when Ktbl.length c > 0 ->
+            let s = Option.get session in
+            let dir = Check_spill.dir s.sp in
+            let d = Ktbl.create (Ktbl.length c) in
+            List.iter
+              (fun (lay, _) ->
+                Check_spill.iter_run_keys ~dir ~layer:lay ~keylen (fun k ->
+                    if Ktbl.mem c k && not (Ktbl.mem d k) then
+                      Ktbl.replace d (Array.copy k) ()))
+              s.runs;
+            Some d
+          | _ -> None
+        in
+        (* pass B — sequential merge, in frontier order: dedup, verdicts
+           and the next frontier are independent of how the layer was
+           expanded *)
+        let next = ref [] in
+        let new_keys = ref [] in
+        (try
+           List.iter2
+             (fun entry exp ->
+               match exp with
+               | Deadlocked ->
+                 final_node := entry.idx;
+                 verdict_r := Some (Deadlock (trace_to entry.idx));
+                 raise Exit
+               | Succs { self_loops; succs } ->
+                 transitions := !transitions + self_loops;
+                 List.iter
+                   (fun s ->
+                     incr transitions;
+                     if !transitions land deadline_poll_mask = 0 && expired ()
+                     then begin
+                       verdict_r := Some (Deadline_exceeded !states);
+                       raise Exit
+                     end;
+                     (* an ill-formed step is a verdict on the step
+                        itself, checked before dedup: its target key may
+                        alias an already-stored legitimate state *)
+                     (match s.s_ill with
+                     | Some detail ->
+                       let tr = trace_to entry.idx in
+                       Execution.append tr s.step;
+                       final_node := entry.idx;
+                       final_step := Some s.step;
+                       verdict_r :=
+                         Some
+                           (Ill_formed
+                              { trace = tr; who = s.step.Step.who; detail });
+                       raise Exit
+                     | None -> ());
+                     if not (member old_dups s.s_key) then begin
+                       if !states >= max_states then begin
+                         verdict_r := Some (Bound_exceeded !states);
+                         raise Exit
+                       end;
+                       let idx = !states in
+                       insert s.s_key;
+                       node_push ~parent:entry.idx s.step;
+                       incr states;
+                       if session <> None then
+                         new_keys := s.s_key :: !new_keys;
+                       if s.s_ncrit >= 2 then begin
+                         final_node := idx;
+                         verdict_r := Some (Mutex_violation (trace_to idx));
+                         raise Exit
+                       end;
+                       next :=
+                         { idx; sys = s.s_sys; key = s.s_key;
+                           phases = s.s_phases; rems = s.s_rems;
+                           ncrit = s.s_ncrit }
+                         :: !next
+                     end)
+                   succs)
+             entries expansions
+         with Exit -> ());
+        frontier := List.rev !next;
+        match !verdict_r with
+        | Some _ -> ()
+        | None ->
+          layer := !layer + 1;
+          note_peak ();
+          (match session with
+          | Some s ->
+            checkpoint s ~new_keys:!new_keys ~frontier_entries:!frontier
+          | None -> ());
+          (match mem_budget with
+          | None -> ()
+          | Some b ->
+            let bw = b / word_bytes in
+            if accounted () > bw then begin
+              (match (visited, session) with
+              | Exact e, Some _ -> evict e bw
+              | _ -> ());
+              if accounted () > bw then
+                verdict_r := Some (Mem_exceeded !states)
+            end)
+      end
     done;
-    Execution.of_steps !acc
-  in
-  let transitions = ref 0 in
-  let verdict = ref None in
-  let frontier =
-    ref
-      [ { idx = 0; sys = init_sys; key = init_key; phases = init_phases;
-          rems = init_rems; ncrit = 0 } ]
-  in
-  while !verdict = None && !frontier <> [] do
-    if expired () then
-      verdict := Some (Deadline_exceeded (Lb_util.Vec.length parents))
-    else begin
-    let entries = !frontier in
-    let expansions = expand_layer ~jobs ~rounds ~nregs ~interner ~memo entries in
-    (* sequential merge, in frontier order: dedup, verdicts and the
-       next frontier are independent of how the layer was expanded *)
-    let next = ref [] in
-    (try
-       List.iter2
-         (fun entry exp ->
-           match exp with
-           | Deadlocked ->
-             verdict := Some (Deadlock (trace_to entry.idx));
-             raise Exit
-           | Succs { self_loops; succs } ->
-             transitions := !transitions + self_loops;
-             List.iter
-               (fun s ->
-                 incr transitions;
-                 if
-                   !transitions land deadline_poll_mask = 0 && expired ()
-                 then begin
-                   verdict :=
-                     Some (Deadline_exceeded (Lb_util.Vec.length parents));
-                   raise Exit
-                 end;
-                 (* an ill-formed step is a verdict on the step itself,
-                    checked before dedup: its target key may alias an
-                    already-stored legitimate state *)
-                 (match s.s_ill with
-                 | Some detail ->
-                   let tr = trace_to entry.idx in
-                   Execution.append tr s.step;
-                   verdict :=
-                     Some (Ill_formed { trace = tr; who = s.step.Step.who; detail });
-                   raise Exit
-                 | None -> ());
-                 if not (Ktbl.mem table s.s_key) then begin
-                   if Lb_util.Vec.length parents >= max_states then begin
-                     verdict :=
-                       Some (Bound_exceeded (Lb_util.Vec.length parents));
-                     raise Exit
-                   end;
-                   let idx = Lb_util.Vec.length parents in
-                   Ktbl.replace table s.s_key idx;
-                   Lb_util.Vec.push parents entry.idx;
-                   Lb_util.Vec.push steps s.step;
-                   if s.s_ncrit >= 2 then begin
-                     verdict := Some (Mutex_violation (trace_to idx));
-                     raise Exit
-                   end;
-                   next :=
-                     { idx; sys = s.s_sys; key = s.s_key; phases = s.s_phases;
-                       rems = s.s_rems; ncrit = s.s_ncrit }
-                     :: !next
-                 end)
-               succs)
-         entries expansions
-     with Exit -> ());
-    frontier := List.rev !next
-    end
-  done;
-  let verdict = match !verdict with None -> Verified | Some v -> v in
-  let seconds = Unix.gettimeofday () -. t0 in
-  let live_words = max 0 ((Gc.stat ()).Gc.live_words - live0) in
-  (* read the counts only after the Gc.stat above, so the node table is
-     still reachable (hence measured) when the live-words sample runs *)
-  let states = Lb_util.Vec.length parents in
-  ignore (Sys.opaque_identity (table, steps, interner, memo));
-  { verdict; states; transitions = !transitions; live_words; seconds }
+    let verdict = match !verdict_r with None -> Verified | Some v -> v in
+    note_peak ();
+    (match session with
+    | None -> ()
+    | Some s -> (
+      let final =
+        match verdict with
+        | Deadline_exceeded _ ->
+          (* resumable: keep the last per-layer checkpoint *)
+          None
+        | Verified ->
+          Some
+            {
+              Check_spill.f_verdict = "verified";
+              f_count = 0;
+              f_node = -1;
+              f_who = -1;
+              f_detail = "";
+              f_step = [];
+            }
+        | Bound_exceeded k ->
+          Some
+            {
+              Check_spill.f_verdict = "bound_exceeded";
+              f_count = k;
+              f_node = -1;
+              f_who = -1;
+              f_detail = "";
+              f_step = [];
+            }
+        | Mem_exceeded k ->
+          Some
+            {
+              Check_spill.f_verdict = "mem_exceeded";
+              f_count = k;
+              f_node = -1;
+              f_who = -1;
+              f_detail = "";
+              f_step = [];
+            }
+        | Mutex_violation _ ->
+          Some
+            {
+              Check_spill.f_verdict = "mutex_violation";
+              f_count = 0;
+              f_node = !final_node;
+              f_who = -1;
+              f_detail = "";
+              f_step = [];
+            }
+        | Deadlock _ ->
+          Some
+            {
+              Check_spill.f_verdict = "deadlock";
+              f_count = 0;
+              f_node = !final_node;
+              f_who = -1;
+              f_detail = "";
+              f_step = [];
+            }
+        | Ill_formed { who; detail; _ } ->
+          let step_ints =
+            match !final_step with
+            | Some st ->
+              let w, t, r, a, b = Check_spill.encode_step st in
+              [ w; t; r; a; b ]
+            | None -> []
+          in
+          Some
+            {
+              Check_spill.f_verdict = "ill_formed";
+              f_count = 0;
+              f_node = !final_node;
+              f_who = who;
+              f_detail = detail;
+              f_step = step_ints;
+            }
+      in
+      match final with
+      | None -> ()
+      | Some f ->
+        Check_spill.Nodes.flush s.log;
+        let sz = Lb_util.Interner.size interner in
+        if sz > s.flushed_ids then begin
+          Check_spill.append_names s.sp
+            (Lb_util.Interner.names_from interner s.flushed_ids);
+          s.flushed_ids <- sz
+        end;
+        Check_spill.save_manifest ~dir:(Check_spill.dir s.sp)
+          (meta ~frontier_count:0 ~status:(Check_spill.Final f))));
+    let seconds = Unix.gettimeofday () -. t0 in
+    {
+      verdict;
+      states = !states;
+      transitions = !transitions;
+      live_words = !peak_words;
+      seconds;
+      lossy;
+    }
 
 let pp_verdict ppf = function
   | Verified -> Format.fprintf ppf "verified"
@@ -417,3 +1092,5 @@ let pp_verdict ppf = function
   | Bound_exceeded k -> Format.fprintf ppf "bound exceeded (%d states)" k
   | Deadline_exceeded k ->
     Format.fprintf ppf "deadline exceeded (%d states explored)" k
+  | Mem_exceeded k ->
+    Format.fprintf ppf "memory budget exceeded (%d states stored)" k

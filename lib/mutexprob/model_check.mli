@@ -14,11 +14,14 @@
     followed by one slot per process combining its hash-consed local
     state ({!Lb_util.Interner} over [Proc.repr] — injective by
     construction, so reprs may contain any characters), its checker
-    phase, and its completed-section count. The node table stores, per
-    state, only this key plus the parent's index and the incoming step;
-    witness traces are rebuilt by walking parent indices back to the
-    root (the step sequence replays deterministically through
-    [System.apply]).
+    phase, and its completed-section count. Interner ids are assigned in
+    the sequential merge, in frontier order — never by expansion
+    workers — so a packed key is a pure function of the explored graph:
+    identical at every job count, and stable across a kill/resume
+    boundary. The node table stores, per state, only the parent's index
+    and the incoming step; witness traces (and, on resume, frontier
+    states) are rebuilt by replaying parent chains through
+    [System.apply].
 
     Hash-consing relies on reprs being faithful witnesses: two distinct
     local states of one process must not share a repr (reprs need not be
@@ -36,7 +39,30 @@
     verdict, the state and transition counts and any witness trace are
     identical at every job count. Reads that cannot change the reader's
     local state (busy-wait spins) are recognized as self-loops and
-    counted without being materialized. *)
+    counted without being materialized.
+
+    {2 Out-of-core checking}
+
+    The visited set is sharded 64 ways by an independent hash. With a
+    [spill_dir], each completed layer checkpoints to disk: the layer's
+    newly inserted keys as a sorted delta-coded run ({!Check_spill}),
+    the frontier's node indices, the node log, the interner's new names,
+    and an atomically rewritten manifest. Under a [mem_budget], the
+    largest resident shards are then evicted; keys are already durable
+    in the runs, so membership for an evicted shard streams the runs
+    once per layer (delayed duplicate detection) instead of holding the
+    keys in RAM. A killed or deadline-stopped check resumes from its
+    last completed layer and produces the same verdict, counts and spill
+    bytes as an uninterrupted run.
+
+    {2 Lossy modes}
+
+    SPIN's two classic reduced-memory modes are available as [lossy]:
+    [Bitstate] (a three-probe bit filter) and [Hash_compact] (a 60-bit
+    fingerprint per state). Both can drop states on hash collision, so
+    their reports are marked non-certifying ({!certifying} = false) —
+    the marking is sticky across a resume regardless of the resuming
+    call's flags. *)
 
 type verdict =
   | Verified  (** the bounded state space is exhausted with no violation *)
@@ -58,24 +84,43 @@ type verdict =
   | Bound_exceeded of int
       (** the state budget filled up; carries the number of states
           actually stored, which never exceeds [max_states] — the bound
-          is enforced at insertion time *)
+          is enforced at insertion time in the sequential merge, so the
+          count is identical at every job count *)
   | Deadline_exceeded of int
       (** the wall-clock budget expired mid-exploration; carries the
           number of states stored so far. Like {!Bound_exceeded} this is
           a graceful bounded verdict with partial statistics, not an
           error — but unlike every other verdict it depends on machine
           speed, so determinism-sensitive consumers (the chaos matrix)
-          must treat it as inconclusive *)
+          must treat it as inconclusive. With a [spill_dir], the last
+          completed layer's checkpoint survives and the check can be
+          resumed *)
+  | Mem_exceeded of int
+      (** the memory budget cannot be met: without a [spill_dir] the
+          accounted footprint exceeded [mem_budget] at a layer boundary;
+          with one, it still exceeded the budget after evicting every
+          evictable shard. Carries the number of states stored. Like
+          {!Bound_exceeded}, deterministic at every job count *)
+
+type lossy = Bitstate | Hash_compact
+    (** SPIN-style reduced-memory visited sets: a three-probe bitstate
+        filter, or hash compaction storing one 60-bit fingerprint per
+        state. Both may silently drop states on collision. *)
 
 type report = {
   verdict : verdict;
   states : int;  (** distinct states stored in the node table *)
   transitions : int;  (** steps generated, including duplicate targets *)
   live_words : int;
-      (** approximate major-heap words retained by the exploration
-          (measured as a [Gc.stat] live-words delta; informational —
-          concurrent work in other domains can perturb it) *)
+      (** peak words retained by the exploration, deterministically
+          accounted from fixed per-structure constants (visited keys,
+          node records, interned names, memo entries) — two identical
+          runs report identical figures, unlike a [Gc.stat] sample,
+          which moves with allocator noise from other domains *)
   seconds : float;  (** wall-clock exploration time *)
+  lossy : lossy option;
+      (** the mode the state space was actually explored under — on a
+          resume this comes from the spill manifest, not the caller *)
 }
 
 val explore :
@@ -83,6 +128,10 @@ val explore :
   ?max_states:int ->
   ?jobs:int ->
   ?deadline:float ->
+  ?mem_budget:int ->
+  ?spill_dir:string ->
+  ?resume:bool ->
+  ?lossy:lossy ->
   Lb_shmem.Algorithm.t ->
   n:int ->
   report
@@ -95,14 +144,38 @@ val explore :
     call; when it expires the exploration stops with
     {!Deadline_exceeded} and partial statistics (the clock is polled
     between layers and every few thousand insertions within a layer's
-    merge, so the overrun is bounded by one expansion batch). Raises
-    [Invalid_argument] if [jobs] or [max_states] is [< 1]. *)
+    merge, so the overrun is bounded by one expansion batch).
+
+    [mem_budget] bounds the accounted footprint, in bytes, checked at
+    layer boundaries. Without a [spill_dir] (or under a lossy mode that
+    still cannot fit), exceeding it yields {!Mem_exceeded}; with one,
+    visited-set shards spill to disk and the check completes with the
+    exact in-RAM verdict and counts.
+
+    [spill_dir] enables per-layer durable checkpoints in that directory
+    (created if needed). [resume] (requires [spill_dir]) continues from
+    the directory's manifest: an empty or absent directory starts
+    fresh, a running checkpoint restarts from its last completed layer,
+    and a directory holding a final verdict returns that report without
+    re-exploring. The manifest pins algorithm, [n], [rounds],
+    [max_states] and the lossy mode; resuming with mismatched
+    parameters raises [Invalid_argument] (lossy mismatches are silently
+    overridden by the manifest — a lossy run can never be promoted to a
+    certifying one by resuming it with different flags).
+
+    Raises [Invalid_argument] if [jobs], [max_states] or [mem_budget]
+    is out of range, or if [resume] is set without [spill_dir];
+    [Failure] on a damaged or inconsistent spill directory. *)
+
+val certifying : report -> bool
+(** [true] iff the exploration was exhaustive — i.e. not lossy. Only a
+    certifying [Verified] counts as a correctness certificate. *)
 
 val states_per_sec : report -> float
 (** Exploration throughput, [states /. seconds]. *)
 
 val bytes_per_state : report -> float
-(** Approximate retained bytes per stored state,
+(** Peak retained bytes per stored state,
     [live_words * word-size / states]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -13,18 +13,7 @@ type entry = {
 type t = { root : string }
 
 let magic = "mutexlb-store-entry"
-
-let mkdir_p path =
-  let rec go path =
-    if not (Sys.file_exists path) then begin
-      go (Filename.dirname path);
-      try Unix.mkdir path 0o755
-      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    end
-    else if not (Sys.is_directory path) then
-      raise (Sys_error (path ^ ": exists and is not a directory"))
-  in
-  go path
+let mkdir_p = Lb_util.Fsio.mkdir_p
 
 let objects_dir t = Filename.concat t.root "objects"
 let manifests_dir t = Filename.concat t.root "manifests"

@@ -191,7 +191,17 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
         | Computed -> incr computed
         | Failed _ -> incr failed);
         let progress = progress_locked () in
-        if progress.p_done mod checkpoint_every = 0 || progress.p_done = total
+        (* Computed units are already durable (Store.put wrote the entry
+           before we got here) and Hits re-derive from the store, so for
+           them the manifest may lag one interval. A quarantined failure
+           exists nowhere but the manifest: checkpoint it eagerly, or a
+           crash inside the interval re-runs the failing unit on resume —
+           the one outcome whose computation is not idempotent (a
+           pi_timeout's cost is the whole overrun pipeline). *)
+        let eager = match outcome with Failed _ -> true | Hit | Computed -> false in
+        if eager
+           || progress.p_done mod checkpoint_every = 0
+           || progress.p_done = total
         then begin
           checkpoint_locked ();
           on_event

@@ -18,10 +18,14 @@
        without it the first failure propagates fail-fast, exactly like
        {!Lb_core.Pipeline.certify};}
     {- a {!Manifest} snapshot is checkpointed atomically every
-       [checkpoint_every] completions and finalized at the end. The
-       final manifest and certificate are pure functions of the inputs:
-       byte-identical whether the sweep ran once or was interrupted and
-       resumed, at any job count.}}
+       [checkpoint_every] completions, {e eagerly} on every quarantined
+       failure (a failure is recorded nowhere but the manifest, so the
+       periodic cadence alone would leave a window in which a crash
+       forgets the quarantine and resume re-runs the non-idempotent
+       failing unit), and finalized at the end. The final manifest and
+       certificate are pure functions of the inputs: byte-identical
+       whether the sweep ran once or was interrupted and resumed, at any
+       job count.}}
 
     Work fans out across domains via {!Lb_util.Pool.map} (inheriting
     its nested-sequential degradation), so a store-backed sweep can sit
@@ -89,8 +93,10 @@ val sweep :
   unit ->
   report
 (** Run (or resume) the sweep. [resume] defaults to [false] (fail-fast);
-    [checkpoint_every] to [64]; [save_traces] (store the E_pi bit
-    strings in each entry) to [false]. [pi_timeout] (seconds, default
+    [checkpoint_every] to [64] — it paces only the periodic manifest
+    rewrites (failures checkpoint eagerly regardless), trading crash
+    re-work window against manifest write traffic; [save_traces] (store
+    the E_pi bit strings in each entry) to [false]. [pi_timeout] (seconds, default
     none) bounds each unit's wall clock — see {!Pi_timeout} for the
     exact (cooperative) semantics. [on_event] is called under the
     engine's lock — keep it cheap; event order between items reflects

@@ -1,0 +1,25 @@
+(** Durable-file primitives shared by every subsystem that persists
+    state: the result store ({!Lb_store.Store}), trace files
+    ({!Lb_core.Trace_io}) and the model checker's out-of-core spill
+    files ({!Lb_mutex.Check_spill}).
+
+    The one invariant they all rely on is the temp-file-then-rename
+    write: a reader — including a concurrent resumed sweep or a resumed
+    check — only ever observes a whole old file or a whole new file,
+    never a torn write; a crash mid-write leaves at most an ignorable
+    [.tmp] file in the target directory. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents ([0o755]). Raises
+    [Sys_error] if a path component exists and is not a directory. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write [content] (binary-safe) to a temp file in [path]'s directory
+    and rename it into place. Rename within one directory is atomic on
+    POSIX, so readers see the old or the new content, never a prefix.
+    On failure the temp file is removed and the exception re-raised. *)
+
+val read : ?max_bytes:int -> path:string -> unit -> string
+(** Read a whole file (binary-safe). [max_bytes] (default 256 MiB)
+    bounds the allocation so a corrupt or hostile length can't take the
+    process down; an oversized file raises [Sys_error]. *)

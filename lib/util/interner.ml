@@ -48,3 +48,18 @@ let size t =
   let n = Vec.length t.names in
   Mutex.unlock t.lock;
   n
+
+let names_from t from =
+  Mutex.lock t.lock;
+  let n = Vec.length t.names in
+  if from < 0 || from > n then begin
+    Mutex.unlock t.lock;
+    invalid_arg
+      (Printf.sprintf "Interner.names_from: bad start %d (size %d)" from n)
+  end;
+  let acc = ref [] in
+  for id = n - 1 downto from do
+    acc := Vec.get t.names id :: !acc
+  done;
+  Mutex.unlock t.lock;
+  !acc

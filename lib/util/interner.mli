@@ -33,3 +33,10 @@ val name : t -> int -> string
 
 val size : t -> int
 (** Number of distinct strings interned so far. *)
+
+val names_from : t -> int -> string list
+(** [names_from t from] is the list of names with ids [from, size)], in
+    id order, read under one lock acquisition — the model checker's
+    checkpoint flush uses it to persist exactly the names interned since
+    the previous checkpoint. Raises [Invalid_argument] if [from] is
+    negative or beyond {!size}. *)

@@ -111,9 +111,36 @@ let bool_array_roundtrip =
       List.iter (Bw.bit w) bs;
       Array.to_list (Bw.to_bool_array w) = bs)
 
+(* the spill-run read path: a writer's packed bytes, reopened through
+   of_string, replay the exact bit stream — values, positions, padding *)
+let test_of_string () =
+  let w = Bw.create () in
+  Bw.bits w ~value:0b1011 ~width:4;
+  Bw.gamma0 w 41;
+  Bw.gamma w 7;
+  Bw.bit w true;
+  let packed = Bytes.to_string (Bw.to_bytes w) in
+  let r = Br.of_string ~bits:(Bw.length_bits w) packed in
+  Alcotest.(check int) "fixed" 0b1011 (Br.bits r ~width:4);
+  Alcotest.(check int) "gamma0" 41 (Br.gamma0 r);
+  Alcotest.(check int) "gamma" 7 (Br.gamma r);
+  Alcotest.(check bool) "bit" true (Br.bit r);
+  Alcotest.(check bool) "bounded at the written length" true (Br.at_end r);
+  (* without ~bits the zero padding is readable, by design *)
+  let r2 = Br.of_string packed in
+  Alcotest.(check int) "padding visible" (8 * String.length packed)
+    (Br.remaining r2);
+  let over = (8 * String.length packed) + 1 in
+  Alcotest.check_raises "bits beyond the string"
+    (Invalid_argument
+       (Printf.sprintf "Bit_reader.of_string: %d bits in a %d-byte string" over
+          (String.length packed)))
+    (fun () -> ignore (Br.of_string ~bits:over packed))
+
 let suite =
   [
     Alcotest.test_case "single bits" `Quick test_single_bits;
+    Alcotest.test_case "of_string packed bytes" `Quick test_of_string;
     Alcotest.test_case "fixed width" `Quick test_fixed_width;
     Alcotest.test_case "width checks" `Quick test_width_checks;
     Alcotest.test_case "gamma known codes" `Quick test_gamma_known;

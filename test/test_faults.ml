@@ -136,6 +136,7 @@ let check_detects what w expected =
       | MC.Ill_formed _ -> "ill_formed"
       | MC.Bound_exceeded _ -> "bound_exceeded"
       | MC.Deadline_exceeded _ -> "deadline_exceeded"
+      | MC.Mem_exceeded _ -> "mem_exceeded"
     in
     if not (List.mem got expected) then
       Alcotest.failf "%s: got %s, expected one of [%s]" what got

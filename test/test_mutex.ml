@@ -350,7 +350,7 @@ let verdict_equal a b =
   match (a, b) with
   | Lb_mutex.Model_check.Verified, Lb_mutex.Model_check.Verified -> true
   | Lb_mutex.Model_check.Bound_exceeded j, Lb_mutex.Model_check.Bound_exceeded k
-    ->
+  | Lb_mutex.Model_check.Mem_exceeded j, Lb_mutex.Model_check.Mem_exceeded k ->
     j = k
   | Lb_mutex.Model_check.Mutex_violation s, Lb_mutex.Model_check.Mutex_violation t
   | Lb_mutex.Model_check.Deadlock s, Lb_mutex.Model_check.Deadlock t ->
@@ -376,6 +376,225 @@ let prop_mc_jobs_equivalence =
       && a.Lb_mutex.Model_check.states = b.Lb_mutex.Model_check.states
       && a.Lb_mutex.Model_check.transitions
          = b.Lb_mutex.Model_check.transitions)
+
+(* --------------------------- Out-of-core ----------------------------- *)
+
+module MC = Lb_mutex.Model_check
+
+let fresh_spill =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d = Filename.temp_file "mutexlb_spill" (Printf.sprintf "_%d" !ctr) in
+    Sys.remove d;
+    d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_spill f =
+  let dir = fresh_spill () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* directory fingerprint: sorted (name, contents) pairs — two spill dirs
+   compare equal iff they are byte-identical file for file *)
+let dir_bytes dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun f ->
+         (f, Lb_util.Fsio.read ~path:(Filename.concat dir f) ()))
+
+let filter4 = Lb_algos.Filter.algorithm
+
+let check_same_outcome label (a : MC.report) (b : MC.report) =
+  Alcotest.(check bool)
+    (label ^ ": verdict") true
+    (verdict_equal a.MC.verdict b.MC.verdict);
+  Alcotest.(check int) (label ^ ": states") a.MC.states b.MC.states;
+  Alcotest.(check int) (label ^ ": transitions") a.MC.transitions
+    b.MC.transitions
+
+(* a budget small enough that the visited set cannot stay resident, so
+   eviction and the disk membership pass actually run — and the counts
+   still match the all-in-RAM exploration exactly *)
+let test_mc_spill_equivalence () =
+  let base = MC.explore ya ~n:3 in
+  with_spill (fun dir ->
+      let r =
+        MC.explore ya ~n:3 ~mem_budget:(2 * 1024 * 1024) ~spill_dir:dir
+      in
+      check_same_outcome "spill+evict vs RAM" base r;
+      Alcotest.(check bool) "certifying" true (MC.certifying r))
+
+(* without a spill dir the same budget is a hard stop — and the stop
+   count is deterministic, so two runs agree exactly *)
+let test_mc_mem_exceeded () =
+  let run () =
+    MC.explore filter4 ~n:4 ~max_states:5_000_000
+      ~mem_budget:(8 * 1024 * 1024)
+  in
+  let a = run () and b = run () in
+  (match a.MC.verdict with
+  | MC.Mem_exceeded k ->
+    Alcotest.(check int) "carries stored count" a.MC.states k
+  | v ->
+    Alcotest.failf "expected mem_exceeded, got %s"
+      (Format.asprintf "%a" MC.pp_verdict v));
+  check_same_outcome "two identical budget runs" a b
+
+(* the ISSUE acceptance instance: filter at n=4 needs ~26 MiB resident;
+   under 8 MiB the in-RAM core stops (above) while the spilling core
+   certifies the full 127515-state space, interruption and job count
+   notwithstanding *)
+let test_mc_acceptance_n4 () =
+  let budget = 8 * 1024 * 1024 in
+  let base = MC.explore filter4 ~n:4 ~max_states:5_000_000 in
+  (match base.MC.verdict with
+  | MC.Verified -> ()
+  | v ->
+    Alcotest.failf "filter n=4 baseline: %s"
+      (Format.asprintf "%a" MC.pp_verdict v));
+  with_spill (fun d1 ->
+      with_spill (fun d4 ->
+          let r1 =
+            MC.explore filter4 ~n:4 ~max_states:5_000_000 ~mem_budget:budget
+              ~spill_dir:d1 ~jobs:1
+          in
+          let r4 =
+            MC.explore filter4 ~n:4 ~max_states:5_000_000 ~mem_budget:budget
+              ~spill_dir:d4 ~jobs:4
+          in
+          check_same_outcome "budgeted vs unbudgeted" base r1;
+          check_same_outcome "jobs=1 vs jobs=4 under budget" r1 r4;
+          Alcotest.(check bool) "certifying under budget" true
+            (MC.certifying r1);
+          (* the spill bytes themselves are deterministic: interner ids
+             are assigned in the sequential merge, so runs, frontiers,
+             node log, names and manifest all match file for file *)
+          List.iter2
+            (fun (f1, c1) (f4, c4) ->
+              Alcotest.(check string) "spill file name" f1 f4;
+              Alcotest.(check bool)
+                (Printf.sprintf "spill file %s bytes" f1)
+                true (c1 = c4))
+            (dir_bytes d1) (dir_bytes d4)))
+
+(* kill-and-resume: a deadline abort mid-exploration leaves a resumable
+   checkpoint; resuming completes with the uninterrupted run's verdict,
+   counts, and byte-identical spill files. A second resume hits the
+   final manifest and reports without re-exploring. *)
+let test_mc_resume_identity () =
+  with_spill (fun dir ->
+      with_spill (fun ref_dir ->
+          let interrupted =
+            MC.explore ya ~n:3 ~spill_dir:dir ~deadline:0.01
+          in
+          (match interrupted.MC.verdict with
+          | MC.Deadline_exceeded _ -> ()
+          | MC.Verified ->
+            (* machine fast enough to finish inside the deadline: the
+               resume below degenerates to a final-manifest read, which
+               is still worth asserting *)
+            ()
+          | v ->
+            Alcotest.failf "interrupt: %s"
+              (Format.asprintf "%a" MC.pp_verdict v));
+          let resumed = MC.explore ya ~n:3 ~spill_dir:dir ~resume:true in
+          let reference = MC.explore ya ~n:3 ~spill_dir:ref_dir in
+          check_same_outcome "resumed vs uninterrupted" reference resumed;
+          List.iter2
+            (fun (f1, c1) (f2, c2) ->
+              Alcotest.(check string) "spill file name" f1 f2;
+              Alcotest.(check bool)
+                (Printf.sprintf "spill file %s bytes" f1)
+                true (c1 = c2))
+            (dir_bytes ref_dir) (dir_bytes dir);
+          let again = MC.explore ya ~n:3 ~spill_dir:dir ~resume:true in
+          check_same_outcome "final-manifest resume" resumed again))
+
+(* resuming with mismatched parameters must refuse, not silently explore
+   a different instance into the same directory *)
+let test_mc_resume_mismatch () =
+  with_spill (fun dir ->
+      ignore (MC.explore ya ~n:2 ~spill_dir:dir ~deadline:0.0);
+      Alcotest.check_raises "wrong n"
+        (Invalid_argument
+           "Model_check.explore: resume: manifest has n = 2, this run wants 3")
+        (fun () -> ignore (MC.explore ya ~n:3 ~spill_dir:dir ~resume:true)))
+
+(* satellite: live_words is deterministically accounted — two identical
+   runs agree to the word, where a Gc.stat sample would wobble *)
+let test_mc_live_words_stable () =
+  let a = MC.explore ya ~n:3 and b = MC.explore ya ~n:3 in
+  Alcotest.(check int) "live_words run-to-run" a.MC.live_words b.MC.live_words;
+  let j1 = MC.explore ya ~n:3 ~jobs:1 and j4 = MC.explore ya ~n:3 ~jobs:4 in
+  Alcotest.(check int) "live_words jobs=1 vs jobs=4" j1.MC.live_words
+    j4.MC.live_words
+
+(* lossy modes: same verdict and (collision-free at this size) the same
+   counts, but never certifying *)
+let test_mc_lossy () =
+  let exact = MC.explore ya ~n:3 in
+  let bs = MC.explore ya ~n:3 ~lossy:MC.Bitstate in
+  let hc = MC.explore ya ~n:3 ~lossy:MC.Hash_compact in
+  Alcotest.(check bool) "bitstate not certifying" false (MC.certifying bs);
+  Alcotest.(check bool) "hashcompact not certifying" false (MC.certifying hc);
+  Alcotest.(check bool) "exact certifying" true (MC.certifying exact);
+  (* hash compaction distinguishes all 40539 states at 60 fingerprint
+     bits with overwhelming probability — the count must match *)
+  check_same_outcome "hashcompact vs exact" exact hc;
+  (match bs.MC.verdict with
+  | MC.Verified -> ()
+  | v ->
+    Alcotest.failf "bitstate: %s" (Format.asprintf "%a" MC.pp_verdict v));
+  Alcotest.(check bool) "bitstate cannot overcount" true
+    (bs.MC.states <= exact.MC.states)
+
+(* the non-certifying mark is sticky: a lossy run's spill directory can
+   never be resumed into a certifying verdict, whatever flags the
+   resuming call passes *)
+let test_mc_lossy_sticky () =
+  with_spill (fun dir ->
+      let started =
+        MC.explore ya ~n:3 ~spill_dir:dir ~lossy:MC.Bitstate ~deadline:0.0
+      in
+      Alcotest.(check bool) "initial run lossy" false (MC.certifying started);
+      let resumed = MC.explore ya ~n:3 ~spill_dir:dir ~resume:true in
+      Alcotest.(check bool) "resumed without flags: still lossy" false
+        (MC.certifying resumed);
+      (match resumed.MC.lossy with
+      | Some MC.Bitstate -> ()
+      | Some MC.Hash_compact | None ->
+        Alcotest.fail "manifest did not pin the bitstate mode"))
+
+(* satellite: Bound_exceeded carries the same globally-ordered count at
+   any job count — the bound is enforced in the sequential merge *)
+let prop_mc_bound_jobs =
+  let arb =
+    QCheck.make
+      ~print:(fun (ai, bound) ->
+        let algo = List.nth Lb_algos.Registry.all ai in
+        Printf.sprintf "(%s, max_states=%d)" algo.Algorithm.name bound)
+      QCheck.Gen.(
+        pair
+          (int_range 0 (List.length Lb_algos.Registry.all - 1))
+          (int_range 50 2_000))
+  in
+  QCheck.Test.make ~count:15 ~name:"Bound_exceeded count jobs=1 = jobs=4" arb
+    (fun (ai, bound) ->
+      let algo = List.nth Lb_algos.Registry.all ai in
+      QCheck.assume (Algorithm.supports algo 3);
+      let a = MC.explore algo ~n:3 ~max_states:bound ~jobs:1 in
+      let b = MC.explore algo ~n:3 ~max_states:bound ~jobs:4 in
+      (match (a.MC.verdict, b.MC.verdict) with
+      | MC.Bound_exceeded j, MC.Bound_exceeded k -> j = k && j = bound
+      | u, v -> verdict_equal u v)
+      && a.MC.states = b.MC.states
+      && a.MC.live_words = b.MC.live_words)
 
 let suite =
   [
@@ -404,4 +623,20 @@ let suite =
     Alcotest.test_case "model check witness replays (deadlock)" `Quick
       test_mc_witness_replay_deadlock;
     QCheck_alcotest.to_alcotest prop_mc_jobs_equivalence;
+    Alcotest.test_case "spill+evict equals in-RAM" `Quick
+      test_mc_spill_equivalence;
+    Alcotest.test_case "mem budget exceeded deterministically" `Quick
+      test_mc_mem_exceeded;
+    Alcotest.test_case "n=4 certified under budget (acceptance)" `Slow
+      test_mc_acceptance_n4;
+    Alcotest.test_case "kill-and-resume identity" `Quick
+      test_mc_resume_identity;
+    Alcotest.test_case "resume rejects mismatched instance" `Quick
+      test_mc_resume_mismatch;
+    Alcotest.test_case "live_words deterministic" `Quick
+      test_mc_live_words_stable;
+    Alcotest.test_case "lossy modes non-certifying" `Quick test_mc_lossy;
+    Alcotest.test_case "lossy mark sticky across resume" `Quick
+      test_mc_lossy_sticky;
+    QCheck_alcotest.to_alcotest prop_mc_bound_jobs;
   ]

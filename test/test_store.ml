@@ -502,6 +502,64 @@ let test_sweep_events_json () =
            (List.nth lines (List.length lines - 1))
            "\"finished\""))
 
+(* checkpoint_every is a real parameter: the cadence of Checkpoint
+   events tracks it exactly (jobs=1 makes the event order deterministic) *)
+let test_sweep_checkpoint_every () =
+  with_store (fun st ->
+      let cps = ref 0 in
+      let on_event = function Sweep.Checkpoint _ -> incr cps | _ -> () in
+      let _ =
+        Sweep.sweep ~store:st ~jobs:1 ~checkpoint_every:1 ~on_event ya ~n:3
+          ~perms:(perms_of 3) ()
+      in
+      Alcotest.(check int) "one checkpoint per completion" 6 !cps;
+      with_store (fun st2 ->
+          let cps2 = ref 0 in
+          let on_event = function Sweep.Checkpoint _ -> incr cps2 | _ -> () in
+          let _ =
+            Sweep.sweep ~store:st2 ~jobs:1 ~checkpoint_every:1000 ~on_event ya
+              ~n:3 ~perms:(perms_of 3) ()
+          in
+          Alcotest.(check int) "wide interval: only the final checkpoint" 1
+            !cps2);
+      match
+        Sweep.sweep ~store:st ~checkpoint_every:0 ya ~n:3 ~perms:(perms_of 3) ()
+      with
+      | _ -> Alcotest.fail "checkpoint_every = 0 accepted"
+      | exception Invalid_argument _ -> ())
+
+(* the loss-window bugfix: a quarantined failure is durable the moment it
+   is recorded, even when the periodic checkpoint interval is far wider
+   than the family — a crash right after the failure can no longer forget
+   the quarantine and re-run the non-idempotent unit on resume. The
+   Checkpoint event fires before the failure's own Item event, so by the
+   time we observe the failure the on-disk manifest must already carry it. *)
+let test_sweep_failure_checkpoint_eager () =
+  with_store (fun st ->
+      let mpath = ref None in
+      let failed_so_far = ref 0 in
+      let on_event = function
+        | Sweep.Checkpoint { manifest; _ } -> mpath := Some manifest
+        | Sweep.Item { outcome = Sweep.Failed _; _ } -> (
+          incr failed_so_far;
+          match !mpath with
+          | None -> Alcotest.fail "failure completed without a checkpoint"
+          | Some path -> (
+            match Manifest.load ~path with
+            | Ok m ->
+              let _, failed, _ = Manifest.counts m in
+              Alcotest.(check int) "manifest already records the failure"
+                !failed_so_far failed
+            | Error e -> Alcotest.fail ("manifest: " ^ e)))
+        | _ -> ()
+      in
+      let _, r =
+        Sweep.certify ~store:st ~resume:true ~jobs:1 ~checkpoint_every:1000
+          ~on_event broken ~n:3 ~perms:(perms_of 3) ()
+      in
+      Alcotest.(check bool) "some failures to exercise the path" true
+        (r.Sweep.progress.Sweep.p_failed > 0))
+
 let test_sweep_rejects_bad_input () =
   with_store (fun st ->
       (match Sweep.sweep ~store:st ya ~n:3 ~perms:[] () with
@@ -554,6 +612,10 @@ let suite =
     Alcotest.test_case "sweep quarantine" `Quick test_sweep_quarantine;
     Alcotest.test_case "sweep pi timeout" `Quick test_sweep_pi_timeout;
     Alcotest.test_case "sweep events json" `Quick test_sweep_events_json;
+    Alcotest.test_case "sweep checkpoint cadence" `Quick
+      test_sweep_checkpoint_every;
+    Alcotest.test_case "sweep failure checkpoints eagerly" `Quick
+      test_sweep_failure_checkpoint_eager;
     Alcotest.test_case "sweep rejects bad input" `Quick test_sweep_rejects_bad_input;
     Alcotest.test_case "exp_common store plumbing" `Quick test_exp_common_store;
   ]
