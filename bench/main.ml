@@ -248,11 +248,78 @@ and run_core_comparison () =
       Printf.sprintf "%.0f" (sps budgeted);
       Printf.sprintf "%.0f" (bps budgeted);
     ];
+  (* the parallel-merge leg: the same workload with the dedup/insertion
+     stages scheduled sequentially (--merge seq, the reference oracle)
+     vs one worker per shard (--merge par). Counts must agree exactly;
+     on a single-core runner the speedup is meaningless, so it is
+     recorded as a "multicore": false skip instead of a failure *)
+  let multicore = jobs > 1 in
+  let mseq =
+    Lb_mutex.Model_check.explore algo ~n ~rounds ~jobs
+      ~merge:Lb_mutex.Model_check.Seq
+  in
+  let mpar =
+    Lb_mutex.Model_check.explore algo ~n ~rounds ~jobs
+      ~merge:Lb_mutex.Model_check.Par
+  in
+  if
+    mseq.Lb_mutex.Model_check.verdict <> mpar.Lb_mutex.Model_check.verdict
+    || mseq.Lb_mutex.Model_check.states <> mpar.Lb_mutex.Model_check.states
+    || mseq.Lb_mutex.Model_check.transitions
+       <> mpar.Lb_mutex.Model_check.transitions
+  then failwith "core comparison: --merge seq and --merge par disagree";
+  Lb_util.Table.add_row t
+    [
+      Printf.sprintf "merge seq, jobs=%d" jobs;
+      Printf.sprintf "%.3f" mseq.Lb_mutex.Model_check.seconds;
+      Printf.sprintf "%.0f" (sps mseq);
+      Printf.sprintf "%.0f" (bps mseq);
+    ];
+  Lb_util.Table.add_row t
+    [
+      Printf.sprintf "merge par, jobs=%d" jobs;
+      Printf.sprintf "%.3f" mpar.Lb_mutex.Model_check.seconds;
+      Printf.sprintf "%.0f" (sps mpar);
+      Printf.sprintf "%.0f" (bps mpar);
+    ];
+  (* the compressed-resident leg: exact check with resident shards kept
+     as delta-coded sorted runs instead of hash tables — same verdict
+     and counts, resident footprint approaches the on-disk run size *)
+  let compressed =
+    Lb_mutex.Model_check.explore algo ~n ~rounds ~jobs ~compress_resident:true
+  in
+  if
+    compressed.Lb_mutex.Model_check.verdict <> seq.Lb_mutex.Model_check.verdict
+    || compressed.Lb_mutex.Model_check.states <> seq.Lb_mutex.Model_check.states
+    || compressed.Lb_mutex.Model_check.transitions
+       <> seq.Lb_mutex.Model_check.transitions
+  then failwith "core comparison: compressed-resident and in-RAM cores disagree";
+  Lb_util.Table.add_row t
+    [
+      "compressed resident";
+      Printf.sprintf "%.3f" compressed.Lb_mutex.Model_check.seconds;
+      Printf.sprintf "%.0f" (sps compressed);
+      Printf.sprintf "%.0f" (bps compressed);
+    ];
   Lb_util.Table.print t;
+  if not multicore then
+    print_endline
+      "\nWARNING: recommended_domain_count = 1 — single-core runner, the \
+       parallel-merge speedup cannot be demonstrated here; recording \
+       \"multicore\": false instead.";
   Printf.printf
     "\nspeedup (packed jobs=1 vs legacy): %.2fx states/s, %.2fx lower B/state\n"
     (sps seq /. legacy_states_per_sec)
     (legacy_bytes_per_state /. bps seq);
+  let stage_json (r : Lb_mutex.Model_check.report) =
+    let st = r.Lb_mutex.Model_check.stats in
+    Printf.sprintf
+      "\"expand_seconds\": %.3f, \"merge_seconds\": %.3f, \
+       \"spill_seconds\": %.3f"
+      st.Lb_mutex.Model_check.expand_seconds
+      st.Lb_mutex.Model_check.merge_seconds
+      st.Lb_mutex.Model_check.spill_seconds
+  in
   let oc = open_out "BENCH_MODELCHECK.json" in
   Printf.fprintf oc
     "{\n\
@@ -263,6 +330,7 @@ and run_core_comparison () =
     \  \"counts_identical_legacy_vs_packed\": true,\n\
     \  \"counts_identical_jobs1_vs_jobsN\": true,\n\
     \  \"recommended_domain_count\": %d,\n\
+    \  \"multicore\": %b,\n\
     \  \"legacy\": { \"seconds\": %.3f, \"states_per_sec\": %.0f, \
      \"bytes_per_state\": %.1f },\n\
     \  \"packed_jobs1\": { \"seconds\": %.3f, \"states_per_sec\": %.0f, \
@@ -272,14 +340,26 @@ and run_core_comparison () =
     \  \"budgeted\": { \"mem_budget_bytes\": %d, \"seconds\": %.3f, \
      \"states_per_sec\": %.0f, \"bytes_per_state\": %.1f, \
      \"counts_identical_to_in_ram\": true },\n\
+    \  \"parallel_merge\": { \"jobs\": %d, \"multicore\": %b, \
+     \"counts_identical_seq_vs_par\": true,\n\
+    \    \"seq\": { \"seconds\": %.3f, \"states_per_sec\": %.0f, %s },\n\
+    \    \"par\": { \"seconds\": %.3f, \"states_per_sec\": %.0f, %s },\n\
+    \    \"speedup_states_per_sec\": %.3f },\n\
+    \  \"compressed_resident\": { \"seconds\": %.3f, \"states_per_sec\": \
+     %.0f, \"bytes_per_state\": %.1f, \"counts_identical_to_in_ram\": true },\n\
     \  \"speedup_states_per_sec\": %.3f,\n\
     \  \"shrink_bytes_per_state\": %.3f\n\
      }\n"
     n rounds seq.Lb_mutex.Model_check.states
-    seq.Lb_mutex.Model_check.transitions jobs legacy_s legacy_states_per_sec
-    legacy_bytes_per_state seq.Lb_mutex.Model_check.seconds (sps seq) (bps seq)
-    jobs par.Lb_mutex.Model_check.seconds (sps par) (bps par) budget
-    budgeted.Lb_mutex.Model_check.seconds (sps budgeted) (bps budgeted)
+    seq.Lb_mutex.Model_check.transitions jobs multicore legacy_s
+    legacy_states_per_sec legacy_bytes_per_state
+    seq.Lb_mutex.Model_check.seconds (sps seq) (bps seq) jobs
+    par.Lb_mutex.Model_check.seconds (sps par) (bps par) budget
+    budgeted.Lb_mutex.Model_check.seconds (sps budgeted) (bps budgeted) jobs
+    multicore mseq.Lb_mutex.Model_check.seconds (sps mseq) (stage_json mseq)
+    mpar.Lb_mutex.Model_check.seconds (sps mpar) (stage_json mpar)
+    (sps mpar /. sps mseq) compressed.Lb_mutex.Model_check.seconds
+    (sps compressed) (bps compressed)
     (sps seq /. legacy_states_per_sec)
     (legacy_bytes_per_state /. bps seq);
   close_out oc;
@@ -326,12 +406,18 @@ let run_sweep () =
     ];
   Lb_util.Table.print t;
   print_endline "(tables byte-identical at both job counts)";
+  if jobs <= 1 then
+    print_endline
+      "\nWARNING: recommended_domain_count = 1 — single-core runner, the \
+       sweep speedup cannot be demonstrated here; recording \
+       \"multicore\": false instead.";
   let oc = open_out "BENCH_PARALLEL.json" in
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"E1 certify sweep (yang_anderson+bakery, n in \
      [8,9,10], budget 24)\",\n\
     \  \"recommended_domain_count\": %d,\n\
+    \  \"multicore\": %b,\n\
     \  \"jobs_sequential\": 1,\n\
     \  \"jobs_parallel\": %d,\n\
     \  \"seconds_sequential\": %.3f,\n\
@@ -339,7 +425,7 @@ let run_sweep () =
     \  \"speedup\": %.3f,\n\
     \  \"tables_identical\": true\n\
      }\n"
-    jobs jobs seq_s par_s speedup;
+    jobs (jobs > 1) jobs seq_s par_s speedup;
   close_out oc;
   print_endline "wrote BENCH_PARALLEL.json"
 

@@ -306,16 +306,51 @@ let check_cmd =
                 verdict is marked non-certifying — stickily, across any \
                 resume of the same spill directory.")
   in
+  let merge_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("seq", Lb_mutex.Model_check.Seq);
+                  ("par", Lb_mutex.Model_check.Par) ])
+             Lb_mutex.Model_check.Par
+         & info [ "merge" ] ~docv:"MODE"
+             ~doc:
+               "Layer merge scheduling: $(b,par) (default) dedups and \
+                inserts one worker per visited-set shard; $(b,seq) is the \
+                sequential reference mode. Verdict, counts, witness traces \
+                and spill bytes are identical between the two — $(b,seq) \
+                exists as the equivalence oracle.")
+  in
+  let compress_resident_arg =
+    Arg.(value & flag
+         & info [ "compress-resident" ]
+             ~doc:
+               "Keep resident exact visited-set shards as delta-coded \
+                sorted runs (the spill codec) instead of hash tables — \
+                membership by streaming decode, periodic k-way rebuild. \
+                Still exact, same verdict and counts, far fewer resident \
+                bytes per state. No effect under $(b,--lossy).")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:
+               "Append a per-stage timing breakdown (expand vs \
+                dedup/merge vs spill seconds, and completed layers) to \
+                each report, in text and JSON. Timing fields are \
+                wall-clock, so $(b,--json) output stops being \
+                byte-identical across machines when this is on.")
+  in
   let json_arg =
     Arg.(value & flag
          & info [ "json" ]
              ~doc:
                "Emit one JSON object per algorithm instead of the text \
-                report. No timing fields, so output is byte-identical \
-                across machines and $(b,--jobs) values.")
+                report. No timing fields (unless $(b,--stats)), so output \
+                is byte-identical across machines and $(b,--jobs) values.")
   in
   let run algo_names n rounds max_states deadline mem_budget spill_dir resume
-      lossy json jobs =
+      lossy merge compress_resident stats json jobs =
     apply_jobs jobs;
     if resume && spill_dir = None then begin
       Printf.eprintf "check: --resume requires --spill-dir DIR\n";
@@ -366,17 +401,19 @@ let check_cmd =
       Lb_util.Pool.map
         (fun algo ->
           Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states ?deadline
-            ?mem_budget ?spill_dir:(spill_for algo) ~resume ?lossy)
+            ?mem_budget ?spill_dir:(spill_for algo) ~resume ?lossy ~merge
+            ~compress_resident)
         algos
     in
     let status = ref 0 in
     List.iter2
       (fun (algo : Lb_shmem.Algorithm.t) r ->
+        let st = r.Lb_mutex.Model_check.stats in
         if json then
           Printf.printf
             "{\"algo\": %s, \"n\": %d, \"rounds\": %d, \"verdict\": %s, \
              \"states\": %d, \"transitions\": %d, \"lossy\": %s, \
-             \"certified\": %b}\n"
+             \"certified\": %b%s}\n"
             (json_string algo.Lb_shmem.Algorithm.name)
             n rounds
             (json_string (verdict_slug r.Lb_mutex.Model_check.verdict))
@@ -384,6 +421,15 @@ let check_cmd =
             (json_string (lossy_slug r.Lb_mutex.Model_check.lossy))
             (Lb_mutex.Model_check.certifying r
             && r.Lb_mutex.Model_check.verdict = Lb_mutex.Model_check.Verified)
+            (if stats then
+               Printf.sprintf
+                 ", \"stats\": {\"expand_seconds\": %.3f, \"merge_seconds\": \
+                  %.3f, \"spill_seconds\": %.3f, \"layers\": %d}"
+                 st.Lb_mutex.Model_check.expand_seconds
+                 st.Lb_mutex.Model_check.merge_seconds
+                 st.Lb_mutex.Model_check.spill_seconds
+                 st.Lb_mutex.Model_check.layers
+             else "")
         else begin
           Format.printf
             "%s n=%d rounds=%d: %a%s (%d states, %d transitions, %.0f \
@@ -397,7 +443,15 @@ let check_cmd =
                 (lossy_slug (Some m)))
             r.Lb_mutex.Model_check.states r.Lb_mutex.Model_check.transitions
             (Lb_mutex.Model_check.states_per_sec r)
-            (Lb_mutex.Model_check.bytes_per_state r)
+            (Lb_mutex.Model_check.bytes_per_state r);
+          if stats then
+            Format.printf
+              "  stages: expand %.3fs, merge %.3fs, spill %.3fs over %d \
+               layers@."
+              st.Lb_mutex.Model_check.expand_seconds
+              st.Lb_mutex.Model_check.merge_seconds
+              st.Lb_mutex.Model_check.spill_seconds
+              st.Lb_mutex.Model_check.layers
         end;
         match r.Lb_mutex.Model_check.verdict with
         | Lb_mutex.Model_check.Mutex_violation tr
@@ -428,7 +482,7 @@ let check_cmd =
     Term.(
       const run $ algo_arg $ n_arg $ rounds_arg $ max_states_arg $ deadline_arg
       $ mem_budget_arg $ spill_dir_arg $ check_resume_arg $ lossy_arg
-      $ json_arg $ jobs_arg)
+      $ merge_arg $ compress_resident_arg $ stats_arg $ json_arg $ jobs_arg)
 
 (* ----------------------------- construct ----------------------------- *)
 

@@ -271,32 +271,22 @@ let decode_step who tag reg a b =
   Step.step who action
 
 (* ------------------------------------------------------------------ *)
-(* Key runs: sorted keys, delta-coded against the previous key. Values
-   must fit zigzag+gamma, i.e. stay below 2^60 in magnitude — packed
-   slots and register values are tiny, and the hash-compaction mode
-   masks its fingerprints to 60 bits for exactly this reason. *)
-
-let zig v = (v lsl 1) lxor (v asr 62)
-let unzig z = (z lsr 1) lxor (- (z land 1))
+(* Key runs: keys delta-coded against the previous key, in the caller's
+   order (the model checker groups a layer's keys by shard, sorted
+   within each shard, so runs are byte-identical across merge modes and
+   job counts).  The per-key record codec lives in Lb_bitio.Key_run —
+   the same format the checker uses for compressed resident shards.
+   Values must fit zigzag+gamma, i.e. stay below 2^60 in magnitude —
+   packed slots and register values are tiny, and the hash-compaction
+   mode masks its fingerprints to 60 bits for exactly this reason. *)
 
 let write_run ~dir ~layer keys =
-  let keys = List.sort compare keys in
   let w = Bit_writer.create () in
   Bit_writer.gamma0 w (List.length keys);
   let prev = ref [||] in
   List.iter
     (fun k ->
-      let kl = Array.length k in
-      let pv = !prev in
-      let pl = Array.length pv in
-      let p = ref 0 in
-      while !p < kl && !p < pl && k.(!p) = pv.(!p) do
-        incr p
-      done;
-      Bit_writer.gamma0 w !p;
-      for j = !p to kl - 1 do
-        Bit_writer.gamma0 w (zig k.(j))
-      done;
+      Lb_bitio.Key_run.write_key w ~prev:!prev k;
       prev := k)
     keys;
   Fsio.write_atomic
@@ -311,12 +301,10 @@ let iter_run_keys ~dir ~layer ~keylen f =
     let count = Bit_reader.gamma0 r in
     let prev = Array.make keylen 0 in
     for _ = 1 to count do
-      let p = Bit_reader.gamma0 r in
-      if p < 0 || p > keylen then
-        failwith (Printf.sprintf "malformed key run %s: prefix %d" path p);
-      for j = p to keylen - 1 do
-        prev.(j) <- unzig (Bit_reader.gamma0 r)
-      done;
+      (match Lb_bitio.Key_run.read_key r prev with
+      | () -> ()
+      | exception Failure _ ->
+        failwith (Printf.sprintf "malformed key run %s: bad prefix" path));
       f prev
     done
   with Bit_reader.Exhausted ->

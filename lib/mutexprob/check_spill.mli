@@ -29,12 +29,15 @@
 
     {2 Key runs}
 
-    A [.keys] run is the layer's newly inserted packed keys, sorted
-    lexicographically and delta-encoded with {!Lb_bitio}: each key
+    A [.keys] run is the layer's newly inserted packed keys,
+    delta-encoded with {!Lb_bitio.Key_run}'s record codec: each key
     stores the length of its common prefix with its predecessor
     (Elias-gamma) followed by the remaining slots as zigzag+gamma codes.
-    Shared BFS-layer structure makes consecutive sorted keys nearly
-    equal, so runs are a fraction of their in-RAM footprint. *)
+    Keys are written in the caller's order — the model checker supplies
+    them grouped by shard and sorted within each shard, its canonical
+    commit order, so runs are byte-identical at any job count and in
+    both merge modes. Shared BFS-layer structure makes consecutive keys
+    nearly equal, so runs are a fraction of their in-RAM footprint. *)
 
 type meta = {
   c_algo : string;
@@ -93,11 +96,12 @@ val decode_step : int -> int -> int -> int -> int -> Lb_shmem.Step.t
 (** {2 Key runs and frontier files} *)
 
 val write_run : dir:string -> layer:int -> int array list -> unit
-(** Sort and delta-encode the layer's new keys. All keys must share one
-    length. *)
+(** Delta-encode the layer's new keys in the order given (shard-grouped,
+    sorted within each shard, when called by the model checker). All
+    keys must share one length. *)
 
 val iter_run_keys : dir:string -> layer:int -> keylen:int -> (int array -> unit) -> unit
-(** Stream a run's keys in sorted order. The array passed to the
+(** Stream a run's keys in their stored order. The array passed to the
     callback is reused between calls — copy it if it must be retained.
     Raises [Sys_error] on a missing file and [Failure] on a malformed
     run. *)

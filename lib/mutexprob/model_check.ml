@@ -11,6 +11,15 @@ type verdict =
 
 type lossy = Bitstate | Hash_compact
 
+type merge = Seq | Par
+
+type stats = {
+  expand_seconds : float;
+  merge_seconds : float;
+  spill_seconds : float;
+  layers : int;
+}
+
 type report = {
   verdict : verdict;
   states : int;
@@ -18,6 +27,7 @@ type report = {
   live_words : int;
   seconds : float;
   lossy : lossy option;
+  stats : stats;
 }
 
 let certifying r = r.lossy = None
@@ -43,10 +53,13 @@ let bytes_per_state r =
    to collide — and means each distinct repr string is hashed once,
    after which state hashing and equality touch only machine ints.
 
-   Ids are assigned in the sequential merge, in frontier order, never by
-   the expansion workers: a key is then a pure function of the explored
-   graph, identical at every job count and across a kill/resume
-   boundary, which is what lets spilled key runs be byte-stable. *)
+   Ids are never assigned inside the expansion workers: workers resolve
+   reprs against a per-layer interner snapshot, and the few reprs first
+   seen in a layer are interned in a short sequential patch step, in
+   stream order (see the layer pipeline below). A key is therefore a
+   pure function of the explored graph, identical at every job count,
+   in both merge modes, and across a kill/resume boundary — which is
+   what lets spilled key runs be byte-stable. *)
 
 module Key = struct
   type t = int array
@@ -137,8 +150,8 @@ let crit_delta = function Step.Enter -> 1 | Step.Exit -> -1 | Step.Try | Step.Re
    read). The cache is a pure function memo: its contents never affect
    results, so sharing it across worker domains under a mutex keeps the
    exploration deterministic. The advanced process's id is NOT cached
-   here — interning happens merge-side (see the key comment above); the
-   merge keeps its own single-domain (who, pid, response) -> id memo. *)
+   here — id resolution happens against a per-layer interner snapshot,
+   with first-seen reprs interned in the sequential patch step. *)
 type memo = {
   mlock : Mutex.t;
   mtbl : (int * int * int, Proc.t * bool) Hashtbl.t;
@@ -191,9 +204,10 @@ type succ = {
   step : Step.t;
   s_sys : System.t;
   s_key : int array;
-      (** the stepping process's own slot still holds the parent's value;
-          the sequential merge completes it once the successor repr has a
-          deterministic id *)
+      (** the stepping process's own slot still holds the parent's value
+          until the successor repr has been resolved to an id — by the
+          expansion worker when the repr is in the layer's interner
+          snapshot, else by the sequential patch step *)
   s_repr : string;  (** advanced process's local-state witness *)
   s_phase_idx : int;
   s_rem : int;
@@ -214,11 +228,11 @@ type expansion =
 (* Expand one frontier entry: enumerate the steps of its unfinished
    processes. Pure — no interning, no shared mutation beyond the memo —
    so layers can fan out across domains; all verdict decisions and id
-   assignment happen in the sequential merge. A pending read that cannot
-   change the reader's local state is a guaranteed self-loop (reads
-   mutate nothing else), so it is counted as a transition without
-   copying or stepping the system — busy-wait spinning, the bulk of a
-   mutex state space, costs no allocation. *)
+   assignment happen in the sequential stages of the pipeline. A pending
+   read that cannot change the reader's local state is a guaranteed
+   self-loop (reads mutate nothing else), so it is counted as a
+   transition without copying or stepping the system — busy-wait
+   spinning, the bulk of a mutex state space, costs no allocation. *)
 let expand ~rounds ~nregs ~memo entry =
   let n = Array.length entry.phases in
   let unfinished = ref [] in
@@ -281,34 +295,9 @@ let expand ~rounds ~nregs ~memo entry =
     Succs { self_loops = !self_loops; succs }
   end
 
-(* Below this frontier size a layer is expanded in the calling domain:
-   spawning worker domains costs more than the expansion itself. *)
+(* Below this frontier size a layer is expanded and merged in the
+   calling domain: spawning worker domains costs more than the work. *)
 let par_threshold = 64
-
-let chunk_list size xs =
-  let rec go acc cur ncur = function
-    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-    | x :: rest ->
-      if ncur = size then go (List.rev cur :: acc) [ x ] 1 rest
-      else go acc (x :: cur) (ncur + 1) rest
-  in
-  go [] [] 0 xs
-
-let expand_layer ~jobs ~rounds ~nregs ~memo entries =
-  let f = expand ~rounds ~nregs ~memo in
-  let len = List.length entries in
-  if jobs <= 1 || len < par_threshold || Lb_util.Pool.in_worker () then
-    List.map f entries
-  else begin
-    (* chunk to ~4 work items per domain: order-preserving, so the
-       flattened expansion list is independent of the job count *)
-    let chunk = max 16 ((len + (4 * jobs) - 1) / (4 * jobs)) in
-    List.concat (Lb_util.Pool.map ~jobs (List.map f) (chunk_list chunk entries))
-  end
-
-(* Poll the wall clock in the merge only every [deadline_poll_mask + 1]
-   transitions: a gettimeofday per insertion would dominate small runs. *)
-let deadline_poll_mask = 4095
 
 (* ------------------------ memory accounting --------------------------- *)
 
@@ -322,32 +311,50 @@ let word_bytes = Sys.word_size / 8
 let nshards = 64
 let words_per_node_ram = 9 (* two vec slots + step record + action *)
 let words_per_memo_entry = 12 (* bucket + key triple + boxed pair *)
-let words_per_id_entry = 8 (* bucket + key triple + int *)
 let words_per_hash_entry = 5 (* bucket + boxed int key *)
 let words_per_name len = 7 + ((len + 7) / 8) (* vec + tbl slots + string *)
 
 (* ------------------------------ visited ------------------------------- *)
 
 (* The visited set. Exact mode shards by an independent hash so cold
-   shards can spill to disk individually; the lossy modes are SPIN's two
-   classics — a bitstate filter (three probes per key) and hash
+   shards can spill to disk individually; each resident shard is either
+   a hash table (default) or, under [--compress-resident], a list of
+   delta-coded sorted runs in the spill codec — membership by streaming
+   decode, insertion by appending the layer's keys as one run, with a
+   k-way merge rebuild on insert pressure. The lossy modes are SPIN's
+   two classics — a bitstate filter (three probes per key) and hash
    compaction (a 60-bit fingerprint per state) — which trade certainty
    for memory and taint the report as non-certifying. *)
+type shard_rep =
+  | Stbl of unit Ktbl.t
+  | Spacked of {
+      mutable p_runs : Lb_bitio.Key_run.t list;  (** oldest first *)
+      mutable p_nkeys : int;
+    }
+
 type exact = {
-  shards : unit Ktbl.t array;
+  reps : shard_rep array;
   complete : bool array;
-      (** a complete shard's resident table holds every key ever inserted
-          into it, so a resident miss is a definitive miss; evicting or
-          partially reloading a shard clears the flag and membership
-          falls back to the on-disk runs *)
+      (** a complete shard's resident representation holds every key
+          ever inserted into it, so a resident miss is a definitive
+          miss; evicting or partially reloading a shard clears the flag
+          and membership falls back to the on-disk runs *)
   shard_words : int array;
-  mutable resident_words : int;
 }
 
 type visited =
   | Exact of exact
   | Bits of { filter : Bytes.t; mask : int }
   | Hashes of (int, unit) Hashtbl.t
+
+(* Accounted words of one compressed run: header + packed bytes. *)
+let run_words r = 8 + ((Lb_bitio.Key_run.byte_length r + 7) / 8)
+
+(* A compressed shard is rebuilt into a single run once this many runs
+   accumulate: membership cost is linear in the run count, and the
+   rebuild count is a pure function of the layer structure, so the
+   accounted footprint stays deterministic. *)
+let max_shard_runs = 8
 
 let fp60 key = ((Key.hash key lsl 30) lxor hash2 key) land ((1 lsl 60) - 1)
 
@@ -375,6 +382,61 @@ let floor_pow2 x =
     r := !r * 2
   done;
   !r
+
+(* ----------------------- the layer pipeline --------------------------- *)
+
+(* Every successor generated in a layer has a global stream position
+
+     pos = (frontier_index * (n + 1)) + 1 + succ_index
+
+   (a deadlocked frontier entry owns position frontier_index * (n + 1)),
+   so positions are totally ordered, unique, and independent of how the
+   layer was chunked across expansion workers. Verdict events (deadlock,
+   ill-formed step, mutex violation, state bound) are resolved to the
+   smallest position, reproducing the sequential reference's
+   first-in-stream-order semantics at any job count.
+
+   Node ids follow the deterministic (shard, shard-local index) schema:
+   a layer's surviving candidates are grouped by shard, each shard keeps
+   its candidates in stream order, and global ids are handed out by
+   walking shards in index order — so ids, the node log, frontier files
+   and per-shard-sorted spill runs are identical in both merge modes,
+   at any job count, and across kill/resume. *)
+type cand = { c_pos : int; c_parent : int; c_sc : succ }
+
+type chunk_out = {
+  co_self_loops : int;
+  co_succs : int;
+  co_buckets : cand list array;  (** per stream, ascending positions *)
+  co_deferred : cand list;
+      (** reprs missing from the layer's interner snapshot; completed
+          sequentially in the patch step, in stream order *)
+  co_deadlocks : (int * int) list;  (** (pos, parent idx), ascending *)
+  co_ill : (int * int * succ) list;  (** (pos, parent idx, succ), ascending *)
+}
+
+(* Per-stream dedup output: the layer's candidate news in stream order.
+   [so_old.(i)] is set when the delayed duplicate-detection scan over
+   the spilled runs proves news [i] was visited before this layer. *)
+type stream_out = {
+  so_news : cand array;
+  so_old : bool array;
+  so_lookup : int Ktbl.t option;
+      (** key -> index into [so_news], present only when the stream's
+          shard is incomplete and a disk scan is pending *)
+}
+
+let empty_stream_out = { so_news = [||]; so_old = [||]; so_lookup = None }
+
+(* Merge two position-ascending candidate lists. *)
+let rec merge_pos acc a b =
+  match (a, b) with
+  | [], r | r, [] -> List.rev_append acc r
+  | x :: xs, y :: ys ->
+    if x.c_pos < y.c_pos then merge_pos (x :: acc) xs b
+    else merge_pos (y :: acc) a ys
+
+let merge_pos a b = merge_pos [] a b
 
 (* --------------------------- spill session ---------------------------- *)
 
@@ -405,7 +467,8 @@ let lossy_of_string s =
 (* ------------------------------ explore ------------------------------- *)
 
 let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
-    ?spill_dir ?(resume = false) ?lossy algo ~n =
+    ?spill_dir ?(resume = false) ?lossy ?(merge = Par)
+    ?(compress_resident = false) algo ~n =
   let t0 = Unix.gettimeofday () in
   let jobs = match jobs with Some j -> j | None -> Lb_util.Pool.default_jobs () in
   if jobs < 1 then invalid_arg "Model_check.explore: jobs must be >= 1";
@@ -524,6 +587,13 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       live_words = m.Check_spill.c_words;
       seconds = Unix.gettimeofday () -. t0;
       lossy;
+      stats =
+        {
+          expand_seconds = 0.;
+          merge_seconds = 0.;
+          spill_seconds = 0.;
+          layers = m.Check_spill.c_layer;
+        };
     }
   | _ ->
     let interner = Lb_util.Interner.create ~size_hint:1024 () in
@@ -538,7 +608,6 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       id
     in
     let memo = memo_create () in
-    let idmemo : (int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
     let words_per_key = keylen + 6 in
     let visited =
       match lossy with
@@ -548,13 +617,22 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       | None ->
         Exact
           {
-            shards = Array.init nshards (fun _ -> Ktbl.create 64);
+            reps =
+              Array.init nshards (fun _ ->
+                  if compress_resident then
+                    Spacked { p_runs = []; p_nkeys = 0 }
+                  else Stbl (Ktbl.create 64));
             complete = Array.make nshards true;
             shard_words = Array.make nshards 0;
-            resident_words = 0;
           }
     in
     let shard_of key = (hash2 key lsr 8) land (nshards - 1) in
+    (* The lossy filters are one global structure, so their dedup runs
+       as a single sequential stream (pure position order — exactly the
+       sequential reference); exact mode fans out one stream per
+       shard. *)
+    let nstreams = match visited with Exact _ -> nshards | _ -> 1 in
+    let stream_of key = match visited with Exact _ -> shard_of key | _ -> 0 in
     let session =
       match spill_dir with
       | None -> None
@@ -608,28 +686,33 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
     let states = ref 0 in
     let transitions = ref 0 in
     let peak_words = ref 0 in
-    let insert key =
-      match visited with
-      | Exact e ->
-        let sh = shard_of key in
-        Ktbl.replace e.shards.(sh) key ();
-        e.shard_words.(sh) <- e.shard_words.(sh) + words_per_key;
-        e.resident_words <- e.resident_words + words_per_key
-      | Bits { filter; mask } -> bits_set filter mask key
-      | Hashes h -> Hashtbl.replace h (fp60 key) ()
-    in
-    let member old_dups key =
-      match visited with
-      | Exact e ->
-        Ktbl.mem e.shards.(shard_of key) key
-        || (match old_dups with Some d -> Ktbl.mem d key | None -> false)
-      | Bits { filter; mask } -> bits_member filter mask key
-      | Hashes h -> Hashtbl.mem h (fp60 key)
+    let expand_s = ref 0. in
+    let merge_sec = ref 0. in
+    let spill_s = ref 0. in
+    (* Insert a batch of strictly-ascending keys, all new to the shard. *)
+    let shard_insert_sorted e sh keys =
+      if Array.length keys > 0 then
+        match e.reps.(sh) with
+        | Stbl tbl ->
+          Array.iter (fun k -> Ktbl.replace tbl k ()) keys;
+          e.shard_words.(sh) <-
+            e.shard_words.(sh) + (words_per_key * Array.length keys)
+        | Spacked p ->
+          let r = Lb_bitio.Key_run.of_sorted_array keys in
+          p.p_runs <- p.p_runs @ [ r ];
+          p.p_nkeys <- p.p_nkeys + Lb_bitio.Key_run.count r;
+          if List.length p.p_runs >= max_shard_runs then begin
+            let m = Lb_bitio.Key_run.merge p.p_runs in
+            p.p_runs <- [ m ];
+            p.p_nkeys <- Lb_bitio.Key_run.count m
+          end;
+          e.shard_words.(sh) <-
+            List.fold_left (fun a r -> a + run_words r) 0 p.p_runs
     in
     let accounted () =
       let visited_w =
         match visited with
-        | Exact e -> e.resident_words
+        | Exact e -> Array.fold_left ( + ) 0 e.shard_words
         | Bits { filter; _ } -> (Bytes.length filter / 8) + 8
         | Hashes h -> Hashtbl.length h * words_per_hash_entry
       in
@@ -640,7 +723,6 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       in
       visited_w + nodes_w + !interner_words
       + (Hashtbl.length memo.mtbl * words_per_memo_entry)
-      + (Hashtbl.length idmemo * words_per_id_entry)
     in
     let note_peak () =
       let w = accounted () in
@@ -677,14 +759,11 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
         c_status = status;
       }
     in
-    let checkpoint s ~new_keys ~frontier_entries =
+    (* [run_keys] arrive in the canonical commit order — shard-grouped,
+       sorted within each shard (exact mode) or globally fp-sorted
+       (hash compaction) — so the run file is byte-stable. *)
+    let checkpoint s ~run_keys ~frontier_entries =
       let dir = Check_spill.dir s.sp in
-      let run_keys =
-        match visited with
-        | Exact _ -> new_keys
-        | Hashes _ -> List.map (fun k -> [| fp60 k |]) new_keys
-        | Bits _ -> []
-      in
       let nk = List.length run_keys in
       if nk > 0 then begin
         Check_spill.write_run ~dir ~layer:!layer run_keys;
@@ -722,16 +801,145 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       Array.iter
         (fun sh ->
           if accounted () > target && e.shard_words.(sh) > 0 then begin
-            Ktbl.reset e.shards.(sh);
-            e.resident_words <- e.resident_words - e.shard_words.(sh);
+            (match e.reps.(sh) with
+            | Stbl tbl -> Ktbl.reset tbl
+            | Spacked p ->
+              p.p_runs <- [];
+              p.p_nkeys <- 0);
             e.shard_words.(sh) <- 0;
             e.complete.(sh) <- false
           end)
         order
     in
+    (* Per-shard dedup of one candidate stream: drop within-layer
+       duplicates, then mark candidates already in the resident shard.
+       Read-only on shared state, so shards dedup in parallel under
+       [--merge par]. *)
+    let dedup_exact e ~disk_pending sh stream =
+      match stream with
+      | [] -> empty_stream_out
+      | _ ->
+        let seen = Ktbl.create 64 in
+        let uniq = ref [] in
+        List.iter
+          (fun c ->
+            if not (Ktbl.mem seen c.c_sc.s_key) then begin
+              Ktbl.replace seen c.c_sc.s_key ();
+              uniq := c :: !uniq
+            end)
+          stream;
+        let uniq = Array.of_list (List.rev !uniq) in
+        let nu = Array.length uniq in
+        let old = Array.make nu false in
+        (match e.reps.(sh) with
+        | Stbl tbl ->
+          if Ktbl.length tbl > 0 then
+            Array.iteri
+              (fun i c -> if Ktbl.mem tbl c.c_sc.s_key then old.(i) <- true)
+              uniq
+        | Spacked p ->
+          if p.p_nkeys > 0 then begin
+            (* two-pointer scan: candidates sorted, each run streamed *)
+            let idx = Array.init nu (fun i -> i) in
+            Array.sort
+              (fun a b ->
+                Lb_bitio.Key_run.compare_keys uniq.(a).c_sc.s_key
+                  uniq.(b).c_sc.s_key)
+              idx;
+            List.iter
+              (fun r ->
+                let cur = Lb_bitio.Key_run.cursor r in
+                let i = ref 0 in
+                let rec scan () =
+                  match Lb_bitio.Key_run.next cur with
+                  | None -> ()
+                  | Some rk ->
+                    while
+                      !i < nu
+                      && Lb_bitio.Key_run.compare_keys
+                           uniq.(idx.(!i)).c_sc.s_key rk
+                         < 0
+                    do
+                      incr i
+                    done;
+                    if !i < nu then begin
+                      if
+                        Lb_bitio.Key_run.compare_keys
+                          uniq.(idx.(!i)).c_sc.s_key rk
+                        = 0
+                      then begin
+                        old.(idx.(!i)) <- true;
+                        incr i
+                      end;
+                      scan ()
+                    end
+                in
+                scan ())
+              p.p_runs
+          end);
+        let news = ref [] in
+        let nn = ref 0 in
+        Array.iteri
+          (fun i c ->
+            if not old.(i) then begin
+              news := c :: !news;
+              incr nn
+            end)
+          uniq;
+        let news = Array.of_list (List.rev !news) in
+        let so_lookup =
+          if disk_pending && not e.complete.(sh) && !nn > 0 then begin
+            let t = Ktbl.create (2 * !nn) in
+            Array.iteri (fun i c -> Ktbl.replace t c.c_sc.s_key i) news;
+            Some t
+          end
+          else None
+        in
+        { so_news = news; so_old = Array.make !nn false; so_lookup }
+    in
+    (* Lossy dedup: one sequential pass in stream order; a miss inserts
+       immediately (the filter doubles as the within-layer dedup). *)
+    let dedup_lossy stream =
+      let news = ref [] in
+      let nn = ref 0 in
+      List.iter
+        (fun c ->
+          let k = c.c_sc.s_key in
+          let fresh =
+            match visited with
+            | Bits { filter; mask } ->
+              if bits_member filter mask k then false
+              else begin
+                bits_set filter mask k;
+                true
+              end
+            | Hashes h ->
+              let fp = fp60 k in
+              if Hashtbl.mem h fp then false
+              else begin
+                Hashtbl.replace h fp ();
+                true
+              end
+            | Exact _ -> assert false
+          in
+          if fresh then begin
+            news := c :: !news;
+            incr nn
+          end)
+        stream;
+      let news = Array.of_list (List.rev !news) in
+      { so_news = news; so_old = Array.make !nn false; so_lookup = None }
+    in
     (* ---- root, or reload the last checkpoint ---- *)
+    let root_run_keys key =
+      match visited with
+      | Exact _ -> [ key ]
+      | Hashes _ -> [ [| fp60 key |] ]
+      | Bits _ -> []
+    in
     (match manifest with
     | Some m ->
+      let t_reload = Unix.gettimeofday () in
       let s = Option.get session in
       let dir = Check_spill.dir s.sp in
       List.iter (fun nm -> ignore (intern nm)) (Check_spill.load_names s.sp);
@@ -745,22 +953,31 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       layer := m.Check_spill.c_layer;
       (match visited with
       | Exact e ->
-        (* reload resident tables from the runs until the budget's
+        (* reload resident shards from the runs until the budget's
            high-water mark; past it, shards go incomplete and membership
            streams the runs instead *)
         let budget_w = Option.map (fun b -> b / word_bytes) mem_budget in
         let stop = ref false in
+        let est = ref 0 in
         List.iter
           (fun (lay, _) ->
-            if not !stop then
+            if not !stop then begin
+              let per = Array.make nshards [] in
               Check_spill.iter_run_keys ~dir ~layer:lay ~keylen (fun k ->
                   if not !stop then begin
-                    insert (Array.copy k);
+                    let k = Array.copy k in
+                    per.(shard_of k) <- k :: per.(shard_of k);
+                    est := !est + words_per_key;
                     match budget_w with
-                    | Some bw when e.resident_words > 7 * bw / 10 ->
-                      stop := true
+                    | Some bw when !est > 7 * bw / 10 -> stop := true
                     | _ -> ()
-                  end))
+                  end);
+              Array.iteri
+                (fun sh l ->
+                  if l <> [] then
+                    shard_insert_sorted e sh (Array.of_list (List.rev l)))
+                per
+            end)
           s.runs;
         if !stop then Array.fill e.complete 0 nshards false
       | Bits { filter; _ } ->
@@ -812,172 +1029,384 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       in
       frontier := List.map rebuild idxs;
       if Lb_util.Interner.size interner <> m.Check_spill.c_interned then
-        failwith "Model_check.explore: resume: interner diverged on replay"
+        failwith "Model_check.explore: resume: interner diverged on replay";
+      spill_s := !spill_s +. (Unix.gettimeofday () -. t_reload)
     | None ->
       let phases = Array.make n Checker.Remainder in
       let rems = Array.make n 0 in
       let key = pack_state ~rounds ~nregs ~intern init_sys phases rems in
       let root = { idx = 0; sys = init_sys; key; phases; rems; ncrit = 0 } in
-      insert key;
+      (match visited with
+      | Exact e -> shard_insert_sorted e (shard_of key) [| key |]
+      | Bits { filter; mask } -> bits_set filter mask key
+      | Hashes h -> Hashtbl.replace h (fp60 key) ());
       node_push ~parent:(-1) (Step.step 0 (Step.Crit Step.Try)) (* root: unused *);
       states := 1;
       frontier := [ root ];
       note_peak ();
       (match session with
-      | Some s -> checkpoint s ~new_keys:[ key ] ~frontier_entries:[ root ]
+      | Some s ->
+        checkpoint s ~run_keys:(root_run_keys key) ~frontier_entries:[ root ]
       | None -> ()));
     (* ---- layer loop ---- *)
+    let stride = n + 1 in
     while !verdict_r = None && !frontier <> [] do
       if expired () then verdict_r := Some (Deadline_exceeded !states)
       else begin
         let entries = !frontier in
-        let expansions = expand_layer ~jobs ~rounds ~nregs ~memo entries in
-        (* pass A — complete successor keys, in frontier order: ids are
-           assigned here, sequentially, never in the expansion workers *)
-        let cands =
-          match (visited, session) with
-          | Exact e, Some s
-            when s.runs <> [] && Array.exists (fun c -> not c) e.complete ->
-            Some (Ktbl.create 512)
-          | _ -> None
+        let t_layer = Unix.gettimeofday () in
+        let nentries = List.length entries in
+        let big =
+          nentries >= par_threshold && jobs > 1
+          && not (Lb_util.Pool.in_worker ())
         in
-        List.iter2
-          (fun entry exp ->
-            match exp with
-            | Deadlocked -> ()
-            | Succs { succs; _ } ->
-              List.iter
-                (fun s ->
-                  if s.s_ill = None then begin
-                    let who = s.step.Step.who in
-                    let pid = (entry.key.(nregs + who) / (rounds + 1)) lsr 2 in
-                    let mk =
-                      (who, pid, resp_code s.step.Step.action entry.key)
-                    in
-                    let pid' =
-                      match Hashtbl.find_opt idmemo mk with
-                      | Some id -> id
+        let run_shards f =
+          let ids = List.init nshards (fun i -> i) in
+          if big && merge = Par then
+            Lb_util.Pool.map_chunked ~jobs ~chunk:8 f ids
+          else List.map f ids
+        in
+        (* phase 1 — parallel expansion over order-preserving chunks;
+           workers resolve reprs against the layer's interner snapshot
+           and bucket completed candidates by stream *)
+        let snap = Lb_util.Interner.snapshot interner in
+        let process_chunk (base, ents) =
+          let buckets = Array.make nstreams [] in
+          let deferred = ref [] in
+          let dls = ref [] in
+          let ills = ref [] in
+          let self_loops = ref 0 in
+          let nsuccs = ref 0 in
+          List.iteri
+            (fun i entry ->
+              let epos = (base + i) * stride in
+              match expand ~rounds ~nregs ~memo entry with
+              | Deadlocked -> dls := (epos, entry.idx) :: !dls
+              | Succs { self_loops = sl; succs } ->
+                self_loops := !self_loops + sl;
+                List.iteri
+                  (fun j s ->
+                    incr nsuccs;
+                    let pos = epos + 1 + j in
+                    match s.s_ill with
+                    | Some _ -> ills := (pos, entry.idx, s) :: !ills
+                    | None -> (
+                      match Lb_util.Interner.find snap s.s_repr with
+                      | Some pid' ->
+                        let who = s.step.Step.who in
+                        s.s_key.(nregs + who) <-
+                          encode_slot ~rounds pid' s.s_phase_idx s.s_rem;
+                        let st = stream_of s.s_key in
+                        buckets.(st) <-
+                          { c_pos = pos; c_parent = entry.idx; c_sc = s }
+                          :: buckets.(st)
                       | None ->
-                        let id = intern s.s_repr in
-                        Hashtbl.replace idmemo mk id;
-                        id
-                    in
-                    s.s_key.(nregs + who) <-
-                      encode_slot ~rounds pid' s.s_phase_idx s.s_rem;
-                    match (cands, visited) with
-                    | Some c, Exact e ->
-                      let sh = shard_of s.s_key in
-                      if
-                        (not e.complete.(sh))
-                        && (not (Ktbl.mem e.shards.(sh) s.s_key))
-                        && not (Ktbl.mem c s.s_key)
-                      then Ktbl.replace c s.s_key ()
-                    | _ -> ()
-                  end)
-                succs)
-          entries expansions;
-        (* membership pass over the spilled runs, only for keys that
-           could not be decided against resident shards — SPIN-style
-           delayed duplicate detection, one streaming scan per layer *)
-        let old_dups =
-          match cands with
-          | Some c when Ktbl.length c > 0 ->
+                        deferred :=
+                          { c_pos = pos; c_parent = entry.idx; c_sc = s }
+                          :: !deferred))
+                  succs)
+            ents;
+          {
+            co_self_loops = !self_loops;
+            co_succs = !nsuccs;
+            co_buckets = Array.map List.rev buckets;
+            co_deferred = List.rev !deferred;
+            co_deadlocks = List.rev !dls;
+            co_ill = List.rev !ills;
+          }
+        in
+        let couts =
+          if big then begin
+            let sz = max 16 ((nentries + (4 * jobs) - 1) / (4 * jobs)) in
+            let cs = Lb_util.Pool.chunk_list sz entries in
+            let _, based =
+              List.fold_left
+                (fun (b, acc) c -> (b + List.length c, (b, c) :: acc))
+                (0, []) cs
+            in
+            Lb_util.Pool.map ~jobs process_chunk (List.rev based)
+          end
+          else [ process_chunk (0, entries) ]
+        in
+        let t_exp = Unix.gettimeofday () in
+        expand_s := !expand_s +. (t_exp -. t_layer);
+        if expired () then verdict_r := Some (Deadline_exceeded !states)
+        else begin
+          (* phase 2 — sequential patch: intern the snapshot-missed
+             reprs in stream order, completing their keys *)
+          let extras = Array.make nstreams [] in
+          List.iter
+            (fun co ->
+              List.iter
+                (fun c ->
+                  let s = c.c_sc in
+                  let pid' = intern s.s_repr in
+                  let who = s.step.Step.who in
+                  s.s_key.(nregs + who) <-
+                    encode_slot ~rounds pid' s.s_phase_idx s.s_rem;
+                  let st = stream_of s.s_key in
+                  extras.(st) <- c :: extras.(st))
+                co.co_deferred)
+            couts;
+          let streams =
+            Array.init nstreams (fun st ->
+                merge_pos
+                  (List.concat_map (fun co -> co.co_buckets.(st)) couts)
+                  (List.rev extras.(st)))
+          in
+          (* phase 3 — dedup: parallel per shard in exact mode,
+             sequential for the lossy filters *)
+          let souts =
+            match visited with
+            | Exact e ->
+              let disk_pending =
+                match session with Some s -> s.runs <> [] | None -> false
+              in
+              Array.of_list
+                (run_shards (fun sh ->
+                     dedup_exact e ~disk_pending sh streams.(sh)))
+            | Bits _ | Hashes _ -> [| dedup_lossy streams.(0) |]
+          in
+          (* phase 4 — delayed duplicate detection: one streaming scan
+             over the spilled runs for candidates no resident shard
+             could decide *)
+          if Array.exists (fun so -> so.so_lookup <> None) souts then begin
             let s = Option.get session in
             let dir = Check_spill.dir s.sp in
-            let d = Ktbl.create (Ktbl.length c) in
             List.iter
               (fun (lay, _) ->
                 Check_spill.iter_run_keys ~dir ~layer:lay ~keylen (fun k ->
-                    if Ktbl.mem c k && not (Ktbl.mem d k) then
-                      Ktbl.replace d (Array.copy k) ()))
-              s.runs;
-            Some d
-          | _ -> None
-        in
-        (* pass B — sequential merge, in frontier order: dedup, verdicts
-           and the next frontier are independent of how the layer was
-           expanded *)
-        let next = ref [] in
-        let new_keys = ref [] in
-        (try
-           List.iter2
-             (fun entry exp ->
-               match exp with
-               | Deadlocked ->
-                 final_node := entry.idx;
-                 verdict_r := Some (Deadlock (trace_to entry.idx));
-                 raise Exit
-               | Succs { self_loops; succs } ->
-                 transitions := !transitions + self_loops;
-                 List.iter
-                   (fun s ->
-                     incr transitions;
-                     if !transitions land deadline_poll_mask = 0 && expired ()
-                     then begin
-                       verdict_r := Some (Deadline_exceeded !states);
-                       raise Exit
-                     end;
-                     (* an ill-formed step is a verdict on the step
-                        itself, checked before dedup: its target key may
-                        alias an already-stored legitimate state *)
-                     (match s.s_ill with
-                     | Some detail ->
-                       let tr = trace_to entry.idx in
-                       Execution.append tr s.step;
-                       final_node := entry.idx;
-                       final_step := Some s.step;
-                       verdict_r :=
-                         Some
-                           (Ill_formed
-                              { trace = tr; who = s.step.Step.who; detail });
-                       raise Exit
-                     | None -> ());
-                     if not (member old_dups s.s_key) then begin
-                       if !states >= max_states then begin
-                         verdict_r := Some (Bound_exceeded !states);
-                         raise Exit
-                       end;
-                       let idx = !states in
-                       insert s.s_key;
-                       node_push ~parent:entry.idx s.step;
-                       incr states;
-                       if session <> None then
-                         new_keys := s.s_key :: !new_keys;
-                       if s.s_ncrit >= 2 then begin
-                         final_node := idx;
-                         verdict_r := Some (Mutex_violation (trace_to idx));
-                         raise Exit
-                       end;
-                       next :=
-                         { idx; sys = s.s_sys; key = s.s_key;
-                           phases = s.s_phases; rems = s.s_rems;
-                           ncrit = s.s_ncrit }
-                         :: !next
-                     end)
-                   succs)
-             entries expansions
-         with Exit -> ());
-        frontier := List.rev !next;
-        match !verdict_r with
-        | Some _ -> ()
-        | None ->
-          layer := !layer + 1;
-          note_peak ();
-          (match session with
-          | Some s ->
-            checkpoint s ~new_keys:!new_keys ~frontier_entries:!frontier
+                    match souts.(shard_of k).so_lookup with
+                    | Some t -> (
+                      match Ktbl.find_opt t k with
+                      | Some i -> souts.(shard_of k).so_old.(i) <- true
+                      | None -> ())
+                    | None -> ()))
+              s.runs
+          end;
+          List.iter
+            (fun co ->
+              transitions := !transitions + co.co_self_loops + co.co_succs)
+            couts;
+          (* phase 5 — sequential epilogue: resolve the layer's verdict
+             events to the smallest stream position, then commit the
+             surviving candidates in canonical order *)
+          let ev_dl =
+            List.fold_left
+              (fun acc co ->
+                match co.co_deadlocks with
+                | [] -> acc
+                | (p, parent) :: _ -> (
+                  match acc with
+                  | Some (bp, _) when bp < p -> acc
+                  | _ -> Some (p, parent)))
+              None couts
+          in
+          let ev_ill =
+            List.fold_left
+              (fun acc co ->
+                match co.co_ill with
+                | [] -> acc
+                | (p, parent, sc) :: _ -> (
+                  match acc with
+                  | Some (bp, _, _) when bp < p -> acc
+                  | _ -> Some (p, parent, sc)))
+              None couts
+          in
+          let total_kept =
+            Array.fold_left
+              (fun a so ->
+                let k = ref 0 in
+                Array.iteri
+                  (fun i _ -> if not so.so_old.(i) then incr k)
+                  so.so_news;
+                a + !k)
+              0 souts
+          in
+          let bound_pos =
+            let budget = max_states - !states in
+            if total_kept <= budget then None
+            else begin
+              (* the bound fires at the (budget+1)-th kept candidate in
+                 stream order, exactly where the sequential reference
+                 would raise *)
+              let poss = Array.make total_kept 0 in
+              let j = ref 0 in
+              Array.iter
+                (fun so ->
+                  Array.iteri
+                    (fun i c ->
+                      if not so.so_old.(i) then begin
+                        poss.(!j) <- c.c_pos;
+                        incr j
+                      end)
+                    so.so_news)
+                souts;
+              Array.sort compare poss;
+              Some poss.(budget)
+            end
+          in
+          let ev_viol = ref None in
+          Array.iter
+            (fun so ->
+              Array.iteri
+                (fun i c ->
+                  if (not so.so_old.(i)) && c.c_sc.s_ncrit >= 2 then
+                    match !ev_viol with
+                    | Some p when p <= c.c_pos -> ()
+                    | _ -> ev_viol := Some c.c_pos)
+                so.so_news)
+            souts;
+          (* earliest stream position wins; a bound trigger at the same
+             position as a violating candidate precedes it (the bound
+             fires before the candidate would be stored) *)
+          let ev = ref None in
+          let consider p tag =
+            match !ev with
+            | Some (q, _) when q <= p -> ()
+            | _ -> ev := Some (p, tag)
+          in
+          (match bound_pos with Some p -> consider p `Bound | None -> ());
+          (match !ev_viol with Some p -> consider p `Viol | None -> ());
+          (match ev_ill with
+          | Some (p, parent, sc) -> consider p (`Ill (parent, sc))
           | None -> ());
-          (match mem_budget with
-          | None -> ()
-          | Some b ->
-            let bw = b / word_bytes in
-            if accounted () > bw then begin
-              (match (visited, session) with
-              | Exact e, Some _ -> evict e bw
-              | _ -> ());
-              if accounted () > bw then
-                verdict_r := Some (Mem_exceeded !states)
-            end)
+          (match ev_dl with
+          | Some (p, parent) -> consider p (`Dl parent)
+          | None -> ());
+          (* commit kept candidates below [limit], walking shards in
+             index order and each shard in stream order — the id
+             schema; the node log is appended in id order *)
+          let commit ~limit ~viol_pos =
+            let vgid = ref (-1) in
+            let next = ref [] in
+            Array.iter
+              (fun so ->
+                Array.iteri
+                  (fun i c ->
+                    if
+                      (not so.so_old.(i))
+                      && (match limit with
+                         | None -> true
+                         | Some l -> c.c_pos < l)
+                    then begin
+                      let gid = !states in
+                      node_push ~parent:c.c_parent c.c_sc.step;
+                      incr states;
+                      if c.c_pos = viol_pos then vgid := gid;
+                      let s = c.c_sc in
+                      next :=
+                        { idx = gid; sys = s.s_sys; key = s.s_key;
+                          phases = s.s_phases; rems = s.s_rems;
+                          ncrit = s.s_ncrit }
+                        :: !next
+                    end)
+                  so.so_news)
+              souts;
+            (!vgid, List.rev !next)
+          in
+          let layer_run_keys = ref [] in
+          (match !ev with
+          | Some (p, `Dl parent) ->
+            ignore (commit ~limit:(Some p) ~viol_pos:(-1));
+            final_node := parent;
+            verdict_r := Some (Deadlock (trace_to parent))
+          | Some (p, `Ill (parent, sc)) ->
+            ignore (commit ~limit:(Some p) ~viol_pos:(-1));
+            let tr = trace_to parent in
+            Execution.append tr sc.step;
+            final_node := parent;
+            final_step := Some sc.step;
+            verdict_r :=
+              Some
+                (Ill_formed
+                   {
+                     trace = tr;
+                     who = sc.step.Step.who;
+                     detail =
+                       (match sc.s_ill with
+                       | Some d -> d
+                       | None -> assert false);
+                   })
+          | Some (p, `Viol) ->
+            let vgid, _ = commit ~limit:(Some (p + 1)) ~viol_pos:p in
+            final_node := vgid;
+            verdict_r := Some (Mutex_violation (trace_to vgid))
+          | Some (_, `Bound) ->
+            ignore (commit ~limit:bound_pos ~viol_pos:(-1));
+            verdict_r := Some (Bound_exceeded !states)
+          | None ->
+            let _, next = commit ~limit:None ~viol_pos:(-1) in
+            frontier := next;
+            (* phase 6 — resident insertion, parallel per shard; each
+               shard also reports its sorted key array for the spill
+               run *)
+            (match visited with
+            | Exact e ->
+              let per =
+                run_shards (fun sh ->
+                    let so = souts.(sh) in
+                    let kept = ref 0 in
+                    Array.iteri
+                      (fun i _ -> if not so.so_old.(i) then incr kept)
+                      so.so_news;
+                    if !kept = 0 then [||]
+                    else begin
+                      let keys = Array.make !kept [||] in
+                      let j = ref 0 in
+                      Array.iteri
+                        (fun i c ->
+                          if not so.so_old.(i) then begin
+                            keys.(!j) <- c.c_sc.s_key;
+                            incr j
+                          end)
+                        so.so_news;
+                      Array.sort Lb_bitio.Key_run.compare_keys keys;
+                      shard_insert_sorted e sh keys;
+                      keys
+                    end)
+              in
+              if session <> None then
+                layer_run_keys := List.concat_map Array.to_list per
+            | Hashes _ ->
+              if session <> None then begin
+                let fps = ref [] in
+                Array.iter
+                  (fun so ->
+                    Array.iteri
+                      (fun i c ->
+                        if not so.so_old.(i) then
+                          fps := [| fp60 c.c_sc.s_key |] :: !fps)
+                      so.so_news)
+                  souts;
+                layer_run_keys := List.sort compare !fps
+              end
+            | Bits _ -> ()));
+          let t_mrg = Unix.gettimeofday () in
+          merge_sec := !merge_sec +. (t_mrg -. t_exp);
+          match !verdict_r with
+          | Some _ -> ()
+          | None ->
+            layer := !layer + 1;
+            note_peak ();
+            (match session with
+            | Some s ->
+              checkpoint s ~run_keys:!layer_run_keys
+                ~frontier_entries:!frontier
+            | None -> ());
+            (match mem_budget with
+            | None -> ()
+            | Some b ->
+              let bw = b / word_bytes in
+              if accounted () > bw then begin
+                (match (visited, session) with
+                | Exact e, Some _ -> evict e bw
+                | _ -> ());
+                if accounted () > bw then
+                  verdict_r := Some (Mem_exceeded !states)
+              end);
+            spill_s := !spill_s +. (Unix.gettimeofday () -. t_mrg)
+        end
       end
     done;
     let verdict = match !verdict_r with None -> Verified | Some v -> v in
@@ -1078,6 +1507,13 @@ let explore ?(rounds = 1) ?(max_states = 200_000) ?jobs ?deadline ?mem_budget
       live_words = !peak_words;
       seconds;
       lossy;
+      stats =
+        {
+          expand_seconds = !expand_s;
+          merge_seconds = !merge_sec;
+          spill_seconds = !spill_s;
+          layers = !layer;
+        };
     }
 
 let pp_verdict ppf = function

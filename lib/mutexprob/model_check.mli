@@ -14,14 +14,15 @@
     followed by one slot per process combining its hash-consed local
     state ({!Lb_util.Interner} over [Proc.repr] — injective by
     construction, so reprs may contain any characters), its checker
-    phase, and its completed-section count. Interner ids are assigned in
-    the sequential merge, in frontier order — never by expansion
-    workers — so a packed key is a pure function of the explored graph:
-    identical at every job count, and stable across a kill/resume
-    boundary. The node table stores, per state, only the parent's index
-    and the incoming step; witness traces (and, on resume, frontier
-    states) are rebuilt by replaying parent chains through
-    [System.apply].
+    phase, and its completed-section count. Expansion workers resolve
+    reprs against a per-layer interner snapshot; reprs first seen in a
+    layer are interned by a short sequential patch step, in stream
+    order — never concurrently — so a packed key is a pure function of
+    the explored graph: identical at every job count, in both merge
+    modes, and stable across a kill/resume boundary. The node table
+    stores, per state, only the parent's index and the incoming step;
+    witness traces (and, on resume, frontier states) are rebuilt by
+    replaying parent chains through [System.apply].
 
     Hash-consing relies on reprs being faithful witnesses: two distinct
     local states of one process must not share a repr (reprs need not be
@@ -32,12 +33,21 @@
 
     {2 Scheduling}
 
-    The search is breadth-first, layer by layer. Successor generation
-    for a layer fans out across domains ({!Lb_util.Pool}) while
-    deduplication, verdicts and trace construction happen in a
-    sequential merge that scans the layer in frontier order — so the
-    verdict, the state and transition counts and any witness trace are
-    identical at every job count. Reads that cannot change the reader's
+    The search is breadth-first, layer by layer, as a two-stage
+    pipeline: successor generation fans out across domains
+    ({!Lb_util.Pool}) in order-preserving chunks, and deduplication then
+    fans out again, one worker per visited-set shard (each shard owns
+    its candidates in stream order). Every successor carries a global
+    stream position — [(frontier index) * (n+1) + 1 + (successor
+    index)] — and verdict events are resolved to the smallest position
+    in a sequential epilogue, so the verdict, the state and transition
+    counts and any witness trace are identical at every job count and in
+    both merge modes. Node ids follow a deterministic [(shard,
+    shard-local index)] schema: surviving candidates are committed by
+    walking shards in index order. [merge = Seq] (the [--merge seq]
+    reference mode) runs the dedup and insertion stages in the calling
+    domain instead — same canonical order, so results and spill bytes
+    are identical by construction. Reads that cannot change the reader's
     local state (busy-wait spins) are recognized as self-loops and
     counted without being materialized.
 
@@ -45,15 +55,27 @@
 
     The visited set is sharded 64 ways by an independent hash. With a
     [spill_dir], each completed layer checkpoints to disk: the layer's
-    newly inserted keys as a sorted delta-coded run ({!Check_spill}),
-    the frontier's node indices, the node log, the interner's new names,
-    and an atomically rewritten manifest. Under a [mem_budget], the
-    largest resident shards are then evicted; keys are already durable
-    in the runs, so membership for an evicted shard streams the runs
-    once per layer (delayed duplicate detection) instead of holding the
-    keys in RAM. A killed or deadline-stopped check resumes from its
-    last completed layer and produces the same verdict, counts and spill
-    bytes as an uninterrupted run.
+    newly inserted keys as a delta-coded run ({!Check_spill},
+    shard-grouped and sorted within each shard), the frontier's node
+    indices, the node log, the interner's new names, and an atomically
+    rewritten manifest. Under a [mem_budget], the largest resident
+    shards are then evicted; keys are already durable in the runs, so
+    membership for an evicted shard streams the runs once per layer
+    (delayed duplicate detection) instead of holding the keys in RAM. A
+    killed or deadline-stopped check resumes from its last completed
+    layer and produces the same verdict, counts and spill bytes as an
+    uninterrupted run — in either merge mode, regardless of the mode
+    that wrote the checkpoint.
+
+    [compress_resident] keeps resident exact shards in the spill codec
+    in RAM: each shard is a short list of delta-coded sorted key runs
+    ({!Lb_bitio.Key_run}) instead of a hash table. Membership is a
+    streaming decode (batched per layer through one two-pointer scan per
+    shard), a layer's keys append as one new run, and a shard is rebuilt
+    by a k-way merge when enough runs accumulate. Still exact — nothing
+    is dropped and verdicts and counts are identical to the hash-table
+    representation — but resident bytes per state approach the on-disk
+    run footprint.
 
     {2 Lossy modes}
 
@@ -84,8 +106,9 @@ type verdict =
   | Bound_exceeded of int
       (** the state budget filled up; carries the number of states
           actually stored, which never exceeds [max_states] — the bound
-          is enforced at insertion time in the sequential merge, so the
-          count is identical at every job count *)
+          fires at a deterministic stream position (the first stored
+          candidate past the budget), so the count is identical at every
+          job count and in both merge modes *)
   | Deadline_exceeded of int
       (** the wall-clock budget expired mid-exploration; carries the
           number of states stored so far. Like {!Bound_exceeded} this is
@@ -107,6 +130,32 @@ type lossy = Bitstate | Hash_compact
         filter, or hash compaction storing one 60-bit fingerprint per
         state. Both may silently drop states on collision. *)
 
+type merge = Seq | Par
+    (** How a layer's dedup/insertion stages are scheduled. [Par] (the
+        default) fans them out one worker per shard; [Seq] is the
+        sequential reference mode ([--merge seq]) — the same canonical
+        algorithm run in the calling domain, kept as the equivalence
+        oracle. Results, counts, witness traces and spill bytes are
+        identical between the two by construction; the mode is not
+        recorded in spill manifests, so a resume may cross modes. *)
+
+type stats = {
+  expand_seconds : float;
+      (** wall-clock spent generating successors (the parallel
+          expansion stage) *)
+  merge_seconds : float;
+      (** wall-clock spent interning, deduplicating (including the
+          delayed duplicate-detection scans), resolving verdicts and
+          inserting survivors *)
+  spill_seconds : float;
+      (** wall-clock spent in durable checkpoints, eviction and resume
+          reload *)
+  layers : int;  (** completed BFS layers *)
+}
+(** Per-stage timing breakdown ([mutexlb check --stats]); wall-clock
+    figures, so not deterministic — everything else in a {!report}
+    except [seconds] is. *)
+
 type report = {
   verdict : verdict;
   states : int;  (** distinct states stored in the node table *)
@@ -121,6 +170,7 @@ type report = {
   lossy : lossy option;
       (** the mode the state space was actually explored under — on a
           resume this comes from the spill manifest, not the caller *)
+  stats : stats;  (** per-stage timing breakdown *)
 }
 
 val explore :
@@ -132,6 +182,8 @@ val explore :
   ?spill_dir:string ->
   ?resume:bool ->
   ?lossy:lossy ->
+  ?merge:merge ->
+  ?compress_resident:bool ->
   Lb_shmem.Algorithm.t ->
   n:int ->
   report
@@ -139,12 +191,14 @@ val explore :
     defaults to [1], [max_states] to [200_000], [jobs] to
     {!Lb_util.Pool.default_jobs} (layers are expanded sequentially when
     the frontier is small or when already inside a pool worker).
-    [verdict], [states] and [transitions] do not depend on [jobs].
-    [deadline] is a wall-clock budget in seconds from the start of the
-    call; when it expires the exploration stops with
-    {!Deadline_exceeded} and partial statistics (the clock is polled
-    between layers and every few thousand insertions within a layer's
-    merge, so the overrun is bounded by one expansion batch).
+    [merge] defaults to [Par]; [compress_resident] to [false] (exact
+    mode only — it has no effect under a lossy mode). [verdict],
+    [states] and [transitions] do not depend on [jobs], [merge] or
+    [compress_resident]. [deadline] is a wall-clock budget in seconds
+    from the start of the call; when it expires the exploration stops
+    with {!Deadline_exceeded} and partial statistics (the clock is
+    polled between pipeline stages, so the overrun is bounded by one
+    stage of one layer).
 
     [mem_budget] bounds the accounted footprint, in bytes, checked at
     layer boundaries. Without a [spill_dir] (or under a lossy mode that

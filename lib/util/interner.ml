@@ -49,6 +49,19 @@ let size t =
   Mutex.unlock t.lock;
   n
 
+type snapshot = { snap_ids : (string, int) Hashtbl.t; snap_size : int }
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let s =
+    { snap_ids = Hashtbl.copy t.ids; snap_size = Vec.length t.names }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let find snap s = Hashtbl.find_opt snap.snap_ids s
+let snapshot_size snap = snap.snap_size
+
 let names_from t from =
   Mutex.lock t.lock;
   let n = Vec.length t.names in

@@ -34,6 +34,30 @@ val name : t -> int -> string
 val size : t -> int
 (** Number of distinct strings interned so far. *)
 
+(** {1 Snapshots}
+
+    The model checker's parallel expansion phase resolves repr strings
+    to ids without touching the shared lock: it takes one {!snapshot}
+    per BFS layer and completes successor keys via lock-free {!find}.
+    Strings missing from the snapshot (reprs first seen in this layer)
+    are deferred to a short sequential patch step that calls {!intern}
+    in deterministic stream order — so id assignment order, and hence
+    the persisted names file, is independent of job count and merge
+    mode. *)
+
+type snapshot
+(** An immutable copy of the id table at a point in time. *)
+
+val snapshot : t -> snapshot
+(** Copy the current id table under one lock acquisition. *)
+
+val find : snapshot -> string -> int option
+(** Lock-free lookup in a snapshot; [None] for strings interned after
+    the snapshot was taken (or never). Safe to call from any domain. *)
+
+val snapshot_size : snapshot -> int
+(** {!size} at the time the snapshot was taken. *)
+
 val names_from : t -> int -> string list
 (** [names_from t from] is the list of names with ids [from, size)], in
     id order, read under one lock acquisition — the model checker's

@@ -111,3 +111,20 @@ let map ?jobs f xs =
   | _ -> parallel_map ~jobs f (Array.of_list xs)
 
 let iter ?jobs f xs = ignore (map ?jobs f xs)
+
+let chunk_list size xs =
+  if size < 1 then invalid_arg "Pool.chunk_list: size must be >= 1";
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+let map_chunked ?jobs ~chunk f xs =
+  if chunk < 1 then invalid_arg "Pool.map_chunked: chunk must be >= 1";
+  match xs with
+  | [] -> []
+  | _ when chunk = 1 -> map ?jobs f xs
+  | _ -> List.concat (map ?jobs (List.map f) (chunk_list chunk xs))

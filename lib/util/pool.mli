@@ -51,6 +51,20 @@ val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** [iter ~jobs f xs] is [ignore (map ~jobs f xs)] without building the
     result list's contents. *)
 
+val map_chunked : ?jobs:int -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunked ~jobs ~chunk f xs] is {!map} with [chunk] consecutive
+    items batched per scheduled task, for fine-grained work where
+    per-item scheduling overhead would dominate (e.g. per-successor
+    dedup in the model checker). Results, ordering, determinism and
+    fail-fast semantics are identical to [map ~jobs f xs] — only the
+    task granularity differs. Raises [Invalid_argument] if
+    [chunk < 1]. *)
+
+val chunk_list : int -> 'a list -> 'a list list
+(** [chunk_list size xs] splits [xs] into consecutive chunks of [size]
+    (the last one possibly shorter), preserving order.
+    [chunk_list 3 [1;2;3;4]] is [[[1;2;3];[4]]]. *)
+
 val in_worker : unit -> bool
 (** True inside a function being applied by a {!map} worker domain —
     the condition under which nested {!map} calls run sequentially. *)

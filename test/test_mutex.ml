@@ -596,6 +596,128 @@ let prop_mc_bound_jobs =
       && a.MC.states = b.MC.states
       && a.MC.live_words = b.MC.live_words)
 
+(* tentpole: the two merge schedulings are observably one algorithm —
+   same verdict, counts and accounted words at any job count. Seq is
+   the reference oracle --merge seq exposes *)
+let prop_mc_merge_equivalence =
+  let arb =
+    QCheck.make
+      ~print:(fun (ai, n, jobs) ->
+        let algo = List.nth Lb_algos.Registry.all ai in
+        Printf.sprintf "(%s, n=%d, jobs=%d)" algo.Algorithm.name n jobs)
+      QCheck.Gen.(
+        triple
+          (int_range 0 (List.length Lb_algos.Registry.all - 1))
+          (int_range 2 3) (int_range 1 4))
+  in
+  QCheck.Test.make ~count:12 ~name:"explore merge=Seq = merge=Par" arb
+    (fun (ai, n, jobs) ->
+      let algo = List.nth Lb_algos.Registry.all ai in
+      QCheck.assume (Algorithm.supports algo n);
+      let a =
+        MC.explore algo ~n ~max_states:20_000 ~jobs ~merge:MC.Seq
+      in
+      let b =
+        MC.explore algo ~n ~max_states:20_000 ~jobs ~merge:MC.Par
+      in
+      verdict_equal a.MC.verdict b.MC.verdict
+      && a.MC.states = b.MC.states
+      && a.MC.transitions = b.MC.transitions
+      && a.MC.live_words = b.MC.live_words)
+
+(* tentpole: compressed resident shards are exact — hash-table verdict
+   and counts, a smaller accounted footprint, and byte-identical spill
+   output *)
+let test_mc_compress_resident () =
+  let base = MC.explore ya ~n:3 in
+  let comp = MC.explore ya ~n:3 ~compress_resident:true in
+  check_same_outcome "compressed vs hash-table" base comp;
+  Alcotest.(check bool) "certifying" true (MC.certifying comp);
+  Alcotest.(check bool) "fewer accounted words" true
+    (comp.MC.live_words < base.MC.live_words);
+  with_spill (fun d1 ->
+      with_spill (fun d2 ->
+          let s1 = MC.explore ya ~n:3 ~spill_dir:d1 in
+          let s2 =
+            MC.explore ya ~n:3 ~spill_dir:d2 ~compress_resident:true
+          in
+          check_same_outcome "spilled, compressed vs hash-table" s1 s2;
+          (* every spill artifact matches byte for byte except the
+             manifest, whose accounted-words field tracks the (smaller)
+             compressed footprint — mask that line and its checksum *)
+          let mask_words s =
+            String.split_on_char '\n' s
+            |> List.filter (fun l ->
+                   not
+                     (String.starts_with ~prefix:"words " l
+                     || String.starts_with ~prefix:"sum " l))
+            |> String.concat "\n"
+          in
+          List.iter2
+            (fun (f1, c1) (f2, c2) ->
+              Alcotest.(check string) "spill file name" f1 f2;
+              let c1, c2 =
+                if f1 = "check.manifest" then (mask_words c1, mask_words c2)
+                else (c1, c2)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "spill file %s bytes" f1)
+                true (c1 = c2))
+            (dir_bytes d1) (dir_bytes d2)))
+
+(* spill bytes are merge-mode independent, eviction and the disk
+   membership pass included *)
+let test_mc_merge_spill_identity () =
+  with_spill (fun ds ->
+      with_spill (fun dp ->
+          let rs =
+            MC.explore ya ~n:3 ~mem_budget:(2 * 1024 * 1024) ~spill_dir:ds
+              ~jobs:4 ~merge:MC.Seq
+          in
+          let rp =
+            MC.explore ya ~n:3 ~mem_budget:(2 * 1024 * 1024) ~spill_dir:dp
+              ~jobs:4 ~merge:MC.Par
+          in
+          check_same_outcome "seq vs par under budget" rs rp;
+          List.iter2
+            (fun (f1, c1) (f2, c2) ->
+              Alcotest.(check string) "spill file name" f1 f2;
+              Alcotest.(check bool)
+                (Printf.sprintf "spill file %s bytes" f1)
+                true (c1 = c2))
+            (dir_bytes ds) (dir_bytes dp)))
+
+(* a checkpoint written under one merge mode resumes under the other:
+   the mode is scheduling, not state, so nothing pins it in the
+   manifest *)
+let test_mc_resume_crosses_merge_modes () =
+  with_spill (fun dir ->
+      with_spill (fun ref_dir ->
+          ignore
+            (MC.explore ya ~n:3 ~spill_dir:dir ~deadline:0.01 ~merge:MC.Par);
+          let resumed =
+            MC.explore ya ~n:3 ~spill_dir:dir ~resume:true ~merge:MC.Seq
+          in
+          let reference = MC.explore ya ~n:3 ~spill_dir:ref_dir in
+          check_same_outcome "cross-mode resume" reference resumed;
+          List.iter2
+            (fun (f1, c1) (f2, c2) ->
+              Alcotest.(check string) "spill file name" f1 f2;
+              Alcotest.(check bool)
+                (Printf.sprintf "spill file %s bytes" f1)
+                true (c1 = c2))
+            (dir_bytes ref_dir) (dir_bytes dir)))
+
+(* satellite: the per-stage timing breakdown is populated and sane *)
+let test_mc_stats () =
+  let r = MC.explore ya ~n:2 in
+  let st = r.MC.stats in
+  Alcotest.(check bool) "layers counted" true (st.MC.layers > 0);
+  Alcotest.(check bool) "stage seconds nonnegative" true
+    (st.MC.expand_seconds >= 0.
+    && st.MC.merge_seconds >= 0.
+    && st.MC.spill_seconds >= 0.)
+
 let suite =
   [
     Alcotest.test_case "checker accepts valid" `Quick test_checker_accepts_valid;
@@ -639,4 +761,12 @@ let suite =
     Alcotest.test_case "lossy mark sticky across resume" `Quick
       test_mc_lossy_sticky;
     QCheck_alcotest.to_alcotest prop_mc_bound_jobs;
+    QCheck_alcotest.to_alcotest prop_mc_merge_equivalence;
+    Alcotest.test_case "compressed resident shards exact" `Quick
+      test_mc_compress_resident;
+    Alcotest.test_case "merge modes spill byte-identical" `Quick
+      test_mc_merge_spill_identity;
+    Alcotest.test_case "resume crosses merge modes" `Quick
+      test_mc_resume_crosses_merge_modes;
+    Alcotest.test_case "stage timing breakdown" `Quick test_mc_stats;
   ]

@@ -106,6 +106,35 @@ let test_heavy_work_correct () =
     "costs identical" (List.map cost perms)
     (Pool.map ~jobs:4 cost perms)
 
+let test_chunk_list () =
+  Alcotest.(check (list (list int)))
+    "uneven tail"
+    [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 6 ] ]
+    (Pool.chunk_list 3 (List.init 7 Fun.id));
+  Alcotest.(check (list (list int))) "empty" [] (Pool.chunk_list 4 []);
+  Alcotest.(check (list (list int)))
+    "chunk larger than list"
+    [ [ 1; 2 ] ]
+    (Pool.chunk_list 10 [ 1; 2 ]);
+  Alcotest.check_raises "size=0"
+    (Invalid_argument "Pool.chunk_list: size must be >= 1") (fun () ->
+      ignore (Pool.chunk_list 0 [ 1 ]))
+
+let test_map_chunked_invalid () =
+  Alcotest.check_raises "chunk=0"
+    (Invalid_argument "Pool.map_chunked: chunk must be >= 1") (fun () ->
+      ignore (Pool.map_chunked ~jobs:2 ~chunk:0 succ [ 1 ]))
+
+let map_chunked_equals_map =
+  (* the property map_chunked exists to satisfy: for every chunk size and
+     job count it is observably Pool.map — same results, same order *)
+  QCheck.Test.make ~name:"Pool.map_chunked = Pool.map" ~count:100
+    QCheck.(
+      triple (int_range 1 9) (int_range 1 5) (small_list small_signed_int))
+    (fun (chunk, jobs, xs) ->
+      let f x = (x * 31) + 7 in
+      Pool.map_chunked ~jobs ~chunk f xs = Pool.map ~jobs f xs)
+
 let certify_parallel_equals_sequential =
   QCheck.Test.make ~name:"parallel certify = sequential certify" ~count:10
     QCheck.(triple (int_range 0 1) (int_range 2 6) (int_range 1 8))
@@ -130,5 +159,9 @@ let suite =
     Alcotest.test_case "iter" `Quick test_iter;
     Alcotest.test_case "default jobs" `Quick test_default_jobs;
     Alcotest.test_case "heavy work correct" `Quick test_heavy_work_correct;
+    Alcotest.test_case "chunk_list shapes" `Quick test_chunk_list;
+    Alcotest.test_case "map_chunked invalid chunk" `Quick
+      test_map_chunked_invalid;
+    QCheck_alcotest.to_alcotest map_chunked_equals_map;
     QCheck_alcotest.to_alcotest certify_parallel_equals_sequential;
   ]
