@@ -12,7 +12,10 @@
           dune exec bench/main.exe -- store   -- cold vs warm durable sweep
                                                  (writes BENCH_STORE.json)
           dune exec bench/main.exe -- chaos   -- fault-wrapper overhead
-                                                 (writes BENCH_CHAOS.json) *)
+                                                 (writes BENCH_CHAOS.json)
+          dune exec bench/main.exe -- mutate  -- mutation-stack kill rate and
+                                                 per-layer cost
+                                                 (writes BENCH_MUTATE.json) *)
 
 open Bechamel
 open Toolkit
@@ -655,6 +658,75 @@ let run_chaos () =
   close_out oc;
   print_endline "wrote BENCH_CHAOS.json"
 
+(* ---------------------------------------------------------------------
+   Mutation campaign: kill rate and wall-clock per detection layer on a
+   small fixed slice of the zoo (the staged-stack economics: how much of
+   the work each layer absorbs, and what the deep-check escalation
+   costs). Writes BENCH_MUTATE.json. *)
+let run_mutate () =
+  print_endline "\n=== Mutation campaign: per-layer kill rate and cost ===\n";
+  let algos =
+    [
+      Lb_algos.Peterson2.algorithm;
+      Lb_algos.Dekker.algorithm;
+      Lb_algos.Rmw_locks.test_and_set;
+    ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let t =
+    Lb_mutate.Campaign.run ~jobs:1
+      ~allow:Lb_algos.Registry.expected_survivors algos
+  in
+  let total_secs = Unix.gettimeofday () -. t0 in
+  let module C = Lb_mutate.Campaign in
+  let kills = C.kills t in
+  let secs = C.layer_seconds t in
+  let tbl =
+    Lb_util.Table.create ~title:"mutation stack, jobs=1 (peterson2, dekker, tas)"
+      [
+        ("layer", Lb_util.Table.Left);
+        ("kills", Lb_util.Table.Right);
+        ("seconds", Lb_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (layer, k) ->
+      Lb_util.Table.add_row tbl
+        [
+          C.layer_name layer;
+          string_of_int k;
+          Printf.sprintf "%.3f" (List.assoc layer secs);
+        ])
+    kills;
+  Lb_util.Table.print tbl;
+  Printf.printf "\nmutants %d, killed %d (%.1f%%), wall clock %.2fs\n"
+    (C.total t) (C.killed_count t)
+    (100.0 *. C.score t)
+    total_secs;
+  let oc = open_out "BENCH_MUTATE.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"mutation campaign (peterson2, dekker, tas; \
+     defaults, jobs=1)\",\n\
+    \  \"mutants\": %d,\n\
+    \  \"killed\": %d,\n\
+    \  \"kill_rate\": %.4f,\n\
+    \  \"clean\": %b,\n\
+    \  \"layers\": {\n%s\n  },\n\
+    \  \"seconds_total\": %.4f\n\
+     }\n"
+    (C.total t) (C.killed_count t) (C.score t) (C.clean t)
+    (String.concat ",\n"
+       (List.map
+          (fun (layer, k) ->
+            Printf.sprintf
+              "    \"%s\": { \"kills\": %d, \"seconds\": %.4f }"
+              (C.layer_name layer) k (List.assoc layer secs))
+          kills))
+    total_secs;
+  close_out oc;
+  print_endline "wrote BENCH_MUTATE.json"
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "tables" || what = "all" then Lb_exp.Exp_all.run ();
@@ -662,4 +734,5 @@ let () =
   if what = "sweep" || what = "all" then run_sweep ();
   if what = "store" || what = "all" then run_store ();
   if what = "chaos" || what = "all" then run_chaos ();
+  if what = "mutate" || what = "all" then run_mutate ();
   if what = "timings" || what = "all" then run_timings ()

@@ -11,7 +11,9 @@
      workload    arrival-pattern workloads and per-section costs
      adversary   randomized search for expensive schedules
      experiments regenerate the EXPERIMENTS.md tables
-     lint        static analysis of the algorithm automata *)
+     lint        static analysis of the algorithm automata
+     chaos       fault-injection detection matrix
+     mutate      mutation-test the detection stack *)
 
 open Cmdliner
 
@@ -121,9 +123,16 @@ let list_json () =
           f.Lb_shmem.Algorithm.name = a.Lb_shmem.Algorithm.name)
         Lb_algos.Registry.faulty
     in
+    let expected_findings =
+      Lb_algos.Registry.expected_findings a.Lb_shmem.Algorithm.name
+    in
+    let expected_survivors =
+      Lb_algos.Registry.expected_survivors a.Lb_shmem.Algorithm.name
+    in
     Printf.sprintf
       "  {\"name\": %s, \"kind\": %s, \"rmw\": %b, \"min_n\": 1, \"max_n\": \
        %s, \"registers_at_n\": %d, \"register_count\": %d, \"faulty\": %b, \
+       \"expected_findings\": [%s], \"expected_survivors\": [%s], \
        \"description\": %s}"
       (json_string a.Lb_shmem.Algorithm.name)
       (json_string
@@ -135,6 +144,13 @@ let list_json () =
       | None -> "null"
       | Some k -> string_of_int k)
       rep_n regs faulty
+      (String.concat ", " (List.map json_string expected_findings))
+      (String.concat ", "
+         (List.map
+            (fun (op, reason) ->
+              Printf.sprintf "{\"op\": %s, \"reason\": %s}" (json_string op)
+                (json_string reason))
+            expected_survivors))
       (json_string a.Lb_shmem.Algorithm.description)
   in
   Printf.printf "[\n%s\n]\n"
@@ -1053,7 +1069,15 @@ let lint_cmd =
          & info [ "max-nodes" ] ~docv:"K"
              ~doc:"Per-process automaton node budget (default 4000).")
   in
-  let run algo_names sizes_s jobs json verbose no_allow max_nodes =
+  let rules_arg =
+    Arg.(value & opt (some string) None
+         & info [ "rules" ] ~docv:"IDS"
+             ~doc:
+               "Comma-separated rule families to run (repr-soundness, \
+                register-discipline, kind-honesty, liveness-shape). \
+                Default: all.")
+  in
+  let run algo_names sizes_s jobs json verbose no_allow max_nodes rules =
     apply_jobs jobs;
     let algos =
       if algo_names = "all" then Lb_algos.Registry.all
@@ -1094,7 +1118,25 @@ let lint_cmd =
       if no_allow then fun _ -> []
       else Lb_algos.Registry.expected_findings
     in
-    let report = Lb_analysis.Driver.run ~settings ~sizes ~allow algos in
+    let passes =
+      match rules with
+      | None -> Lb_analysis.Driver.default_passes
+      | Some s -> (
+        let ids =
+          String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun x -> x <> "")
+        in
+        match Lb_analysis.Driver.passes_for ids with
+        | Ok [] ->
+          Printf.eprintf "lint: --rules selected no rule family\n";
+          exit 2
+        | Ok ps -> ps
+        | Error msg ->
+          Printf.eprintf "lint: %s\n" msg;
+          exit 2)
+    in
+    let report = Lb_analysis.Driver.run ~settings ~passes ~sizes ~allow algos in
     if json then print_endline (Lb_analysis.Driver.to_json report)
     else Format.printf "%a" (Lb_analysis.Driver.pp ~verbose) report;
     if not (Lb_analysis.Driver.clean report) then exit 1
@@ -1121,7 +1163,7 @@ let lint_cmd =
               their findings as failures too.";
          ])
     Term.(const run $ algos_arg $ sizes_arg $ jobs_arg $ json_arg
-          $ verbose_arg $ no_allow_arg $ max_nodes_arg)
+          $ verbose_arg $ no_allow_arg $ max_nodes_arg $ rules_arg)
 
 (* -------------------------------- chaos ------------------------------- *)
 
@@ -1214,6 +1256,215 @@ let chaos_cmd =
       const run $ json_arg $ out_arg $ random_arg $ seed_arg $ max_states_arg
       $ deadline_arg $ jobs_arg)
 
+(* ------------------------------- mutate ------------------------------- *)
+
+let mutate_cmd =
+  let algos_arg =
+    let doc =
+      "Comma-separated algorithm names, $(b,correct) for every correct \
+       registry entry, or $(b,all) to include the faulty controls."
+    in
+    Arg.(value & opt string "correct" & info [ "a"; "algo" ] ~docv:"NAMES" ~doc)
+  in
+  let sizes_arg =
+    let doc = "Comma-separated system sizes to mutate each algorithm at." in
+    Arg.(value & opt string "2,3" & info [ "sizes" ] ~docv:"NS" ~doc)
+  in
+  let ops_arg =
+    let doc =
+      Printf.sprintf
+        "Comma-separated operator families to apply (default: all of %s)."
+        (String.concat ", " Lb_mutate.Op.kinds)
+    in
+    Arg.(value & opt (some string) None & info [ "ops" ] ~docv:"OPS" ~doc)
+  in
+  let rounds_arg =
+    Arg.(value & opt int 1
+         & info [ "rounds" ] ~docv:"K"
+             ~doc:"Critical-section rounds bound for the model-check leg.")
+  in
+  let max_states_arg =
+    Arg.(value & opt int 200_000
+         & info [ "max-states" ] ~docv:"K"
+             ~doc:"State budget for each mutant's model-check leg.")
+  in
+  let mem_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "mem-budget" ] ~docv:"MIB"
+             ~doc:
+               "Memory budget (MiB) for each mutant's model-check leg; a \
+                mutant exceeding it is inconclusive and needs triage.")
+  in
+  let max_steps_arg =
+    Arg.(value & opt int 20_000
+         & info [ "max-steps" ] ~docv:"K"
+             ~doc:
+               "Step budget for each schedule-leg run; burning it is the \
+                livelock detection (out_of_fuel).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the JSON report to $(docv).")
+  in
+  let no_allow_arg =
+    Arg.(value & flag
+         & info [ "no-allowlist" ]
+             ~doc:
+               "Ignore the registry's expected-survivors allowlist; every \
+                survivor fails the campaign (the triage view).")
+  in
+  let no_short_circuit_arg =
+    Arg.(value & flag
+         & info [ "no-short-circuit" ]
+             ~doc:
+               "Run every layer on every mutant instead of stopping at the \
+                first kill (slower; shows redundant coverage).")
+  in
+  let no_escalate_arg =
+    Arg.(value & flag
+         & info [ "no-escalate" ]
+             ~doc:
+               "Skip the deep-check escalation (re-checking clean survivors \
+                at rounds + 1 before declaring them survived).")
+  in
+  let deep_states_arg =
+    Arg.(value & opt int 2_000_000
+         & info [ "deep-states" ] ~docv:"K"
+             ~doc:
+               "State budget for the deep-check escalation (clamped up to \
+                --max-states).")
+  in
+  let run algo_names sizes_s ops rounds max_states mem_budget max_steps json
+      out no_allow no_short_circuit no_escalate deep_states jobs =
+    apply_jobs jobs;
+    let algos =
+      match algo_names with
+      | "correct" -> Lb_algos.Registry.correct
+      | "all" -> Lb_algos.Registry.all
+      | names ->
+        String.split_on_char ',' names
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map find_algo
+    in
+    if algos = [] then begin
+      Printf.eprintf "mutate: no algorithm given\n";
+      exit 2
+    end;
+    let sizes =
+      try
+        String.split_on_char ',' sizes_s
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map int_of_string
+      with Failure _ ->
+        Printf.eprintf "mutate: bad --sizes %S (want e.g. 2,3)\n" sizes_s;
+        exit 2
+    in
+    if sizes = [] || List.exists (fun n -> n < 1) sizes then begin
+      Printf.eprintf "mutate: --sizes must list positive integers\n";
+      exit 2
+    end;
+    let kinds =
+      match ops with
+      | None -> Lb_mutate.Op.kinds
+      | Some s -> (
+        let requested =
+          String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun x -> x <> "")
+        in
+        match Lb_mutate.Op.validate_kinds requested with
+        | Ok [] ->
+          Printf.eprintf "mutate: --ops selected no operator\n";
+          exit 2
+        | Ok ks -> ks
+        | Error msg ->
+          Printf.eprintf "mutate: %s\n" msg;
+          exit 2)
+    in
+    if rounds < 1 || max_states < 1 || max_steps < 1 || deep_states < 1
+    then begin
+      Printf.eprintf
+        "mutate: --rounds, --max-states, --max-steps and --deep-states must \
+         be >= 1\n";
+      exit 2
+    end;
+    let mem_budget =
+      match mem_budget with
+      | None -> None
+      | Some m when m >= 1 -> Some (m * 1024 * 1024)
+      | Some m ->
+        Printf.eprintf "mutate: --mem-budget must be >= 1 MiB (got %d)\n" m;
+        exit 2
+    in
+    let config =
+      {
+        Lb_mutate.Campaign.default with
+        sizes;
+        kinds;
+        rounds;
+        max_states;
+        mem_budget;
+        max_steps;
+        escalate = not no_escalate;
+        deep_states;
+      }
+    in
+    let allow =
+      if no_allow then fun _ -> []
+      else Lb_algos.Registry.expected_survivors
+    in
+    let t =
+      Lb_mutate.Campaign.run ~config ~short_circuit:(not no_short_circuit)
+        ~allow algos
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Lb_mutate.Campaign.to_json t);
+      close_out oc
+    | None -> ());
+    if json then print_string (Lb_mutate.Campaign.to_json t)
+    else Format.printf "%a" Lb_mutate.Campaign.pp t;
+    if not (Lb_mutate.Campaign.clean t) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Mutation-test the detection stack: apply systematic mutant \
+          operators to the algorithm zoo and verify each mutant is killed \
+          by lint, the model checker or a scheduled run — or triaged in \
+          the registry's expected-survivors allowlist. Exits 0 when every \
+          mutant is killed or triaged, 1 on un-triaged survivors, 2 on \
+          usage errors."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Operator sites are discovered statically from each \
+              algorithm's explored automaton, and mutants are built as \
+              deterministic wrappers (the fault-injection mechanism, made \
+              permanent and seed-free), so a campaign is a pure function \
+              of its flags: byte-identical JSON at any $(b,--jobs).";
+           `P
+             "Each mutant runs through the stack cheapest-first — lint, \
+              bounded model check, round-robin and seeded-random schedules \
+              — short-circuiting on the first kill; the report attributes \
+              every kill to the layer and rule/verdict that caught it, \
+              and scores each layer.";
+         ])
+    Term.(
+      const run $ algos_arg $ sizes_arg $ ops_arg $ rounds_arg
+      $ max_states_arg $ mem_budget_arg $ max_steps_arg $ json_arg $ out_arg
+      $ no_allow_arg $ no_short_circuit_arg $ no_escalate_arg
+      $ deep_states_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "mutexlb" ~version:"1.0.0"
@@ -1227,5 +1478,5 @@ let () =
           [
             list_cmd; run_cmd; check_cmd; construct_cmd; pipeline_cmd;
             decode_cmd; certify_cmd; workload_cmd; adversary_cmd;
-            experiments_cmd; store_cmd; lint_cmd; chaos_cmd;
+            experiments_cmd; store_cmd; lint_cmd; chaos_cmd; mutate_cmd;
           ]))

@@ -35,3 +35,10 @@ val expected_findings : string -> string list
     [mutexlb lint] tolerates for algorithm [name] — the findings the
     deliberately-faulty controls are supposed to trigger, plus triaged
     benign warnings. Anything else fails the lint gate. *)
+
+val expected_survivors : string -> (string * string) list
+(** [expected_survivors name] is the allowlist of mutation-campaign
+    survivors for algorithm [name]: [(operator id, reason)] pairs, one
+    per mutant the whole detection stack legitimately fails to kill
+    (argued equivalent or benign mutants). Any other survivor fails the
+    [mutexlb mutate] gate. *)

@@ -12,10 +12,32 @@ type report = {
   units : unit_report list;
 }
 
+(* Schema version of the machine-readable report, as store entries
+   carry: bump on any shape change so downstream tooling can gate. *)
+let format_version = 1
+
 let default_passes =
   [ Pass_repr.pass; Pass_register.pass; Pass_kind.pass; Pass_liveness.pass ]
 
 let default_sizes = [ 2; 3; 4 ]
+
+let pass_ids () = List.map (fun (p : Pass.t) -> p.name) default_passes
+
+let passes_for ids =
+  let ids = List.sort_uniq String.compare ids in
+  let unknown =
+    List.filter
+      (fun id ->
+        not (List.exists (fun (p : Pass.t) -> p.name = id) default_passes))
+      ids
+  in
+  match unknown with
+  | id :: _ ->
+    Error
+      (Printf.sprintf "unknown rule family %S; valid families: %s" id
+         (String.concat ", " (pass_ids ())))
+  | [] ->
+    Ok (List.filter (fun (p : Pass.t) -> List.mem p.name ids) default_passes)
 
 let analyze ~settings ~passes (algo : Algorithm.t) n =
   match Automaton.explore ~settings algo ~n with
@@ -147,5 +169,6 @@ let to_json report =
              u.u_algo u.u_n u.u_nodes u.u_complete)
          report.units)
   in
-  Printf.sprintf "{\"clean\":%b,\"findings\":[%s],\"units\":[%s]}"
-    (clean report) findings units
+  Printf.sprintf
+    "{\"format_version\":%d,\"clean\":%b,\"findings\":[%s],\"units\":[%s]}"
+    format_version (clean report) findings units

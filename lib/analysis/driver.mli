@@ -24,8 +24,19 @@ type report = {
   units : unit_report list;  (** one per (algorithm, n), input order *)
 }
 
+val format_version : int
+(** Schema version stamped into {!to_json} reports. *)
+
 val default_passes : Pass.t list
 (** repr-soundness, register-discipline, kind-honesty, liveness-shape. *)
+
+val pass_ids : unit -> string list
+(** Names of the default passes (the rule-id prefixes), in pass order. *)
+
+val passes_for : string list -> (Pass.t list, string) result
+(** Resolve rule-family names (e.g. from [lint --rules]) to passes, in
+    canonical {!default_passes} order, duplicates dropped; an unknown
+    name yields [Error msg] naming it and the valid families. *)
 
 val default_sizes : int list
 (** [[2; 3; 4]] — each algorithm is analyzed at every size it supports. *)
@@ -54,4 +65,4 @@ val pp : verbose:bool -> Format.formatter -> report -> unit
 
 val to_json : report -> string
 (** Machine-readable report for CI gating:
-    [{"clean":bool,"findings":[...],"units":[...]}]. *)
+    [{"format_version":1,"clean":bool,"findings":[...],"units":[...]}]. *)

@@ -222,9 +222,13 @@ let json_escape s =
 let json_string_list xs =
   "[" ^ String.concat "," (List.map (fun s -> "\"" ^ json_escape s ^ "\"") xs) ^ "]"
 
+let format_version = 1
+
 let to_json t =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"cells\": [\n";
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"format_version\": %d,\n  \"cells\": [\n"
+       format_version);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";

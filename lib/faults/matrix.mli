@@ -79,9 +79,13 @@ val run : ?jobs:int -> ?max_states:int -> ?deadline:float -> cell list -> t
     model-check cell; [deadline] (seconds, default none) bounds each
     cell's wall-clock — see the determinism caveat above. *)
 
+val format_version : int
+(** Schema version stamped into {!to_json} reports. *)
+
 val to_json : t -> string
-(** Stable rendering: one object per row in cell order, fixed key
-    order, no timing fields; ends with a summary line. *)
+(** Stable rendering: a [format_version] header, one object per row in
+    cell order, fixed key order, no timing fields; ends with a summary
+    line. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable table plus the honesty verdict. *)

@@ -1,0 +1,199 @@
+open Lb_shmem
+
+type t =
+  | Guard_flip of { reg : int }
+  | Spin_invert of { reg : int }
+  | Drop_write of { reg : int }
+  | Dup_write of { reg : int }
+  | Reg_swap of { r1 : int; r2 : int }
+  | Domain_shrink of { reg : int }
+  | Rmw_split of { reg : int }
+  | Stmt_swap of { reg : int }
+
+let kinds =
+  [
+    "guard_flip";
+    "spin_invert";
+    "drop_write";
+    "dup_write";
+    "reg_swap";
+    "domain_shrink";
+    "rmw_split";
+    "stmt_swap";
+  ]
+
+let kind_of = function
+  | Guard_flip _ -> "guard_flip"
+  | Spin_invert _ -> "spin_invert"
+  | Drop_write _ -> "drop_write"
+  | Dup_write _ -> "dup_write"
+  | Reg_swap _ -> "reg_swap"
+  | Domain_shrink _ -> "domain_shrink"
+  | Rmw_split _ -> "rmw_split"
+  | Stmt_swap _ -> "stmt_swap"
+
+let validate_kinds requested =
+  let unknown = List.filter (fun k -> not (List.mem k kinds)) requested in
+  match unknown with
+  | k :: _ ->
+      Error
+        (Printf.sprintf "unknown operator %S; valid operators: %s" k
+           (String.concat ", " kinds))
+  | [] -> Ok (List.filter (fun k -> List.mem k requested) kinds)
+
+let id ~specs op =
+  let name r = Register.name specs r in
+  match op with
+  | Guard_flip { reg } -> "guard_flip@" ^ name reg
+  | Spin_invert { reg } -> "spin_invert@" ^ name reg
+  | Drop_write { reg } -> "drop_write@" ^ name reg
+  | Dup_write { reg } -> "dup_write@" ^ name reg
+  | Reg_swap { r1; r2 } -> Printf.sprintf "reg_swap@%s+%s" (name r1) (name r2)
+  | Domain_shrink { reg } -> "domain_shrink@" ^ name reg
+  | Rmw_split { reg } -> "rmw_split@" ^ name reg
+  | Stmt_swap { reg } -> "stmt_swap@" ^ name reg
+
+(* Per-register facts scraped from the explored automata. Site discovery
+   works off the raw node tables, not the pre-aggregated [writes]/[reads]
+   summaries, because sites need facts those summaries collapse (e.g.
+   "written by at least two distinct processes" for [dup_write]). *)
+type reg_facts = {
+  mutable read : bool;  (** some node pends [Read reg] *)
+  mutable spin : bool;
+      (** some [Read reg] node has both a self-edge and an exit edge *)
+  mutable writers : int list;  (** processes with a pending [Write reg] *)
+  mutable accessors : int list;  (** processes with any access to [reg] *)
+  mutable rmw : bool;  (** some node pends [Rmw reg] *)
+  mutable wrote_hi : bool;  (** some [Write reg] stores the domain max *)
+  mutable write_pair : bool;
+      (** some [Write reg] node's successor pends a different write *)
+}
+
+let scan (auto : Lb_analysis.Automaton.t) =
+  let nregs = Array.length auto.specs in
+  let facts =
+    Array.init nregs (fun _ ->
+        {
+          read = false;
+          spin = false;
+          writers = [];
+          accessors = [];
+          rmw = false;
+          wrote_hi = false;
+          write_pair = false;
+        })
+  in
+  let accesses me r =
+    let f = facts.(r) in
+    if not (List.mem me f.accessors) then f.accessors <- me :: f.accessors
+  in
+  Array.iter
+    (fun (pa : Lb_analysis.Automaton.proc_auto) ->
+      Array.iter
+        (fun (node : Lb_analysis.Automaton.node) ->
+          match node.pending with
+          | Step.Read r when r >= 0 && r < nregs ->
+              let f = facts.(r) in
+              f.read <- true;
+              accesses pa.me r;
+              let self = List.exists (fun (_, s) -> s = node.id) node.edges in
+              let exit_ = List.exists (fun (_, s) -> s <> node.id) node.edges in
+              if self && exit_ then f.spin <- true
+          | Step.Write (r, v) when r >= 0 && r < nregs ->
+              let f = facts.(r) in
+              if not (List.mem pa.me f.writers) then
+                f.writers <- pa.me :: f.writers;
+              accesses pa.me r;
+              (match auto.specs.(r).Register.domain with
+              | Some (_, hi) when v = hi -> f.wrote_hi <- true
+              | _ -> ());
+              List.iter
+                (fun (_, succ_id) ->
+                  match pa.nodes.(succ_id).Lb_analysis.Automaton.pending with
+                  | Step.Write (r2, v2) when r2 <> r || v2 <> v ->
+                      f.write_pair <- true
+                  | _ -> ())
+                node.edges
+          | Step.Rmw (r, _) when r >= 0 && r < nregs ->
+              facts.(r).rmw <- true;
+              accesses pa.me r
+          | _ -> ())
+        pa.nodes)
+    auto.autos;
+  facts
+
+let sites ?(kinds = kinds) (auto : Lb_analysis.Automaton.t) =
+  let facts = scan auto in
+  let nregs = Array.length facts in
+  let specs = auto.specs in
+  let accessed r =
+    facts.(r).read || facts.(r).writers <> [] || facts.(r).rmw
+  in
+  (* Response alphabet size: how many distinct values a read of [r] can
+     see under the analysis environment. A [guard_flip] on a register
+     with a single possible value is an equivalent-or-invalid mutant. *)
+  let alphabet r =
+    match Register.domain_values specs.(r) with
+    | Some vs -> List.length vs
+    | None -> List.length auto.responses.(r)
+  in
+  let per_kind kind =
+    let regs = List.init nregs Fun.id in
+    match kind with
+    | "guard_flip" ->
+        List.filter_map
+          (fun r ->
+            if facts.(r).read && alphabet r >= 2 then Some (Guard_flip { reg = r })
+            else None)
+          regs
+    | "spin_invert" ->
+        List.filter_map
+          (fun r -> if facts.(r).spin then Some (Spin_invert { reg = r }) else None)
+          regs
+    | "drop_write" ->
+        List.filter_map
+          (fun r ->
+            if facts.(r).writers <> [] then Some (Drop_write { reg = r }) else None)
+          regs
+    | "dup_write" ->
+        List.filter_map
+          (fun r ->
+            if List.length facts.(r).writers >= 2 then
+              Some (Dup_write { reg = r })
+            else None)
+          regs
+    | "reg_swap" ->
+        (* the swap lives in process 0's code only, so process 0 must
+           access one of the two — otherwise the mutant is the identity *)
+        List.filter_map
+          (fun r ->
+            if
+              r + 1 < nregs && accessed r
+              && accessed (r + 1)
+              && (List.mem 0 facts.(r).accessors
+                 || List.mem 0 facts.(r + 1).accessors)
+            then Some (Reg_swap { r1 = r; r2 = r + 1 })
+            else None)
+          regs
+    | "domain_shrink" ->
+        List.filter_map
+          (fun r ->
+            match specs.(r).Register.domain with
+            | Some (lo, hi)
+              when hi > lo && specs.(r).Register.init < hi && facts.(r).wrote_hi
+              ->
+                Some (Domain_shrink { reg = r })
+            | _ -> None)
+          regs
+    | "rmw_split" ->
+        List.filter_map
+          (fun r -> if facts.(r).rmw then Some (Rmw_split { reg = r }) else None)
+          regs
+    | "stmt_swap" ->
+        List.filter_map
+          (fun r ->
+            if facts.(r).write_pair then Some (Stmt_swap { reg = r }) else None)
+          regs
+    | _ -> []
+  in
+  List.concat_map per_kind kinds

@@ -1,0 +1,75 @@
+(** The mutant-operator catalogue: systematic, seed-free perturbations
+    of a mutex algorithm, each identified by an operator family and a
+    {e site} (a register, or a pair of registers).
+
+    Operators are enumerated {e statically}: {!sites} scans the
+    algorithm's explored per-process automata ({!Lb_analysis.Automaton})
+    and emits one operator instance per site where the perturbation can
+    actually change behavior — a [drop_write] on a register nobody
+    writes, or a [dup_write] on a single-writer register, would be an
+    equivalent mutant by construction, so such sites are never
+    generated. The enumeration is a pure function of the explored
+    automaton: byte-reproducible, no randomness anywhere.
+
+    The eight families mirror dextool-mutate's classic operator set,
+    transposed to the shared-memory automaton model:
+
+    - [guard_flip] — reads of the site register feed the automaton a
+      cyclically skewed value, flipping every comparison/equality the
+      guard makes against it;
+    - [spin_invert] — inverts a busy-wait's exit condition: values that
+      used to spin take the exit branch and vice versa;
+    - [drop_write] — writes to the site register silently don't happen
+      (the automaton believes they did);
+    - [dup_write] — each write to the site register is re-asserted
+      after the following statement, clobbering any rival write that
+      landed in between (only generated for multi-writer registers);
+    - [reg_swap] — process 0's accesses to two adjacent registers are
+      swapped, the classic off-by-one register-index fault in one code
+      path (swapping in {e every} process would merely rename the two
+      registers — an equivalent mutant whenever their specs agree);
+    - [domain_shrink] — the declared domain bound of the site register
+      is lowered below a value the algorithm really writes. Execution
+      is untouched (specs are declarative), so only the static layer
+      can catch this class — the campaign's proof that lint earns its
+      place before the model checker;
+    - [rmw_split] — a read-modify-write on the site register is
+      replaced by its non-atomic read-then-write split, opening the
+      classic test-then-set race;
+    - [stmt_swap] — a write to the site register whose following
+      statement is another (different) write issues the two writes in
+      swapped order. *)
+
+type t =
+  | Guard_flip of { reg : int }
+  | Spin_invert of { reg : int }
+  | Drop_write of { reg : int }
+  | Dup_write of { reg : int }
+  | Reg_swap of { r1 : int; r2 : int }
+  | Domain_shrink of { reg : int }
+  | Rmw_split of { reg : int }
+  | Stmt_swap of { reg : int }
+
+val kinds : string list
+(** The operator family names in canonical order:
+    [guard_flip, spin_invert, drop_write, dup_write, reg_swap,
+    domain_shrink, rmw_split, stmt_swap]. *)
+
+val kind_of : t -> string
+
+val validate_kinds : string list -> (string list, string) result
+(** Check a user-supplied family list (e.g. from [--ops]): unknown
+    names produce [Error msg] naming the offender and the valid set;
+    duplicates are dropped; the result is in canonical {!kinds} order. *)
+
+val id : specs:Lb_shmem.Register.spec array -> t -> string
+(** Stable identifier of one operator instance, using register display
+    names: ["drop_write@turn"], ["reg_swap@flag1+turn"]. This is the
+    key the survivor allowlist ({!Lb_algos.Registry.expected_survivors})
+    matches on. *)
+
+val sites : ?kinds:string list -> Lb_analysis.Automaton.t -> t list
+(** Enumerate every applicable operator instance for one algorithm at
+    one system size, from its explored automaton. [kinds] restricts to
+    the given families (default: all). Deterministic: families in
+    {!kinds} order, sites by ascending register index. *)

@@ -161,6 +161,38 @@ let test_lint_usage_errors () =
   let status, _ = run_cmd "lint --max-nodes 0" in
   Alcotest.(check int) "bad max-nodes exit 2" 2 status
 
+let test_lint_rules_subset () =
+  (* only the register-discipline family: broken_spinlock still fails
+     through it, while a kind-honesty-only run has nothing to say *)
+  let status, out =
+    run_cmd
+      "lint -a broken_spinlock --sizes 2 --no-allowlist --rules \
+       register-discipline"
+  in
+  Alcotest.(check int) "discipline subset exit 1" 1 status;
+  Alcotest.(check bool) "racy rule found" true
+    (Astring_contains.contains out "racy-test-then-set");
+  ignore
+    (check_runs "honesty subset"
+       "lint -a broken_spinlock --sizes 2 --no-allowlist --rules kind-honesty"
+       0)
+
+let test_lint_rules_unknown () =
+  let status, out = run_cmd "lint --rules register-discipline,wibble" in
+  Alcotest.(check int) "unknown rule exit 2" 2 status;
+  Alcotest.(check bool) "offender named" true
+    (Astring_contains.contains out "wibble");
+  Alcotest.(check bool) "valid families listed" true
+    (Astring_contains.contains out "repr-soundness")
+
+let test_format_versions () =
+  let _, lint = check_runs "lint fv" "lint -a peterson2 --sizes 2 --json" 0 in
+  Alcotest.(check bool) "lint format_version" true
+    (Astring_contains.contains lint "\"format_version\":1");
+  let _, chaos = check_runs "chaos fv" "chaos --json" 0 in
+  Alcotest.(check bool) "chaos format_version" true
+    (Astring_contains.contains chaos "\"format_version\": 1")
+
 let test_list_json () =
   let _, out = check_runs "list --json" "list --json" 0 in
   Alcotest.(check bool) "array" true (String.length out > 0 && out.[0] = '[');
@@ -171,7 +203,59 @@ let test_list_json () =
   Alcotest.(check bool) "register count" true
     (Astring_contains.contains out "\"register_count\"");
   Alcotest.(check bool) "faulty flag" true
-    (Astring_contains.contains out "\"faulty\": true")
+    (Astring_contains.contains out "\"faulty\": true");
+  Alcotest.(check bool) "expected findings" true
+    (Astring_contains.contains out
+       "\"expected_findings\": [\"register-discipline/racy-test-then-set\"]");
+  Alcotest.(check bool) "expected survivors" true
+    (Astring_contains.contains out "\"expected_survivors\"")
+
+(* The mutation harness end to end: a restricted clean campaign exits 0,
+   --no-allowlist resurfaces the triaged survivors as failures, the JSON
+   report is byte-identical at any job count, and flag abuse exits 2. *)
+let test_mutate_smoke () =
+  let _, out =
+    check_runs "mutate clean"
+      "mutate -a peterson2 --sizes 2 --ops guard_flip,drop_write,domain_shrink"
+      0
+  in
+  Alcotest.(check bool) "score line" true
+    (Astring_contains.contains out "mutation score");
+  Alcotest.(check bool) "a lint kill names its rule" true
+    (Astring_contains.contains out
+       "killed @ lint: register-discipline/domain-violation")
+
+let test_mutate_no_allowlist () =
+  let status, out =
+    run_cmd "mutate -a dekker --sizes 2 --ops dup_write --no-allowlist"
+  in
+  Alcotest.(check int) "untriaged survivor exit 1" 1 status;
+  Alcotest.(check bool) "survivor marked" true
+    (Astring_contains.contains out "SURVIVED (UNTRIAGED)");
+  (* with the registry allowlist the same campaign is clean *)
+  let _, out = check_runs "triaged" "mutate -a dekker --sizes 2 --ops dup_write" 0 in
+  Alcotest.(check bool) "triage reason shown" true
+    (Astring_contains.contains out "survived (triaged:")
+
+let test_mutate_jobs_identical () =
+  let args = "mutate -a peterson2,tas --sizes 2 --json" in
+  let _, seq = check_runs "mutate seq" (args ^ " --jobs 1") 0 in
+  let _, par = check_runs "mutate par" (args ^ " --jobs 4") 0 in
+  Alcotest.(check string) "byte-identical reports" seq par;
+  Alcotest.(check bool) "format_version" true
+    (Astring_contains.contains seq "\"format_version\": 1")
+
+let test_mutate_usage_errors () =
+  let status, out = run_cmd "mutate --ops wibble" in
+  Alcotest.(check int) "unknown op exit 2" 2 status;
+  Alcotest.(check bool) "valid ops listed" true
+    (Astring_contains.contains out "guard_flip");
+  let status, _ = run_cmd "mutate -a nonsense" in
+  Alcotest.(check int) "unknown algo exit 2" 2 status;
+  let status, _ = run_cmd "mutate --sizes 0" in
+  Alcotest.(check int) "bad sizes exit 2" 2 status;
+  let status, _ = run_cmd "mutate --rounds 0" in
+  Alcotest.(check int) "bad rounds exit 2" 2 status
 
 (* Satellite regression: --perms K with K > n! claimed K distinct
    permutations when only n! exist; it must clamp with a warning and go
@@ -338,6 +422,14 @@ let suite =
       test_lint_no_allowlist_fails;
     Alcotest.test_case "lint --json" `Quick test_lint_json;
     Alcotest.test_case "lint usage errors" `Quick test_lint_usage_errors;
+    Alcotest.test_case "lint --rules subset" `Quick test_lint_rules_subset;
+    Alcotest.test_case "lint --rules unknown" `Quick test_lint_rules_unknown;
+    Alcotest.test_case "format_version in reports" `Quick test_format_versions;
+    Alcotest.test_case "mutate smoke" `Quick test_mutate_smoke;
+    Alcotest.test_case "mutate --no-allowlist" `Slow test_mutate_no_allowlist;
+    Alcotest.test_case "mutate --jobs identical" `Quick
+      test_mutate_jobs_identical;
+    Alcotest.test_case "mutate usage errors" `Quick test_mutate_usage_errors;
     Alcotest.test_case "rmw gate on pipeline commands" `Quick test_rmw_gate;
     Alcotest.test_case "list --json" `Quick test_list_json;
     Alcotest.test_case "certify --perms clamp" `Quick test_certify_perms_clamp;

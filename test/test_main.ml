@@ -31,6 +31,7 @@ let () =
       ("store", Test_store.suite);
       ("faults", Test_faults.suite);
       ("lint", Test_lint.suite);
+      ("mutate", Test_mutate.suite);
       ("cli", Test_cli.suite);
       ("properties", Test_properties.suite);
     ]
