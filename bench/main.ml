@@ -15,7 +15,10 @@
                                                  (writes BENCH_CHAOS.json)
           dune exec bench/main.exe -- mutate  -- mutation-stack kill rate and
                                                  per-layer cost
-                                                 (writes BENCH_MUTATE.json) *)
+                                                 (writes BENCH_MUTATE.json)
+          dune exec bench/main.exe -- serve   -- job-service round trips and
+                                                 drain latency
+                                                 (writes BENCH_SERVE.json) *)
 
 open Bechamel
 open Toolkit
@@ -727,6 +730,164 @@ let run_mutate () =
   close_out oc;
   print_endline "wrote BENCH_MUTATE.json"
 
+(* ------------------------- serve round trips ------------------------- *)
+
+(* Round-trip costs of the job service over a real socket: a cold
+   certify (full sweep, streamed JSONL events), the same job served warm
+   straight from the store, sustained warm-hit throughput, and the
+   SIGTERM drain latency with a sweep mid-flight (how long past the
+   configured grace the server needs to checkpoint and wind down).
+   Writes BENCH_SERVE.json. *)
+let run_serve () =
+  print_endline "\n=== Serve: job-service round trips ===\n";
+  let module Json = Lb_util.Json in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mutexlb-bench-serve-%d" (Unix.getpid ()))
+  in
+  let port_file = dir ^ ".port" in
+  let grace = 0.2 in
+  let cfg =
+    {
+      (Lb_serve.Server.default ~store_dir:dir) with
+      Lb_serve.Server.port = 0;
+      port_file = Some port_file;
+      sched =
+        {
+          Lb_serve.Scheduler.max_active = 1;
+          per_client = 1;
+          rate = 1.0e9;
+          burst = 1.0e9;
+        };
+      grace;
+    }
+  in
+  let server = Domain.spawn (fun () -> Lb_serve.Server.run cfg) in
+  let rec wait_port tries =
+    if tries = 0 then failwith "serve bench: server never came up"
+    else if Sys.file_exists port_file then
+      int_of_string
+        (String.trim (In_channel.with_open_text port_file In_channel.input_all))
+    else begin
+      Unix.sleepf 0.05;
+      wait_port (tries - 1)
+    end
+  in
+  let port = wait_port 200 in
+  let n = 8 and count = 192 in
+  let certify_job ~perms ~seed =
+    Json.Obj
+      [
+        ("kind", Json.String "certify");
+        ("algo", Json.String "yang_anderson");
+        ("n", Json.Int n);
+        ("perms", Json.Int perms);
+        ("seed", Json.Int seed);
+      ]
+  in
+  let job = certify_job ~perms:count ~seed:20060723 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let y = f () in
+    (y, Unix.gettimeofday () -. t0)
+  in
+  let submit ?(on_event = fun _ -> ()) j =
+    match Lb_serve.Client.submit ~port ~client:"bench" j ~on_event with
+    | Error msg -> failwith ("serve bench: " ^ msg)
+    | Ok o -> (
+      match o.Lb_serve.Client.o_result with
+      | Some r -> r
+      | None -> failwith "serve bench: job returned no result")
+  in
+  let path_of r =
+    match Option.bind (Json.member "path" r) Json.as_string with
+    | Some p -> p
+    | None -> failwith "serve bench: result without a path"
+  in
+  let cold_r, cold_s = time (fun () -> submit job) in
+  if path_of cold_r <> "swept" then
+    failwith "serve bench: first submission was not a cold sweep";
+  let warm_r, warm_s = time (fun () -> submit job) in
+  if path_of warm_r <> "warm" then
+    failwith "serve bench: second submission missed the warm path";
+  let reqs = 50 in
+  let (), thr_s =
+    time (fun () ->
+        for _ = 1 to reqs do
+          ignore (submit job)
+        done)
+  in
+  let req_per_s = float_of_int reqs /. thr_s in
+  (* drain latency: a long sweep is mid-flight when SIGTERM lands *)
+  let items = Atomic.make 0 in
+  let slow = certify_job ~perms:5000 ~seed:7 in
+  let d_slow =
+    Domain.spawn (fun () ->
+        ignore
+          (Lb_serve.Client.submit ~port ~client:"bench" slow
+             ~on_event:(fun j ->
+               if Json.member "event" j = Some (Json.String "item") then
+                 Atomic.incr items)))
+  in
+  let rec wait_items tries =
+    if tries = 0 then failwith "serve bench: slow sweep never started"
+    else if Atomic.get items < 1 then begin
+      Unix.sleepf 0.01;
+      wait_items (tries - 1)
+    end
+  in
+  wait_items 1000;
+  let t0 = Unix.gettimeofday () in
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Domain.join server;
+  let drain_s = Unix.gettimeofday () -. t0 in
+  Domain.join d_slow;
+  let t =
+    Lb_util.Table.create
+      ~title:
+        (Printf.sprintf "serve certify yang_anderson n=%d (%d perms)" n count)
+      [ ("request", Lb_util.Table.Left); ("seconds", Lb_util.Table.Right) ]
+  in
+  Lb_util.Table.add_row t [ "cold (full sweep)"; Printf.sprintf "%.3f" cold_s ];
+  Lb_util.Table.add_row t [ "warm (store hit)"; Printf.sprintf "%.3f" warm_s ];
+  Lb_util.Table.add_row t
+    [
+      Printf.sprintf "warm throughput (%d reqs)" reqs;
+      Printf.sprintf "%.1f req/s" req_per_s;
+    ];
+  Lb_util.Table.add_row t
+    [
+      Printf.sprintf "drain (grace %.1fs)" grace; Printf.sprintf "%.3f" drain_s;
+    ];
+  Lb_util.Table.print t;
+  let oc = open_out "BENCH_SERVE.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"job service (yang_anderson n=%d, %d perms)\",\n\
+    \  \"seconds_cold\": %.3f,\n\
+    \  \"seconds_warm\": %.3f,\n\
+    \  \"warm_speedup\": %.3f,\n\
+    \  \"warm_req_per_s\": %.1f,\n\
+    \  \"drain_grace\": %.1f,\n\
+    \  \"drain_seconds\": %.3f\n\
+     }\n"
+    n count cold_s warm_s (cold_s /. warm_s) req_per_s grace drain_s;
+  close_out oc;
+  print_endline "wrote BENCH_SERVE.json";
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun f -> rm_rf (Filename.concat path f))
+          (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  if Sys.file_exists port_file then Sys.remove port_file
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if what = "tables" || what = "all" then Lb_exp.Exp_all.run ();
@@ -735,4 +896,5 @@ let () =
   if what = "store" || what = "all" then run_store ();
   if what = "chaos" || what = "all" then run_chaos ();
   if what = "mutate" || what = "all" then run_mutate ();
+  if what = "serve" || what = "all" then run_serve ();
   if what = "timings" || what = "all" then run_timings ()

@@ -661,23 +661,13 @@ let require_store ?(pi_timeout = None) ~cmd ~store ~resume ~events
     exit 2
   end
 
-(* Satellite: `--perms K` with K > n! used to pretend it sampled K distinct
-   permutations when only n! exist. Clamp to the full (exhaustive) family
-   with a warning instead. factorial is exact for n <= 20; past that n!
-   dwarfs any conceivable K, so no clamping is needed. *)
-let clamp_perms ~n perms =
-  if n <= 20 then begin
-    let total = Lb_util.Xmath.factorial n in
-    if perms > total then begin
-      Printf.eprintf
-        "certify: --perms %d exceeds n! = %d at n=%d; clamping to the full \
-         family\n%!"
-        perms total n;
-      total
-    end
-    else perms
-  end
-  else perms
+(* `--perms K` with K > n! used to pretend it sampled K distinct
+   permutations when only n! exist; it clamps to the full (exhaustive)
+   family with a warning instead. The clamp and the family selection both
+   live in Lb_serve.Protocol now, shared with the server, so a job shipped
+   via --connect examines exactly the permutations a local run would —
+   that sharing is what makes their certificates byte-identical. *)
+let clamp_perms ~n perms = Lb_serve.Protocol.clamp_perms ~warn:true ~n perms
 
 let certify_cmd =
   let perms_arg =
@@ -702,8 +692,29 @@ let certify_cmd =
                 Smaller values narrow the window of re-served hits after \
                 a crash at the cost of more manifest rewrites.")
   in
+  let connect_arg =
+    Arg.(value & opt (some int) None
+         & info [ "connect" ] ~docv:"PORT"
+             ~doc:
+               "Client mode: submit the job to a running $(b,mutexlb serve) \
+                on $(docv) instead of sweeping locally. The server owns the \
+                store; the certificate printed is byte-identical to a local \
+                run with the same algorithm, n, perms and seed.")
+  in
+  let connect_host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "connect-host" ] ~docv:"HOST"
+             ~doc:"Server host for $(b,--connect).")
+  in
+  let client_arg =
+    Arg.(value & opt string "cli"
+         & info [ "client" ] ~docv:"NAME"
+             ~doc:
+               "Client identity for $(b,--connect) — the server schedules \
+                fairly across client names.")
+  in
   let run algo_name n seed perms jobs store resume events save_traces
-      pi_timeout checkpoint_every =
+      pi_timeout checkpoint_every connect connect_host client_name =
     apply_jobs jobs;
     if perms <= 0 then begin
       Printf.eprintf
@@ -727,12 +738,102 @@ let certify_cmd =
     let algo = find_algo algo_name in
     require_registers_only ~cmd:"certify" algo;
     let perms = clamp_perms ~n perms in
-    let pis, exhaustive =
-      if n <= 8 && Lb_util.Xmath.factorial n <= perms then
-        (Lb_core.Permutation.all n, true)
-      else
-        (Lb_core.Permutation.sample (Lb_util.Rng.create seed) ~n ~count:perms, false)
-    in
+    let pis, exhaustive = Lb_serve.Protocol.family ~n ~perms ~seed in
+    match connect with
+    | Some port ->
+      if store <> None then begin
+        Printf.eprintf
+          "certify: --connect and --store are exclusive; the server owns the \
+           store\n";
+        exit 2
+      end;
+      let module J = Lb_util.Json in
+      let get j name f = Option.bind (J.member name j) f in
+      let job =
+        J.Obj
+          ([
+             ("kind", J.String "certify");
+             ("algo", J.String algo_name);
+             ("n", J.Int n);
+             ("perms", J.Int perms);
+             ("seed", J.Int seed);
+             ("resume", J.Bool resume);
+             ("save_traces", J.Bool save_traces);
+           ]
+          @
+          match pi_timeout with
+          | None -> []
+          | Some t -> [ ("pi_timeout", J.Float t) ])
+      in
+      let total = ref (List.length pis) in
+      let step = ref (max 1 (!total / 10)) in
+      let on_event j =
+        match get j "event" J.as_string with
+        | Some "start" -> (
+          match get j "total" J.as_int with
+          | Some t ->
+            total := t;
+            step := max 1 (t / 10)
+          | None -> ())
+        | Some "item" -> (
+          match get j "done" J.as_int with
+          | Some d when d mod !step = 0 || d = !total ->
+            Printf.eprintf "certify: %d/%d done (remote)\n%!" d !total
+          | _ -> ())
+        | Some "granted" ->
+          Printf.eprintf "certify: granted a server job slot\n%!"
+        | _ -> ()
+      in
+      (match
+         Lb_serve.Client.submit ~host:connect_host ~port ~client:client_name
+           job ~on_event
+       with
+      | Error msg ->
+        Printf.eprintf "certify: cannot reach server at %s:%d: %s\n"
+          connect_host port msg;
+        exit 3
+      | Ok o -> (
+        let retry_hint =
+          match o.Lb_serve.Client.o_retry_after with
+          | Some ra -> Printf.sprintf " (retry after %.0fs)" ra
+          | None -> ""
+        in
+        match o.Lb_serve.Client.o_error with
+        | Some e ->
+          Printf.eprintf "certify: server error: %s%s\n" e retry_hint;
+          exit (if o.Lb_serve.Client.o_status = 429 then 75 else 1)
+        | None ->
+          if o.Lb_serve.Client.o_drained then begin
+            Printf.eprintf
+              "certify: server is draining; the sweep checkpointed and will \
+               resume%s\n"
+              retry_hint;
+            exit 75
+          end
+          else (
+            match o.Lb_serve.Client.o_result with
+            | None ->
+              Printf.eprintf
+                "certify: connection closed without a result (HTTP %d)\n"
+                o.Lb_serve.Client.o_status;
+              exit 1
+            | Some r -> (
+              match get r "certificate" Option.some with
+              | Some (J.Obj _ as cert) ->
+                (match get cert "text" J.as_string with
+                | Some text -> print_endline text
+                | None -> print_endline (J.to_string cert));
+                Printf.eprintf "certify: served via %s path by %s:%d\n"
+                  (Option.value ~default:"?" (get r "path" J.as_string))
+                  connect_host port;
+                (match get r "failed" J.as_int with
+                | Some f when f > 0 -> exit 1
+                | _ -> ())
+              | _ ->
+                Printf.printf
+                  "no certificate: every permutation in the family failed\n";
+                exit 1))))
+    | None -> (
     match store with
     | None ->
       let cert = Lb_core.Pipeline.certify algo ~n ~perms:pis ~exhaustive () in
@@ -745,6 +846,17 @@ let certify_cmd =
             open_out_gen [ Open_append; Open_creat ] 0o644 path)
           events
       in
+      (* Satellite: SIGTERM checkpoints and exits cleanly. The signal
+         only fires a cooperative cancel token; the sweep engine notices
+         between units, writes a final manifest checkpoint in its
+         protected finally, releases the writer lease, and raises
+         Cancelled — which we turn into the conventional 128+15 exit.
+         A re-run of the same command resumes from that checkpoint. *)
+      let cancel = Lb_util.Pool.Cancel.create () in
+      ignore
+        (Sys.signal Sys.sigterm
+           (Sys.Signal_handle (fun _ -> Lb_util.Pool.Cancel.set cancel)));
+      let last_manifest = ref None in
       let total = List.length pis in
       let step = max 1 (total / 10) in
       let on_event ev =
@@ -753,6 +865,11 @@ let certify_cmd =
           output_string oc (Lb_store.Sweep.event_to_json ev);
           output_char oc '\n'
         | None -> ());
+        (match ev with
+        | Lb_store.Sweep.Checkpoint { manifest; _ }
+        | Lb_store.Sweep.Finished { manifest; _ } ->
+          last_manifest := Some manifest
+        | _ -> ());
         match ev with
         | Lb_store.Sweep.Item { progress; _ }
           when progress.Lb_store.Sweep.p_done mod step = 0
@@ -765,11 +882,26 @@ let certify_cmd =
       in
       let finally () = Option.iter close_out events_oc in
       Fun.protect ~finally (fun () ->
-          let cert, report =
+          match
             Lb_store.Sweep.certify ~store:st ~resume ~checkpoint_every
-              ~save_traces ?pi_timeout ~on_event algo ~n ~perms:pis
+              ~save_traces ?pi_timeout ~on_event ~cancel algo ~n ~perms:pis
               ~exhaustive ()
-          in
+          with
+          | exception Lb_util.Pool.Cancelled ->
+            Printf.eprintf
+              "certify: interrupted (SIGTERM); manifest checkpointed%s — \
+               re-run the same command to resume\n"
+              (match !last_manifest with
+              | Some m -> " at " ^ m
+              | None -> "");
+            exit 143
+          | exception Lb_store.Store_lock.Busy h ->
+            Format.eprintf
+              "certify: store busy: writer lease held by %a; retry when the \
+               other sweep finishes@."
+              Lb_store.Store_lock.pp_held h;
+            exit 75
+          | cert, report ->
           let p = report.Lb_store.Sweep.progress in
           (match cert with
           | Some c -> Format.printf "%a@." Lb_core.Bounds.pp_certificate c
@@ -798,7 +930,7 @@ let certify_cmd =
             if List.length fs > 10 then
               Printf.printf "  ... and %d more (see manifest)\n"
                 (List.length fs - 10);
-            exit 1))
+            exit 1)))
   in
   Cmd.v
     (Cmd.info "certify"
@@ -808,7 +940,8 @@ let certify_cmd =
           and served from cache on re-runs.")
     Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg
           $ store_arg $ resume_arg $ events_arg $ save_traces_arg
-          $ pi_timeout_arg $ checkpoint_every_arg)
+          $ pi_timeout_arg $ checkpoint_every_arg $ connect_arg
+          $ connect_host_arg $ client_arg)
 
 (* ------------------------------ workload ------------------------------ *)
 
@@ -973,54 +1106,62 @@ let store_cmd =
       Arg.(value & flag
            & info [ "dry-run" ] ~doc:"Report what would be dropped; delete nothing.")
     in
-    let run dir dry =
+    let force_arg =
+      Arg.(value & flag
+           & info [ "force" ]
+               ~doc:
+                 "Run even while another writer (a sweep, a server) holds \
+                  the store lease. Safe against readers — condemned entries \
+                  go to trash, not straight to unlink — but a concurrent \
+                  sweep may recompute entries gc just condemned.")
+    in
+    let wait_arg =
+      Arg.(value & opt float 0.0
+           & info [ "wait" ] ~docv:"SECONDS"
+               ~doc:"Wait up to $(docv) for the writer lease before refusing.")
+    in
+    let run dir dry force wait =
       let st = Lb_store.Store.open_ ~dir in
       (* current behavioral fingerprints, memoized per (algo, n) *)
       let fps : (string * int, string option) Hashtbl.t = Hashtbl.create 16 in
-      let current_fp ~algo_name ~n =
-        match Hashtbl.find_opt fps (algo_name, n) with
+      let current_fp ~algo ~n =
+        match Hashtbl.find_opt fps (algo, n) with
         | Some fp -> fp
         | None ->
           let fp =
-            match Lb_algos.Registry.find algo_name with
+            match Lb_algos.Registry.find algo with
             | None -> None
             | Some a ->
               if Lb_shmem.Algorithm.supports a n then
                 Some (Lb_store.Store_key.fingerprint a ~n)
               else None
           in
-          Hashtbl.add fps (algo_name, n) fp;
+          Hashtbl.add fps (algo, n) fp;
           fp
       in
-      let keep, drop =
-        Lb_store.Store.fold st ~init:(0, [])
-          ~f:(fun (keep, drop) ~key -> function
-            | Error diag -> (keep, (key, "damaged: " ^ diag) :: drop)
-            | Ok (e : Lb_store.Store.entry) -> (
-              match
-                current_fp ~algo_name:e.Lb_store.Store.e_algo
-                  ~n:e.Lb_store.Store.e_n
-              with
-              | None ->
-                ( keep,
-                  ( key,
-                    Printf.sprintf "unknown algorithm %S (or unsupported n=%d)"
-                      e.Lb_store.Store.e_algo e.Lb_store.Store.e_n )
-                  :: drop )
-              | Some fp when fp <> e.Lb_store.Store.e_fp ->
-                (keep, (key, "stale fingerprint: " ^ e.Lb_store.Store.e_algo) :: drop)
-              | Some _ -> (keep + 1, drop)))
-      in
-      let drop = List.rev drop in
-      List.iter
-        (fun (key, why) ->
-          Printf.printf "%s %s (%s)\n"
-            (if dry then "would drop" else "drop")
-            key why;
-          if not dry then Lb_store.Store.remove st ~key)
-        drop;
-      Printf.printf "gc             %d kept, %d %s\n" keep (List.length drop)
-        (if dry then "would be dropped" else "dropped")
+      match Lb_store.Store_gc.run ~dry ~force ~wait ~current_fp st with
+      | Error held ->
+        Format.eprintf
+          "gc: refused: store writer lease held by %a — a sweep may be \
+           mid-flight. Retry with --wait SECONDS, or override with --force.@."
+          Lb_store.Store_lock.pp_held held;
+        exit 1
+      | Ok r ->
+        List.iter
+          (fun (key, why) ->
+            Printf.printf "%s %s (%s)\n"
+              (if dry then "would drop" else "drop")
+              key why)
+          r.Lb_store.Store_gc.g_condemned;
+        Printf.printf "gc             %d kept, %d %s\n" r.Lb_store.Store_gc.g_kept
+          (List.length r.Lb_store.Store_gc.g_condemned)
+          (if dry then "would be dropped" else "dropped");
+        if not dry then
+          Printf.printf
+            "gc trash       %d dir(s) purged, %d deferred to live readers \
+             (epoch %d)\n"
+            r.Lb_store.Store_gc.g_trash_purged
+            r.Lb_store.Store_gc.g_trash_deferred r.Lb_store.Store_gc.g_epoch
     in
     Cmd.v
       (Cmd.info "gc"
@@ -1028,8 +1169,12 @@ let store_cmd =
            "Drop entries whose algorithm fingerprint no longer matches the \
             current code (plus damaged and unknown-algorithm entries). Keys \
             embed the fingerprint, so stale entries can never be served by \
-            mistake -- gc only reclaims the space.")
-      Term.(const run $ dir_arg $ dry_arg)
+            mistake -- gc only reclaims the space. Refuses (exit 1) while a \
+            sweep holds the store's writer lease unless $(b,--force); \
+            condemned entries are renamed into an epoch-stamped trash \
+            directory and only purged once no registered reader predates \
+            the condemnation.")
+      Term.(const run $ dir_arg $ dry_arg $ force_arg $ wait_arg)
   in
   Cmd.group
     (Cmd.info "store"
@@ -1465,6 +1610,142 @@ let mutate_cmd =
       $ no_allow_arg $ no_short_circuit_arg $ no_escalate_arg
       $ deep_states_arg $ jobs_arg)
 
+let serve_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Store directory the service owns. Created if absent. Concurrent \
+             $(b,mutexlb certify --store) runs against the same directory are \
+             safe: the server registers as a reader and takes the writer \
+             lease only while a sweep is running.")
+  in
+  let host_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR"
+          ~doc:"Address to bind. This is a local service; keep it loopback.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 8944
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on. $(b,0) picks an ephemeral port.")
+  in
+  let port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port here (atomically) once listening — how \
+             scripts find an ephemeral port.")
+  in
+  let max_active_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "max-active" ] ~docv:"N"
+          ~doc:"Jobs running concurrently across all clients.")
+  in
+  let per_client_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "per-client" ] ~docv:"N"
+          ~doc:"Running-job cap per client (the fairness knob).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 4.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Token-bucket refill rate, jobs/second/client. Submissions over \
+             the rate are answered 429 with a Retry-After hint.")
+  in
+  let burst_arg =
+    Arg.(
+      value
+      & opt float 8.0
+      & info [ "burst" ] ~docv:"B" ~doc:"Token-bucket capacity per client.")
+  in
+  let grace_arg =
+    Arg.(
+      value
+      & opt float 20.0
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Drain deadline: on SIGTERM, running sweeps get this long to \
+             checkpoint before the cooperative cancel fires.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Log each request to standard error.")
+  in
+  let run store host port port_file jobs max_active per_client rate burst grace
+      verbose =
+    apply_jobs jobs;
+    if max_active < 1 || per_client < 1 then begin
+      Printf.eprintf "serve: --max-active and --per-client must be >= 1\n";
+      exit 2
+    end;
+    if rate <= 0.0 || burst < 1.0 then begin
+      Printf.eprintf "serve: --rate must be > 0 and --burst >= 1\n";
+      exit 2
+    end;
+    let sched = { Lb_serve.Scheduler.max_active; per_client; rate; burst } in
+    let config =
+      {
+        Lb_serve.Server.host;
+        port;
+        port_file;
+        store_dir = store;
+        jobs;
+        sched;
+        grace;
+        verbose;
+      }
+    in
+    Lb_serve.Server.run config
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived job service: accept certify/check/lint/chaos/\
+          mutate jobs from multiple clients over local HTTP, schedule them \
+          fairly, stream progress as JSONL, and serve warm results straight \
+          from the store. SIGTERM drains gracefully: running sweeps \
+          checkpoint and the store is left resumable."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "POST a job to $(b,/v1/jobs) (one JSON object; see DESIGN.md \
+              \xc2\xa76i for the grammar) and read the chunked JSONL event \
+              stream: $(b,accepted), $(b,granted), sweep telemetry, then one \
+              of $(b,result), $(b,drained) or $(b,error). $(b,GET /v1/health) \
+              and $(b,GET /v1/stats) answer plain JSON.";
+           `P
+             "Scheduling is round-robin across client identities (the \
+              $(b,X-Client) header) with a per-client running cap and a \
+              token-bucket admission rate, so a chatty client cannot starve \
+              a quiet one.";
+           `P
+             "Certify jobs whose whole permutation family is already in the \
+              store are answered from it without taking a scheduler slot, \
+              byte-identical to what $(b,mutexlb certify) would print.";
+         ])
+    Term.(
+      const run $ store_arg $ host_arg $ port_arg $ port_file_arg $ jobs_arg
+      $ max_active_arg $ per_client_arg $ rate_arg $ burst_arg $ grace_arg
+      $ verbose_arg)
+
 let () =
   let info =
     Cmd.info "mutexlb" ~version:"1.0.0"
@@ -1479,4 +1760,5 @@ let () =
             list_cmd; run_cmd; check_cmd; construct_cmd; pipeline_cmd;
             decode_cmd; certify_cmd; workload_cmd; adversary_cmd;
             experiments_cmd; store_cmd; lint_cmd; chaos_cmd; mutate_cmd;
+            serve_cmd;
           ]))

@@ -1,0 +1,76 @@
+module Json = Lb_util.Json
+
+type outcome = {
+  o_status : int;
+  o_result : Json.t option;
+  o_error : string option;
+  o_drained : bool;
+  o_retry_after : float option;
+}
+
+let get_str j name = Option.bind (Json.member name j) Json.as_string
+let get_float j name = Option.bind (Json.member name j) Json.as_float
+
+let submit ?host ~port ?(client = "cli") job ~on_event =
+  let result = ref None in
+  let error = ref None in
+  let drained = ref false in
+  let retry = ref None in
+  let sink j =
+    (match get_str j "event" with
+    | Some "result" -> result := Some j
+    | Some "error" -> error := get_str j "error"
+    | Some ("rejected" | "drained") ->
+      drained := true;
+      retry := get_float j "retry_after"
+    | _ -> ());
+    (* plain (non-chunked) bodies: a warm result or an error object *)
+    (match get_str j "event" with
+    | Some _ -> ()
+    | None -> (
+      match get_str j "error" with
+      | Some e ->
+        error := Some e;
+        retry := get_float j "retry_after"
+      | None -> ()));
+    on_event j
+  in
+  let on_line line =
+    if String.trim line <> "" then
+      match Json.parse line with Ok j -> sink j | Error _ -> ()
+  in
+  (* X-Client travels as a header so admission control can see it
+     before parsing the body. *)
+  let body = Json.to_string job in
+  match
+    Http.request ?host ~port ~meth:"POST" ~path:"/v1/jobs"
+      ~headers:[ ("X-Client", client) ]
+      ~body ~on_line ()
+  with
+  | Error _ as e -> e
+  | Ok (status, _headers, _body) ->
+    (* result events already harvested by on_line *)
+    if status = 503 then drained := true;
+    Ok
+      {
+        o_status = status;
+        o_result = !result;
+        o_error = !error;
+        o_drained = !drained;
+        o_retry_after = !retry;
+      }
+
+(* The warm path answers with a bare result object, not an event
+   stream; treat a body whose "event" is "result" the same way. *)
+
+let get ?host ~port path =
+  match Http.request ?host ~port ~meth:"GET" ~path () with
+  | Error _ as e -> e
+  | Ok (status, _, body) -> (
+    match Json.parse body with
+    | Ok j -> Ok j
+    | Error msg ->
+      Error (Printf.sprintf "GET %s: HTTP %d, unparsable body (%s)" path status msg))
+
+let health ?host ~port () = get ?host ~port "/v1/health"
+let stats ?host ~port () = get ?host ~port "/v1/stats"

@@ -1,0 +1,30 @@
+(** Client side of the serve protocol — what [mutexlb --connect] and
+    the integration tests speak. *)
+
+type outcome = {
+  o_status : int;  (** HTTP status *)
+  o_result : Lb_util.Json.t option;
+      (** the ["result"] event (or warm-path body), when one arrived *)
+  o_error : string option;  (** server-reported error, if any *)
+  o_drained : bool;  (** job rejected or cancelled by a server drain *)
+  o_retry_after : float option;
+}
+
+val submit :
+  ?host:string ->
+  port:int ->
+  ?client:string ->
+  Lb_util.Json.t ->
+  on_event:(Lb_util.Json.t -> unit) ->
+  (outcome, string) result
+(** POST the job to [/v1/jobs] with [X-Client] set to [client]
+    (default ["cli"]); [on_event] fires for every streamed JSONL event
+    as it arrives (including the final ["result"]). [Error] is a
+    transport failure — the server being unreachable, not a job
+    failure. *)
+
+val health :
+  ?host:string -> port:int -> unit -> (Lb_util.Json.t, string) result
+
+val stats :
+  ?host:string -> port:int -> unit -> (Lb_util.Json.t, string) result

@@ -1,0 +1,310 @@
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let header (r : request) name =
+  List.assoc_opt (String.lowercase_ascii name) r.headers
+
+(* ----------------------------- raw transport -------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = Unix.write_substring fd s !pos (len - !pos) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    pos := !pos + n
+  done
+
+(* A tiny pull-buffer over the fd: HTTP needs "read one CRLF line" and
+   "read exactly n bytes" interleaved, which raw [Unix.read] doesn't
+   give. *)
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable start : int;
+  mutable len : int;
+}
+
+let reader fd = { fd; buf = Bytes.create 8192; start = 0; len = 0 }
+
+exception Short_read of string
+
+let refill r =
+  if r.len = 0 then begin
+    r.start <- 0;
+    let n = Unix.read r.fd r.buf 0 (Bytes.length r.buf) in
+    r.len <- n;
+    n > 0
+  end
+  else true
+
+let read_byte r =
+  if refill r then begin
+    let c = Bytes.get r.buf r.start in
+    r.start <- r.start + 1;
+    r.len <- r.len - 1;
+    Some c
+  end
+  else None
+
+(* One header/request/chunk-size line, CRLF (or bare LF) terminated,
+   terminator stripped. [limit] caps the line so a header stream with no
+   newline cannot grow without bound. *)
+let read_line ?(limit = 16 * 1024) r =
+  let buf = Buffer.create 80 in
+  let rec go () =
+    if Buffer.length buf > limit then raise (Short_read "line too long")
+    else
+      match read_byte r with
+      | None ->
+        if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | Some '\n' ->
+        let s = Buffer.contents buf in
+        let s =
+          if String.length s > 0 && s.[String.length s - 1] = '\r' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        in
+        Some s
+      | Some c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let read_exact r n =
+  let out = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    if not (refill r) then raise (Short_read "unexpected end of stream");
+    let take = min r.len (n - !pos) in
+    Bytes.blit r.buf r.start out !pos take;
+    r.start <- r.start + take;
+    r.len <- r.len - take;
+    pos := !pos + take
+  done;
+  Bytes.unsafe_to_string out
+
+let read_to_eof r =
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    if refill r then begin
+      Buffer.add_subbytes buf r.buf r.start r.len;
+      r.start <- 0;
+      r.len <- 0;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+(* ------------------------------- parsing ------------------------------ *)
+
+let parse_headers ?(budget = 16 * 1024) r =
+  let remaining = ref budget in
+  let rec go acc =
+    match read_line ~limit:!remaining r with
+    | None -> Error "unexpected end of headers"
+    | Some "" -> Ok (List.rev acc)
+    | Some line -> (
+      remaining := !remaining - String.length line;
+      if !remaining <= 0 then Error "header block too large"
+      else
+        match String.index_opt line ':' with
+        | None -> Error (Printf.sprintf "malformed header line %S" line)
+        | Some i ->
+          let name = String.lowercase_ascii (String.sub line 0 i) in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          go ((name, value) :: acc))
+  in
+  go []
+
+let read_request ?(max_headers = 16 * 1024) ?(max_body = 1024 * 1024) fd =
+  let r = reader fd in
+  match
+    match read_line ~limit:max_headers r with
+    | None -> Error "empty request"
+    | Some line -> (
+      match String.split_on_char ' ' line with
+      | [ meth; path; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+        match parse_headers ~budget:max_headers r with
+        | Error _ as e -> e
+        | Ok headers -> (
+          let clen =
+            match List.assoc_opt "content-length" headers with
+            | None -> Ok 0
+            | Some v -> (
+              match int_of_string_opt (String.trim v) with
+              | Some n when n >= 0 -> Ok n
+              | _ -> Error (Printf.sprintf "bad content-length %S" v))
+          in
+          match clen with
+          | Error _ as e -> e
+          | Ok n when n > max_body ->
+            Error (Printf.sprintf "body too large (%d bytes > %d)" n max_body)
+          | Ok n -> Ok { meth; path; headers; body = read_exact r n }))
+      | _ -> Error (Printf.sprintf "malformed request line %S" line))
+  with
+  | v -> v
+  | exception Short_read msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* ------------------------------ responses ----------------------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let head ?(headers = []) ~status extra =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    (headers @ extra);
+  Buffer.add_string buf "\r\n";
+  Buffer.contents buf
+
+let respond fd ?headers ~status body =
+  write_all fd
+    (head ?headers ~status
+       [
+         ("Content-Type", "application/json");
+         ("Content-Length", string_of_int (String.length body));
+         ("Connection", "close");
+       ]);
+  write_all fd body
+
+let start_chunked fd ?headers ~status () =
+  write_all fd
+    (head ?headers ~status
+       [
+         ("Content-Type", "application/jsonl");
+         ("Transfer-Encoding", "chunked");
+         ("Connection", "close");
+       ])
+
+let send_chunk fd s =
+  if String.length s > 0 then
+    write_all fd (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+
+let finish_chunked fd = write_all fd "0\r\n\r\n"
+
+(* ------------------------------- client ------------------------------- *)
+
+let feed_lines ~pending ~on_line s =
+  Buffer.add_string pending s;
+  let data = Buffer.contents pending in
+  Buffer.clear pending;
+  let rec go start =
+    match String.index_from_opt data start '\n' with
+    | Some i ->
+      on_line (String.sub data start (i - start));
+      go (i + 1)
+    | None ->
+      Buffer.add_string pending
+        (String.sub data start (String.length data - start))
+  in
+  go 0
+
+let read_chunked r ~emit =
+  let rec go () =
+    match read_line r with
+    | None -> raise (Short_read "missing chunk size")
+    | Some line -> (
+      let size_str =
+        match String.index_opt line ';' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match int_of_string_opt ("0x" ^ String.trim size_str) with
+      | None -> raise (Short_read (Printf.sprintf "bad chunk size %S" line))
+      | Some 0 ->
+        (* swallow trailing headers up to the blank line *)
+        let rec trailers () =
+          match read_line r with
+          | None | Some "" -> ()
+          | Some _ -> trailers ()
+        in
+        trailers ()
+      | Some n ->
+        emit (read_exact r n);
+        (match read_line r with
+        | Some "" -> ()
+        | _ -> raise (Short_read "missing chunk terminator"));
+        go ())
+  in
+  go ()
+
+let request ?(host = "127.0.0.1") ~port ~meth ~path ?(headers = [])
+    ?(body = "") ?(on_line = fun _ -> ()) () =
+  match
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        let req =
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Length: %d\r\n\
+             Connection: close\r\n%s\r\n%s"
+            meth path host port (String.length body)
+            (String.concat ""
+               (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
+            body
+        in
+        write_all fd req;
+        let r = reader fd in
+        match read_line r with
+        | None -> Error "empty response"
+        | Some status_line -> (
+          match String.split_on_char ' ' status_line with
+          | version :: code :: _
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/"
+            -> (
+            match int_of_string_opt code with
+            | None -> Error (Printf.sprintf "bad status line %S" status_line)
+            | Some status -> (
+              match parse_headers r with
+              | Error _ as e -> e
+              | Ok headers ->
+                let collected = Buffer.create 1024 in
+                let pending = Buffer.create 256 in
+                let emit s =
+                  Buffer.add_string collected s;
+                  feed_lines ~pending ~on_line s
+                in
+                (match List.assoc_opt "transfer-encoding" headers with
+                | Some te
+                  when String.lowercase_ascii (String.trim te) = "chunked" ->
+                  read_chunked r ~emit
+                | _ -> (
+                  match List.assoc_opt "content-length" headers with
+                  | Some v -> (
+                    match int_of_string_opt (String.trim v) with
+                    | Some n when n >= 0 -> emit (read_exact r n)
+                    | _ -> raise (Short_read "bad content-length"))
+                  | None -> emit (read_to_eof r)));
+                (* a final line without trailing newline still counts *)
+                if Buffer.length pending > 0 then on_line (Buffer.contents pending);
+                Ok (status, headers, Buffer.contents collected)))
+          | _ -> Error (Printf.sprintf "bad status line %S" status_line)))
+  with
+  | v -> v
+  | exception Short_read msg -> Error msg
+  | exception Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))

@@ -1,0 +1,64 @@
+(** Just enough HTTP/1.1 for a local job service — stdlib [Unix] only.
+
+    One request per connection ([Connection: close] both ways), plain
+    responses carry [Content-Length], streaming responses use chunked
+    transfer encoding (one JSONL event per {!send_chunk}). Requests are
+    size-capped before parsing, so a hostile or confused client cannot
+    balloon the server: oversized headers or body are a clean [Error],
+    which the server maps to a 400/413. *)
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["GET"] *)
+  path : string;  (** request-target, e.g. ["/v1/jobs"] *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val read_request :
+  ?max_headers:int -> ?max_body:int -> Unix.file_descr -> (request, string) result
+(** Parse one request from the socket. [max_headers] (default 16 KiB)
+    caps the request line + header block, [max_body] (default 1 MiB)
+    caps [Content-Length]. [Error] carries a one-line diagnostic
+    suitable for a 400 body. *)
+
+val respond :
+  Unix.file_descr ->
+  ?headers:(string * string) list ->
+  status:int ->
+  string ->
+  unit
+(** Write a complete response with [Content-Length] and
+    [Connection: close]. *)
+
+val start_chunked :
+  Unix.file_descr -> ?headers:(string * string) list -> status:int -> unit -> unit
+
+val send_chunk : Unix.file_descr -> string -> unit
+(** One chunk; the serve protocol sends exactly one JSONL line
+    (newline included) per chunk. Empty strings are skipped (an empty
+    chunk would terminate the stream). *)
+
+val finish_chunked : Unix.file_descr -> unit
+(** The zero-length terminator chunk. *)
+
+(** {2 Client side} — used by [mutexlb --connect] and the tests. *)
+
+val request :
+  ?host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  ?on_line:(string -> unit) ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** Send one request, decode the response (chunked or
+    [Content-Length] or read-to-EOF). [on_line] fires for each
+    newline-terminated line {e as it arrives} — the streaming JSONL
+    path; the full decoded body is also returned. [Error] is a
+    transport or parse failure (connection refused, short read, bad
+    chunk framing). *)

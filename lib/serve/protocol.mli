@@ -1,0 +1,70 @@
+(** The serve job protocol: request parsing, shared family selection,
+    and result rendering.
+
+    Everything here is deliberately shared with the batch CLI — the
+    acceptance bar for the service is that a certify job returns a
+    certificate {e byte-identical} to [mutexlb certify] with the same
+    [(algo, n, perms, seed)] at any job count. That only holds if both
+    sides pick the same permutation family and render through the same
+    pretty-printer, so both live in one module and the CLI calls them
+    too. *)
+
+type certify_spec = {
+  c_algo : string;
+  c_n : int;
+  c_perms : int;
+  c_seed : int;
+  c_resume : bool;
+  c_save_traces : bool;
+  c_pi_timeout : float option;
+}
+
+type job =
+  | Certify of certify_spec
+  | Check of { k_algos : string; k_n : int; k_rounds : int; k_max_states : int }
+  | Lint of { l_algos : string; l_sizes : int list }
+  | Chaos of { h_max_states : int; h_random : int; h_seed : int }
+  | Mutate of { m_algos : string }
+
+val kind : job -> string
+(** ["certify" | "check" | "lint" | "chaos" | "mutate"]. *)
+
+val job_of_json : Lb_util.Json.t -> (job, string) result
+(** Parse a POST /v1/jobs body: an object with a ["kind"] field naming
+    the job and per-kind parameters (all optional except certify's
+    ["algo"]/["n"]). [Error] is a one-line diagnostic for the 400
+    body. Validation is structural only — unknown algorithms are
+    reported when the job runs, so the warm/queued paths agree. *)
+
+val job_summary : job -> Lb_util.Json.t
+(** Canonical echo of the parsed job (defaults filled in), sent back in
+    the ["accepted"] event so clients see exactly what was admitted. *)
+
+(** {2 Shared with the CLI} *)
+
+val clamp_perms : ?warn:bool -> n:int -> int -> int
+(** Clamp a requested sample count to [n!] when it exceeds the full
+    family ([n <= 20]; beyond that n! dwarfs any conceivable request).
+    [warn] (default false) prints the CLI's stderr warning. *)
+
+val family :
+  n:int -> perms:int -> seed:int -> Lb_core.Permutation.t list * bool
+(** The permutation family certify examines, and whether it is
+    exhaustive: all of [S_n] when [n <= 8] and [n! <= perms] (after
+    clamping), otherwise a seeded sample. Both the CLI and the server
+    MUST select through this function — it is what makes their
+    certificates comparable. *)
+
+val certificate_text : Lb_core.Bounds.certificate -> string
+(** Exactly the batch CLI's certificate rendering (no trailing
+    newline): [Format.asprintf "%a" Bounds.pp_certificate]. *)
+
+val certificate_json : Lb_core.Bounds.certificate -> Lb_util.Json.t
+(** The certificate's fields, plus ["text"] carrying
+    {!certificate_text} verbatim. *)
+
+val resolve_algos :
+  ?default_all:bool -> string -> (Lb_shmem.Algorithm.t list, string) result
+(** Resolve a comma-separated name list; ["all"] is the whole registry,
+    ["correct"] the correct entries only. [default_all] picks the
+    meaning of [""] (lint defaults to all, mutate to correct). *)

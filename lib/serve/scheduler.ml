@@ -1,0 +1,189 @@
+type config = {
+  max_active : int;
+  per_client : int;
+  rate : float;
+  burst : float;
+}
+
+let default = { max_active = 1; per_client = 1; rate = 4.0; burst = 8.0 }
+
+type state = Waiting | Granted of int | Rejected
+
+type ticket = {
+  tk_client : string;
+  mutable tk_state : state;
+  mutable tk_done : bool;  (** finish already accounted for *)
+}
+
+type client = {
+  cl_name : string;
+  mutable cl_tokens : float;
+  mutable cl_refilled : float;  (** last refill timestamp *)
+  cl_waiting : ticket Queue.t;
+  mutable cl_running : int;
+}
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  cond : Condition.t;
+  tbl : (string, client) Hashtbl.t;
+  mutable ring : string list;  (** round-robin scan order, rotated on grant *)
+  mutable active : int;
+  mutable next_seq : int;
+  mutable draining : bool;
+}
+
+type rejection = [ `Rate_limited of float | `Draining ]
+
+let create ?(config = default) () =
+  if config.max_active < 1 || config.per_client < 1 then
+    invalid_arg "Scheduler.create: max_active and per_client must be >= 1";
+  if config.rate <= 0.0 || config.burst < 1.0 then
+    invalid_arg "Scheduler.create: rate must be > 0 and burst >= 1";
+  {
+    cfg = config;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create 8;
+    ring = [];
+    active = 0;
+    next_seq = 0;
+    draining = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Tickets abandoned before their grant (client hung up) are marked
+   Rejected in place and skipped here — queues only ever pop. *)
+let rec pop_waiting q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some tk when tk.tk_state = Waiting -> Some tk
+  | Some _ -> pop_waiting q
+
+(* Hand out free slots: next eligible client in ring order, oldest
+   ticket first within the client; the granted client rotates to the
+   ring's tail. Loops until slots or eligible tickets run out. *)
+let rec grant_locked t =
+  if (not t.draining) && t.active < t.cfg.max_active then begin
+    let rec find before = function
+      | [] -> None
+      | name :: rest -> (
+        let c = Hashtbl.find t.tbl name in
+        if c.cl_running < t.cfg.per_client then
+          match pop_waiting c.cl_waiting with
+          | Some tk -> Some (List.rev before, name, rest, c, tk)
+          | None -> find (name :: before) rest
+        else find (name :: before) rest)
+    in
+    match find [] t.ring with
+    | None -> ()
+    | Some (before, name, rest, c, tk) ->
+      tk.tk_state <- Granted t.next_seq;
+      t.next_seq <- t.next_seq + 1;
+      t.active <- t.active + 1;
+      c.cl_running <- c.cl_running + 1;
+      t.ring <- before @ rest @ [ name ];
+      Condition.broadcast t.cond;
+      grant_locked t
+  end
+
+let client_of t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        cl_name = name;
+        cl_tokens = t.cfg.burst;
+        cl_refilled = Unix.gettimeofday ();
+        cl_waiting = Queue.create ();
+        cl_running = 0;
+      }
+    in
+    Hashtbl.add t.tbl name c;
+    t.ring <- t.ring @ [ name ];
+    c
+
+let submit t ~client =
+  locked t (fun () ->
+      if t.draining then Error `Draining
+      else begin
+        let c = client_of t client in
+        let now = Unix.gettimeofday () in
+        c.cl_tokens <-
+          Float.min t.cfg.burst
+            (c.cl_tokens +. ((now -. c.cl_refilled) *. t.cfg.rate));
+        c.cl_refilled <- now;
+        if c.cl_tokens >= 1.0 then begin
+          c.cl_tokens <- c.cl_tokens -. 1.0;
+          let tk = { tk_client = client; tk_state = Waiting; tk_done = false } in
+          Queue.push tk c.cl_waiting;
+          grant_locked t;
+          Ok tk
+        end
+        else Error (`Rate_limited ((1.0 -. c.cl_tokens) /. t.cfg.rate))
+      end)
+
+let await t tk =
+  locked t (fun () ->
+      let rec wait () =
+        match tk.tk_state with
+        | Granted seq -> `Granted seq
+        | Rejected -> `Draining
+        | Waiting ->
+          if t.draining then `Draining
+          else begin
+            Condition.wait t.cond t.mu;
+            wait ()
+          end
+      in
+      wait ())
+
+let finish t tk =
+  locked t (fun () ->
+      if not tk.tk_done then begin
+        tk.tk_done <- true;
+        match tk.tk_state with
+        | Granted _ ->
+          let c = Hashtbl.find t.tbl tk.tk_client in
+          c.cl_running <- c.cl_running - 1;
+          t.active <- t.active - 1;
+          grant_locked t
+        | Waiting ->
+          (* abandoned before grant; reaped lazily by [pop_waiting] *)
+          tk.tk_state <- Rejected
+        | Rejected -> ()
+      end)
+
+let drain t =
+  locked t (fun () ->
+      t.draining <- true;
+      Hashtbl.iter
+        (fun _ c ->
+          Queue.iter
+            (fun tk -> if tk.tk_state = Waiting then tk.tk_state <- Rejected)
+            c.cl_waiting;
+          Queue.clear c.cl_waiting)
+        t.tbl;
+      Condition.broadcast t.cond)
+
+let count_waiting c =
+  Queue.fold
+    (fun n tk -> if tk.tk_state = Waiting then n + 1 else n)
+    0 c.cl_waiting
+
+let queued t =
+  locked t (fun () -> Hashtbl.fold (fun _ c n -> n + count_waiting c) t.tbl 0)
+
+let running t = locked t (fun () -> t.active)
+
+let clients t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> (name, count_waiting c, c.cl_running) :: acc)
+        t.tbl []
+      |> List.sort compare)

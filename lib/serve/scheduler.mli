@@ -1,0 +1,71 @@
+(** Fair admission control for the job service.
+
+    The scheduler owns no threads and never touches a socket: each
+    connection handler submits a ticket, blocks on {!await}, runs its
+    job in its own domain when granted, and calls {!finish}. That keeps
+    the fairness logic pure enough to unit-test exhaustively without a
+    server.
+
+    Three mechanisms, in order:
+
+    {ul
+    {- {b token bucket, at admission} — each client refills at [rate]
+       tokens/second up to [burst]; a submit with an empty bucket is
+       turned away immediately with a retry-after hint (HTTP 429). A
+       chatty client is shed at the door, never queued, so it cannot
+       grow the queue that fair granting has to scan.}
+    {- {b round-robin granting} — free slots go to the {e next client}
+       in ring order, oldest ticket first within a client. One client
+       with 50 queued jobs and one with 1 alternate grants; FIFO would
+       make the second wait for all 50. This is the fairness invariant
+       the tests pin down: a ticket is overtaken by at most
+       [clients × per_client] later-arriving tickets of other clients.}
+    {- {b per-client running cap} — at most [per_client] of any one
+       client's jobs hold slots simultaneously, so even with
+       [max_active > 1] a single client cannot occupy every slot.}}
+
+    Grants carry a global sequence number; the integration tests assert
+    the fairness invariant on those. *)
+
+type config = {
+  max_active : int;  (** concurrent running jobs (default 1) *)
+  per_client : int;  (** max running jobs per client (default 1) *)
+  rate : float;  (** token-bucket refill, jobs/second (default 4.) *)
+  burst : float;  (** token-bucket capacity (default 8.) *)
+}
+
+val default : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+type ticket
+
+type rejection =
+  [ `Rate_limited of float  (** seconds until a token accrues *)
+  | `Draining ]
+
+val submit : t -> client:string -> (ticket, rejection) result
+(** Admit a job for [client] (any non-empty identifier; the server uses
+    the request's [X-Client] header). *)
+
+val await : t -> ticket -> [ `Granted of int | `Draining ]
+(** Block until the ticket is granted a slot ([`Granted seq] with the
+    global grant sequence number) or the scheduler drains. *)
+
+val finish : t -> ticket -> unit
+(** Release the ticket's slot (or queue position). Idempotent; must be
+    called exactly once per granted ticket or the slot leaks. *)
+
+val drain : t -> unit
+(** Reject every queued ticket with [`Draining], refuse all future
+    submits. Running jobs are unaffected — cancelling them is the
+    server's business, not the scheduler's. *)
+
+val queued : t -> int
+
+val running : t -> int
+
+val clients : t -> (string * int * int) list
+(** [(client, queued, running)], sorted by client — for /v1/stats. *)

@@ -1,0 +1,126 @@
+type reason = string
+
+type report = {
+  g_kept : int;
+  g_condemned : (string * reason) list;
+  g_trash_purged : int;
+  g_trash_deferred : int;
+  g_epoch : int;
+  g_dry : bool;
+}
+
+let trash_dir st = Filename.concat (Store.dir st) "trash"
+
+let trash_epoch_dir st e =
+  Filename.concat (trash_dir st) (Printf.sprintf "epoch_%d" e)
+
+let epoch_of_dirname name =
+  if String.length name > 6 && String.sub name 0 6 = "epoch_" then
+    int_of_string_opt (String.sub name 6 (String.length name - 6))
+  else None
+
+let trash_epochs st =
+  match Sys.readdir (trash_dir st) with
+  | names ->
+    Array.to_list names |> List.filter_map epoch_of_dirname |> List.sort compare
+  | exception Sys_error _ -> []
+
+(* Classify every entry. [Store.fold] visits keys in sorted order and we
+   cons, so the reversed accumulator is back in key order. *)
+let scan ~current_fp st =
+  let kept, condemned =
+    Store.fold st ~init:(0, []) ~f:(fun (keep, drop) ~key r ->
+        match r with
+        | Error diag -> (keep, (key, "damaged: " ^ diag) :: drop)
+        | Ok (e : Store.entry) -> (
+          match current_fp ~algo:e.Store.e_algo ~n:e.Store.e_n with
+          | None ->
+            ( keep,
+              ( key,
+                Printf.sprintf "unknown algorithm %s (or unsupported at n=%d)"
+                  e.Store.e_algo e.Store.e_n )
+              :: drop )
+          | Some fp when fp <> e.Store.e_fp ->
+            (keep, (key, "stale fingerprint: " ^ e.Store.e_algo) :: drop)
+          | Some _ -> (keep + 1, drop)))
+  in
+  (kept, List.rev condemned)
+
+let remove_tree dir =
+  (match Sys.readdir dir with
+  | names ->
+    Array.iter
+      (fun name ->
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      names
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* Unlink trash/epoch_K iff every live registered reader joined at
+   epoch >= K (it registered after that condemnation, so no stale path
+   from an older listing can survive in it). No readers: purge all. *)
+let purge_trash st =
+  let live = Store_lock.live_readers st in
+  let min_joined =
+    match live with
+    | [] -> max_int
+    | (_, e0) :: rest ->
+      List.fold_left (fun acc (_, e) -> min acc e) e0 rest
+  in
+  List.fold_left
+    (fun (purged, deferred) k ->
+      if k <= min_joined then begin
+        remove_tree (trash_epoch_dir st k);
+        (purged + 1, deferred)
+      end
+      else (purged, deferred + 1))
+    (0, 0) (trash_epochs st)
+
+let destructive_pass ~current_fp st =
+  ignore (Store_lock.reap_dead_readers st);
+  let kept, condemned = scan ~current_fp st in
+  let e =
+    if condemned = [] then Store_lock.epoch st
+    else begin
+      let e = Store_lock.bump_epoch st in
+      let dir = trash_epoch_dir st e in
+      Lb_util.Fsio.mkdir_p dir;
+      List.iter
+        (fun (key, _why) ->
+          try Sys.rename (Store.object_path st ~key) (Filename.concat dir key)
+          with Sys_error _ -> ())
+        condemned;
+      e
+    end
+  in
+  let purged, deferred = purge_trash st in
+  {
+    g_kept = kept;
+    g_condemned = condemned;
+    g_trash_purged = purged;
+    g_trash_deferred = deferred;
+    g_epoch = e;
+    g_dry = false;
+  }
+
+let run ?(dry = false) ?(force = false) ?(wait = 0.0) ~current_fp st =
+  if dry then begin
+    let kept, condemned = scan ~current_fp st in
+    Ok
+      {
+        g_kept = kept;
+        g_condemned = condemned;
+        g_trash_purged = 0;
+        g_trash_deferred = List.length (trash_epochs st);
+        g_epoch = Store_lock.epoch st;
+        g_dry = true;
+      }
+  end
+  else
+    match Store_lock.acquire_writer ~wait st ~purpose:"gc" with
+    | Error h when not force -> Error h
+    | acquired ->
+      let lease = match acquired with Ok w -> Some w | Error _ -> None in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Store_lock.release_writer lease)
+        (fun () -> Ok (destructive_pass ~current_fp st))

@@ -1,0 +1,286 @@
+type held = {
+  h_pid : int;
+  h_host : string;
+  h_purpose : string;
+  h_since : float;
+}
+
+exception Busy of held
+
+let pp_held ppf h =
+  Format.fprintf ppf "pid %d on %s (purpose %s, since %.0f)" h.h_pid h.h_host
+    h.h_purpose h.h_since
+
+let () =
+  Printexc.register_printer (function
+    | Busy h ->
+      Some (Format.asprintf "store writer lease busy: held by %a" pp_held h)
+    | _ -> None)
+
+let locks_dir st = Filename.concat (Store.dir st) "locks"
+let lease_path st = Filename.concat (locks_dir st) "writer.lease"
+let epoch_path st = Filename.concat (locks_dir st) "epoch"
+let readers_dir st = Filename.concat (locks_dir st) "readers"
+
+let host = Unix.gethostname ()
+
+(* [kill pid 0] probes existence: ESRCH = dead, EPERM = alive but not
+   ours. Only meaningful on the host that recorded the pid. *)
+let pid_alive_here pid =
+  pid > 0
+  &&
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true
+
+let held_to_string h =
+  Printf.sprintf "pid %d\nhost %s\npurpose %s\nsince %.3f\n" h.h_pid h.h_host
+    h.h_purpose h.h_since
+
+let held_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let field name =
+    List.find_map
+      (fun l ->
+        let p = name ^ " " in
+        if String.length l > String.length p
+           && String.sub l 0 (String.length p) = p
+        then Some (String.sub l (String.length p)
+                     (String.length l - String.length p))
+        else None)
+      lines
+  in
+  match (field "pid", field "host", field "purpose", field "since") with
+  | Some pid, Some h, Some purpose, Some since -> (
+    match (int_of_string_opt pid, float_of_string_opt since) with
+    | Some pid, Some since ->
+      Some { h_pid = pid; h_host = h; h_purpose = purpose; h_since = since }
+    | _ -> None)
+  | _ -> None
+
+(* An unparsable lease is either a concurrent writer between its
+   O_EXCL create and its write (sub-millisecond window) or debris from
+   a crash inside that window. Give it a few seconds of benefit of the
+   doubt, then treat it as stale. *)
+let unparsable_grace = 5.0
+
+let read_lease path =
+  match Lb_util.Fsio.read ~path () with
+  | s -> `Parsed (held_of_string s)
+  | exception Sys_error _ -> `Vanished
+
+type writer = { w_store : Store.t; w_token : string; mutable w_live : bool }
+
+(* The lease body carries a per-acquisition token so release can verify
+   the file on disk is still *our* lease (and not a successor's, taken
+   after ours was broken as stale — e.g. by a clock-skewed gc). *)
+let token_counter = Atomic.make 0
+
+let lease_body ~purpose ~token =
+  { h_pid = Unix.getpid (); h_host = host; h_purpose = purpose; h_since = 0.0 }
+  |> fun h ->
+  Printf.sprintf "%stoken %s\n"
+    (held_to_string { h with h_since = Unix.gettimeofday () })
+    token
+
+let token_of_string s =
+  List.find_map
+    (fun l ->
+      if String.length l > 6 && String.sub l 0 6 = "token " then
+        Some (String.sub l 6 (String.length l - 6))
+      else None)
+    (String.split_on_char '\n' s)
+
+let try_acquire_writer st ~purpose =
+  Lb_util.Fsio.mkdir_p (locks_dir st);
+  let path = lease_path st in
+  let token =
+    Printf.sprintf "%d.%d.%d" (Unix.getpid ())
+      (Atomic.fetch_and_add token_counter 1)
+      (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF)
+  in
+  let create () =
+    match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+    | fd ->
+      let body = lease_body ~purpose ~token in
+      let _ = Unix.write_substring fd body 0 (String.length body) in
+      Unix.close fd;
+      Some { w_store = st; w_token = token; w_live = true }
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> None
+  in
+  match create () with
+  | Some w -> Ok w
+  | None -> (
+    (* lease exists: stale-break or report the holder *)
+    let break () =
+      (try Sys.remove path with Sys_error _ -> ());
+      match create () with
+      | Some w -> Ok w
+      | None -> (
+        match read_lease path with
+        | `Parsed (Some h) -> Error h
+        | `Parsed None | `Vanished ->
+          Error
+            { h_pid = 0; h_host = host; h_purpose = "unknown"; h_since = 0.0 })
+    in
+    match read_lease path with
+    | `Vanished -> (
+      (* released between our create and read: retry once *)
+      match create () with
+      | Some w -> Ok w
+      | None ->
+        Error { h_pid = 0; h_host = host; h_purpose = "unknown"; h_since = 0.0 })
+    | `Parsed (Some h) ->
+      if h.h_host = host && not (pid_alive_here h.h_pid) then break ()
+      else Error h
+    | `Parsed None ->
+      let age =
+        match Unix.stat path with
+        | st -> Unix.gettimeofday () -. st.Unix.st_mtime
+        | exception Unix.Unix_error _ -> 0.0
+      in
+      if age > unparsable_grace then break ()
+      else
+        Error { h_pid = 0; h_host = host; h_purpose = "unparsable"; h_since = 0.0 })
+
+let acquire_writer ?(wait = 0.0) st ~purpose =
+  let deadline = Unix.gettimeofday () +. wait in
+  let rec go () =
+    match try_acquire_writer st ~purpose with
+    | Ok w -> Ok w
+    | Error h ->
+      if Unix.gettimeofday () >= deadline then Error h
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let release_writer w =
+  if w.w_live then begin
+    w.w_live <- false;
+    let path = lease_path w.w_store in
+    match Lb_util.Fsio.read ~path () with
+    | s ->
+      if token_of_string s = Some w.w_token then (
+        try Sys.remove path with Sys_error _ -> ())
+    | exception Sys_error _ -> ()
+  end
+
+let with_writer ?wait st ~purpose f =
+  match acquire_writer ?wait st ~purpose with
+  | Error h -> raise (Busy h)
+  | Ok w -> Fun.protect ~finally:(fun () -> release_writer w) f
+
+let writer_held st =
+  match read_lease (lease_path st) with
+  | `Vanished | `Parsed None -> None
+  | `Parsed (Some h) ->
+    if h.h_host = host && not (pid_alive_here h.h_pid) then None else Some h
+
+(* -------------------------------- epoch ------------------------------- *)
+
+let epoch st =
+  match Lb_util.Fsio.read ~path:(epoch_path st) () with
+  | s -> ( match int_of_string_opt (String.trim s) with Some e -> e | None -> 0)
+  | exception Sys_error _ -> 0
+
+let bump_epoch st =
+  Lb_util.Fsio.mkdir_p (locks_dir st);
+  let e = epoch st + 1 in
+  Lb_util.Fsio.write_atomic ~path:(epoch_path st) (string_of_int e ^ "\n");
+  e
+
+(* ------------------------------- readers ------------------------------ *)
+
+type reader = {
+  r_store : Store.t;
+  r_path : string;
+  r_purpose : string;
+  mutable r_live : bool;
+}
+
+let reader_counter = Atomic.make 0
+
+let reader_body ~purpose ~epoch =
+  Printf.sprintf "pid %d\nhost %s\npurpose %s\nepoch %d\nsince %.3f\n"
+    (Unix.getpid ()) host purpose epoch (Unix.gettimeofday ())
+
+let register_reader ?(purpose = "reader") st =
+  Lb_util.Fsio.mkdir_p (readers_dir st);
+  let name =
+    Printf.sprintf "%d-%d.reader" (Unix.getpid ())
+      (Atomic.fetch_and_add reader_counter 1)
+  in
+  let path = Filename.concat (readers_dir st) name in
+  Lb_util.Fsio.write_atomic ~path (reader_body ~purpose ~epoch:(epoch st));
+  { r_store = st; r_path = path; r_purpose = purpose; r_live = true }
+
+let refresh_reader r =
+  if r.r_live then
+    Lb_util.Fsio.write_atomic ~path:r.r_path
+      (reader_body ~purpose:r.r_purpose ~epoch:(epoch r.r_store))
+
+let release_reader r =
+  if r.r_live then begin
+    r.r_live <- false;
+    try Sys.remove r.r_path with Sys_error _ -> ()
+  end
+
+let reader_files st =
+  match Sys.readdir (readers_dir st) with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".reader")
+    |> List.sort compare
+    |> List.map (Filename.concat (readers_dir st))
+  | exception Sys_error _ -> []
+
+let parse_reader path =
+  match Lb_util.Fsio.read ~path () with
+  | s -> (
+    let lines = String.split_on_char '\n' s in
+    let field name =
+      List.find_map
+        (fun l ->
+          let p = name ^ " " in
+          if String.length l > String.length p
+             && String.sub l 0 (String.length p) = p
+          then
+            Some (String.sub l (String.length p)
+                    (String.length l - String.length p))
+          else None)
+        lines
+    in
+    match (field "pid", field "host", field "epoch") with
+    | Some pid, Some h, Some e -> (
+      match (int_of_string_opt pid, int_of_string_opt e) with
+      | Some pid, Some e -> Some (pid, h, e)
+      | _ -> None)
+    | _ -> None)
+  | exception Sys_error _ -> None
+
+let live_readers st =
+  List.filter_map
+    (fun path ->
+      match parse_reader path with
+      | Some (pid, h, e) when h <> host || pid_alive_here pid -> Some (pid, e)
+      | Some _ | None -> None)
+    (reader_files st)
+  |> List.sort compare
+
+let reap_dead_readers st =
+  List.fold_left
+    (fun n path ->
+      match parse_reader path with
+      | Some (pid, h, _) when h = host && not (pid_alive_here pid) ->
+        (try Sys.remove path with Sys_error _ -> ());
+        n + 1
+      | Some _ -> n
+      | None ->
+        (* unparsable reader files are debris *)
+        (try Sys.remove path with Sys_error _ -> ());
+        n + 1)
+    0 (reader_files st)

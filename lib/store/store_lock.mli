@@ -1,0 +1,109 @@
+(** Concurrency control for a shared store directory.
+
+    The store's entry and manifest invariants already make {e readers}
+    safe against any single writer: every file appears atomically
+    (temp-then-rename), is self-verifying, and a failed lookup is
+    handled ([`Absent] → recompute). What they do not provide is
+
+    {ul
+    {- mutual exclusion {e between writers} — two sweeps writing the
+       same manifest, or a GC deleting under a sweep that is about to
+       trust its own just-written entry;}
+    {- a liveness protocol for GC — "no registered reader can still be
+       holding an entry I am about to destroy".}}
+
+    This module adds both, with plain files under [DIR/locks/] so that
+    independent processes (a live [mutexlb serve], a concurrent CLI
+    [certify --store], a [store gc]) coordinate through the directory
+    itself:
+
+    {ul
+    {- {b writer lease} — [locks/writer.lease], created with
+       [O_CREAT|O_EXCL] (the POSIX atomic-creation idiom). One writer
+       at a time; waiters poll. A lease whose recorded pid is dead (on
+       the same host) is {e stale} and silently broken — a [kill -9]'d
+       sweep never wedges the store.}
+    {- {b reader registration} — one file per registered reader under
+       [locks/readers/], recording the GC epoch the reader joined at.
+       Registration is advisory for reads (lookups are safe anyway) but
+       load-bearing for GC's deferred-deletion rule, see {!Store_gc}.}
+    {- {b GC epoch} — [locks/epoch], a monotonic counter bumped by each
+       destructive GC pass. Condemned entries are first renamed into
+       [trash/epoch_N/] (atomic, so a reader mid-lookup either still
+       opens the old path's bytes or sees a clean [`Absent]); the trash
+       is only {e unlinked} once every live registered reader joined at
+       epoch ≥ N, i.e. after the condemnation became visible to it.}}
+
+    Liveness checks use [kill pid 0] and therefore only discriminate on
+    the same host; a reader or writer file recorded by another host is
+    conservatively treated as alive. *)
+
+type held = {
+  h_pid : int;
+  h_host : string;
+  h_purpose : string;  (** e.g. ["sweep"], ["gc"], ["serve"] *)
+  h_since : float;  (** Unix time the lease was taken *)
+}
+(** Who holds (or held) the writer lease. *)
+
+exception Busy of held
+(** Raised by {!with_writer} (and by the sweep engine) when the lease
+    could not be acquired within the wait budget. *)
+
+val pp_held : Format.formatter -> held -> unit
+(** ["pid 1234 on host (purpose sweep, since ...)"]. *)
+
+type writer
+(** A held writer lease. Release exactly once; exiting the process
+    releases implicitly only via the staleness rule, so prefer
+    {!with_writer}. *)
+
+val try_acquire_writer : Store.t -> purpose:string -> (writer, held) result
+(** One attempt: take the lease, breaking it first if stale. [Error]
+    carries the live holder. *)
+
+val acquire_writer :
+  ?wait:float -> Store.t -> purpose:string -> (writer, held) result
+(** Poll {!try_acquire_writer} (50 ms cadence) for up to [wait] seconds
+    (default [0.0] — a single attempt). *)
+
+val release_writer : writer -> unit
+(** Unlink the lease. Idempotent. Only removes a lease this process
+    still owns (a broken-and-retaken lease is never clobbered). *)
+
+val with_writer :
+  ?wait:float -> Store.t -> purpose:string -> (unit -> 'a) -> 'a
+(** Acquire (waiting up to [wait]), run, release — raising {!Busy} if
+    the lease never freed. *)
+
+val writer_held : Store.t -> held option
+(** The current lease holder, ignoring stale leases. *)
+
+type reader
+
+val register_reader : ?purpose:string -> Store.t -> reader
+(** Create this process's reader file, recording the current GC epoch. *)
+
+val refresh_reader : reader -> unit
+(** Rewrite the reader file with the current GC epoch — a long-running
+    server calls this between jobs so trash condemned while it was
+    registered can eventually be purged. *)
+
+val release_reader : reader -> unit
+(** Remove the reader file. Idempotent. *)
+
+val live_readers : Store.t -> (int * int) list
+(** [(pid, joined_epoch)] for every registered reader whose pid is
+    alive (or on another host, conservatively). Sorted. *)
+
+val reap_dead_readers : Store.t -> int
+(** Remove reader files whose pid is provably dead on this host;
+    returns how many were reaped. GC calls this before snapshotting
+    liveness. *)
+
+val epoch : Store.t -> int
+(** Current GC epoch ([0] for a store GC has never touched). *)
+
+val bump_epoch : Store.t -> int
+(** Atomically write epoch+1; returns the new value. Call only while
+    holding the writer lease. *)

@@ -46,8 +46,8 @@ let () =
     | _ -> None)
 
 let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
-    ?(save_traces = false) ?pi_timeout ?(on_event = fun _ -> ())
-    (algo : Algorithm.t) ~n ~perms () =
+    ?(save_traces = false) ?pi_timeout ?(on_event = fun _ -> ()) ?cancel ?lease
+    ?(lease_wait = 60.0) (algo : Algorithm.t) ~n ~perms () =
   if perms = [] then invalid_arg "Sweep.sweep: empty permutation family";
   if checkpoint_every < 1 then
     invalid_arg "Sweep.sweep: checkpoint_every must be >= 1";
@@ -61,6 +61,24 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
          "Sweep.sweep: algorithm %S is declared Uses_rmw; the lower-bound \
           pipeline covers only the read/write-register model"
          algo.Algorithm.name);
+  (* Writers serialize on the store's lease: a server sweep, a
+     concurrent CLI certify and a gc never interleave writes. A caller
+     that already holds the lease (the serve job runner) passes it in
+     and keeps ownership; otherwise we take it here and release on every
+     exit path — including Pool.Cancelled and fail-fast aborts. *)
+  let owned_lease =
+    match (lease : Store_lock.writer option) with
+    | Some _ -> None
+    | None -> (
+      match
+        Store_lock.acquire_writer ~wait:lease_wait store ~purpose:"sweep"
+      with
+      | Ok w -> Some w
+      | Error h -> raise (Store_lock.Busy h))
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Store_lock.release_writer owned_lease)
+  @@ fun () ->
   let name = algo.Algorithm.name in
   let fp = Store_key.fingerprint algo ~n in
   let model = Store_key.sc_model in
@@ -217,7 +235,7 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
   let records_opt =
     Fun.protect
       ~finally:(fun () -> locked checkpoint_locked)
-      (fun () -> Lb_util.Pool.map ?jobs work indices)
+      (fun () -> Lb_util.Pool.map ?jobs ?cancel work indices)
   in
   let progress = locked progress_locked in
   locked (fun () -> on_event (Finished { progress; manifest = mpath }));
@@ -239,10 +257,11 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
   }
 
 let certify ~store ?resume ?jobs ?checkpoint_every ?save_traces ?pi_timeout
-    ?on_event algo ~n ~perms ?(exhaustive = false) () =
+    ?on_event ?cancel ?lease ?lease_wait algo ~n ~perms ?(exhaustive = false)
+    () =
   let report =
     sweep ~store ?resume ?jobs ?checkpoint_every ?save_traces ?pi_timeout
-      ?on_event algo ~n ~perms ()
+      ?on_event ?cancel ?lease ?lease_wait algo ~n ~perms ()
   in
   let cert =
     match report.records with

@@ -87,6 +87,9 @@ val sweep :
   ?save_traces:bool ->
   ?pi_timeout:float ->
   ?on_event:(event -> unit) ->
+  ?cancel:Lb_util.Pool.Cancel.t ->
+  ?lease:Store_lock.writer ->
+  ?lease_wait:float ->
   Lb_shmem.Algorithm.t ->
   n:int ->
   perms:Lb_core.Permutation.t list ->
@@ -102,7 +105,19 @@ val sweep :
     engine's lock — keep it cheap; event order between items reflects
     completion order and is not deterministic across job counts (the
     manifest and report are). Raises [Invalid_argument] on an empty
-    family or an RMW algorithm, like {!Lb_core.Pipeline.certify}. *)
+    family or an RMW algorithm, like {!Lb_core.Pipeline.certify}.
+
+    Concurrency: the sweep holds the store's {!Store_lock} writer lease
+    for its whole run — acquired here (waiting up to [lease_wait]
+    seconds, default [60.0]; {!Store_lock.Busy} if it never frees) or
+    passed in via [lease] by a caller that already holds it and keeps
+    ownership. [cancel] is a cooperative stop token polled between
+    units: on {!Lb_util.Pool.Cancel.set} (or an elapsed deadline) the
+    sweep checkpoints the manifest — every completed unit is already a
+    durable store entry — releases the lease, and raises
+    [Lb_util.Pool.Cancelled]; a later run with the same inputs resumes
+    from the checkpoint. This is what SIGTERM maps to, both in the CLI
+    and in the serve drain path. *)
 
 val certify :
   store:Store.t ->
@@ -112,6 +127,9 @@ val certify :
   ?save_traces:bool ->
   ?pi_timeout:float ->
   ?on_event:(event -> unit) ->
+  ?cancel:Lb_util.Pool.Cancel.t ->
+  ?lease:Store_lock.writer ->
+  ?lease_wait:float ->
   Lb_shmem.Algorithm.t ->
   n:int ->
   perms:Lb_core.Permutation.t list ->

@@ -1,0 +1,326 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of int * string
+
+let fail pos msg = raise (Bad (pos, msg))
+
+(* --------------------------------- parse ------------------------------ *)
+
+type cursor = { s : string; mutable pos : int; max_depth : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c.pos (Printf.sprintf "expected %C, got %C" ch x)
+  | None -> fail c.pos (Printf.sprintf "expected %C, got end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.s
+    && String.sub c.s c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos (Printf.sprintf "bad literal (expected %s)" word)
+
+let utf8_of_code buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 c =
+  let digit () =
+    match peek c with
+    | Some ('0' .. '9' as ch) ->
+      advance c;
+      Char.code ch - Char.code '0'
+    | Some ('a' .. 'f' as ch) ->
+      advance c;
+      Char.code ch - Char.code 'a' + 10
+    | Some ('A' .. 'F' as ch) ->
+      advance c;
+      Char.code ch - Char.code 'A' + 10
+    | _ -> fail c.pos "bad \\u escape (want 4 hex digits)"
+  in
+  let a = digit () in
+  let b = digit () in
+  let d = digit () in
+  let e = digit () in
+  (a lsl 12) lor (b lsl 8) lor (d lsl 4) lor e
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.pos "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> fail c.pos "unterminated escape"
+      | Some ch ->
+        advance c;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let code = hex4 c in
+          if code >= 0xD800 && code <= 0xDBFF then begin
+            (* high surrogate: require the low half *)
+            expect c '\\';
+            expect c 'u';
+            let lo = hex4 c in
+            if lo < 0xDC00 || lo > 0xDFFF then
+              fail c.pos "lone high surrogate in \\u escape"
+            else
+              utf8_of_code buf
+                (0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if code >= 0xDC00 && code <= 0xDFFF then
+            fail c.pos "lone low surrogate in \\u escape"
+          else utf8_of_code buf code
+        | _ -> fail (c.pos - 1) (Printf.sprintf "bad escape \\%c" ch));
+        go ())
+    | Some ch when Char.code ch < 0x20 ->
+      fail c.pos "raw control character in string"
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let consume pred =
+    while match peek c with Some ch when pred ch -> advance c; true | _ -> false
+    do () done
+  in
+  (match peek c with Some '-' -> advance c | _ -> ());
+  consume (function '0' .. '9' -> true | _ -> false);
+  let is_float = ref false in
+  (match peek c with
+  | Some '.' ->
+    is_float := true;
+    advance c;
+    consume (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  (match peek c with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    consume (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let tok = String.sub c.s start (c.pos - start) in
+  if tok = "" || tok = "-" then fail start "bad number";
+  if !is_float then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail start "bad number"
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      (* out of native int range: degrade to float *)
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail start "bad number")
+
+let rec parse_value c depth =
+  if depth > c.max_depth then fail c.pos "nesting too deep";
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let name = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c (depth + 1) in
+        fields := (name, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ()
+        | Some '}' -> advance c
+        | _ -> fail c.pos "expected ',' or '}' in object"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value c (depth + 1) in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements ()
+        | Some ']' -> advance c
+        | _ -> fail c.pos "expected ',' or ']' in array"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c.pos (Printf.sprintf "unexpected character %C" ch)
+
+let parse ?(max_depth = 64) s =
+  let c = { s; pos = 0; max_depth } in
+  match
+    let v = parse_value c 0 in
+    skip_ws c;
+    (match peek c with
+    | None -> ()
+    | Some ch ->
+      fail c.pos (Printf.sprintf "trailing garbage (%C) after value" ch));
+    v
+  with
+  | v -> Ok v
+  | exception Bad (pos, msg) ->
+    Error (Printf.sprintf "byte %d: %s" pos msg)
+
+(* --------------------------------- print ------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    else Buffer.add_string buf "null"
+  | String s -> Buffer.add_string buf (escape s)
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        render buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, x) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (escape name);
+        Buffer.add_char buf ':';
+        render buf x)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render buf v;
+  Buffer.contents buf
+
+(* ------------------------------- accessors ---------------------------- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let as_string = function String s -> Some s | _ -> None
+
+let as_int = function
+  | Int i -> Some i
+  | Float f
+    when Float.is_integer f
+         && f >= Int.to_float Int.min_int
+         && f <= Int.to_float Int.max_int -> Some (Float.to_int f)
+  | _ -> None
+
+let as_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_bool = function Bool b -> Some b | _ -> None
+let as_list = function List xs -> Some xs | _ -> None

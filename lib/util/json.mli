@@ -1,0 +1,56 @@
+(** A minimal, stdlib-only JSON parser and printer.
+
+    The serve subsystem speaks JSONL over local sockets, and the rest
+    of the toolkit already {e emits} JSON by hand; this module supplies
+    the missing half — parsing untrusted request bodies — without a new
+    dependency. It is deliberately small: values are immutable, the
+    parser is a recursive-descent one-pass with a depth cap (hostile
+    nesting cannot blow the OCaml stack), and errors carry the byte
+    offset of the problem.
+
+    Numbers keep OCaml's split: a literal with neither [.] nor
+    exponent that fits a native [int] parses as [Int]; everything else
+    as [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in source order *)
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    non-whitespace is an error). [max_depth] (default [64]) bounds
+    array/object nesting. The error string names the byte offset and
+    the problem. *)
+
+val to_string : t -> string
+(** Render compactly ([,] and [:] separators, no added whitespace).
+    Strings are escaped minimally (quote, backslash, control
+    characters); floats render via [%.17g]. Not guaranteed to
+    round-trip byte-for-byte with {!parse} input — use it for
+    construction, not canonicalization. *)
+
+val escape : string -> string
+(** [escape s] is the JSON string literal for [s], including the
+    surrounding quotes — the same escaping every hand-rolled
+    [json_string] helper in the repo applies. *)
+
+(** {2 Accessors} — each returns [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] (first occurrence). [None] on missing field or
+    non-object. *)
+
+val as_string : t -> string option
+val as_int : t -> int option
+(** [Int], or a [Float] with integral value in native range. *)
+
+val as_float : t -> float option
+(** [Float] or [Int]. *)
+
+val as_bool : t -> bool option
+val as_list : t -> t list option

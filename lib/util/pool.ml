@@ -28,12 +28,39 @@ let set_default_jobs j =
   if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
   default := Some j
 
+module Cancel = struct
+  (* Two atomics, no lock: [set] must be callable from a signal handler
+     and from any domain, and [requested] is polled on the sweep hot
+     path (once per item, next to a construct→encode→decode run — the
+     gettimeofday is noise). A deadline of [infinity] means unarmed. *)
+  type t = { fired : bool Atomic.t; deadline : float Atomic.t }
+
+  let create () = { fired = Atomic.make false; deadline = Atomic.make infinity }
+  let set c = Atomic.set c.fired true
+  let set_deadline c t = Atomic.set c.deadline t
+
+  let requested c =
+    Atomic.get c.fired
+    || Unix.gettimeofday () > Atomic.get c.deadline
+end
+
+exception Cancelled
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled -> Some "Lb_util.Pool.Cancelled"
+    | _ -> None)
+
+let cancel_requested = function
+  | None -> false
+  | Some c -> Cancel.requested c
+
 (* Result slots are written by exactly one worker each and read only
    after every worker has been joined, so plain (non-atomic) array
    stores are race-free under the OCaml 5 memory model. *)
 type 'b slot = Empty | Done of 'b
 
-let parallel_map ~jobs f items =
+let parallel_map ~jobs ?cancel f items =
   let n = Array.length items in
   let results = Array.make n Empty in
   let lock = Mutex.create () in
@@ -45,9 +72,18 @@ let parallel_map ~jobs f items =
      returns [None] so workers fail fast instead of draining the rest
      of the sweep. *)
   let take () =
+    (* Checked outside the lock: [requested] reads atomics only, and a
+       cancellation observed by one worker is recorded as the shared
+       failure, so every other worker stops at its next take. *)
+    let cancelled = cancel_requested cancel in
     Mutex.lock lock;
     let i =
-      if !failure <> None || !next >= n then None
+      if cancelled then begin
+        if !failure = None then
+          failure := Some (Cancelled, Printexc.get_callstack 0);
+        None
+      end
+      else if !failure <> None || !next >= n then None
       else begin
         let i = !next in
         incr next;
@@ -101,16 +137,23 @@ let parallel_map ~jobs f items =
   Array.to_list
     (Array.map (function Done y -> y | Empty -> assert false) results)
 
-let map ?jobs f xs =
+(* The sequential degradations poll the token with the same cadence as
+   the parallel path: once before each item. *)
+let seq_map ?cancel f xs =
+  List.map
+    (fun x -> if cancel_requested cancel then raise Cancelled else f x)
+    xs
+
+let map ?jobs ?cancel f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | _ when jobs = 1 || in_worker () -> List.map f xs
-  | _ -> parallel_map ~jobs f (Array.of_list xs)
+  | [ _ ] -> seq_map ?cancel f xs
+  | _ when jobs = 1 || in_worker () -> seq_map ?cancel f xs
+  | _ -> parallel_map ~jobs ?cancel f (Array.of_list xs)
 
-let iter ?jobs f xs = ignore (map ?jobs f xs)
+let iter ?jobs ?cancel f xs = ignore (map ?jobs ?cancel f xs)
 
 let chunk_list size xs =
   if size < 1 then invalid_arg "Pool.chunk_list: size must be >= 1";
@@ -122,9 +165,9 @@ let chunk_list size xs =
   in
   go [] [] 0 xs
 
-let map_chunked ?jobs ~chunk f xs =
+let map_chunked ?jobs ?cancel ~chunk f xs =
   if chunk < 1 then invalid_arg "Pool.map_chunked: chunk must be >= 1";
   match xs with
   | [] -> []
-  | _ when chunk = 1 -> map ?jobs f xs
-  | _ -> List.concat (map ?jobs (List.map f) (chunk_list chunk xs))
+  | _ when chunk = 1 -> map ?jobs ?cancel f xs
+  | _ -> List.concat (map ?jobs ?cancel (List.map f) (chunk_list chunk xs))

@@ -39,19 +39,58 @@ val set_default_jobs : int -> unit
     [--jobs] flag). Raises [Invalid_argument] unless the argument is
     [>= 1]. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {2 Cooperative cancellation}
+
+    A {!Cancel.t} token lets an outside party — a drain handler, a
+    SIGTERM handler, a serve-job deadline — stop a running {!map}
+    between items. Cancellation is cooperative: items already being
+    applied run to completion (a pipeline unit cannot be preempted
+    mid-run), no {e new} items are started once the token fires, and
+    the [map] call raises {!Cancelled} after the in-flight items have
+    drained. Combined with the sweep engine's finally-checkpoint, this
+    is exactly the "checkpoint the manifest and exit cleanly" shape the
+    long-running service needs. *)
+
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+
+  val set : t -> unit
+  (** Request cancellation now. Idempotent; safe from any domain and
+      from an OCaml signal handler (the token is a pair of atomics). *)
+
+  val set_deadline : t -> float -> unit
+  (** Arm the token to fire at an absolute [Unix.gettimeofday] time —
+      the drain shape: in-flight work gets a grace period, then stops
+      at the next item boundary. Overwrites any earlier deadline. *)
+
+  val requested : t -> bool
+  (** True once {!set} has been called or the deadline has passed. *)
+end
+
+exception Cancelled
+(** Raised by {!map} (in the calling domain, after all in-flight items
+    have drained) when its [?cancel] token fired before the input was
+    exhausted. Results computed so far are discarded — durable engines
+    (the store sweep) persist each completed unit independently, so
+    nothing of value is lost. *)
+
+val map : ?jobs:int -> ?cancel:Cancel.t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
     domains (the calling domain participates as one of the workers).
     [jobs] defaults to {!default_jobs}; [jobs = 1], an empty or
     singleton [xs], and calls from inside a pool worker all degrade to a
-    plain sequential [List.map]. Raises [Invalid_argument] if
-    [jobs < 1]. *)
+    plain sequential [List.map]. [cancel] is polled before each item on
+    both the parallel and sequential paths; see {!Cancelled}. Raises
+    [Invalid_argument] if [jobs < 1]. *)
 
-val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+val iter : ?jobs:int -> ?cancel:Cancel.t -> ('a -> unit) -> 'a list -> unit
 (** [iter ~jobs f xs] is [ignore (map ~jobs f xs)] without building the
     result list's contents. *)
 
-val map_chunked : ?jobs:int -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_chunked :
+  ?jobs:int -> ?cancel:Cancel.t -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_chunked ~jobs ~chunk f xs] is {!map} with [chunk] consecutive
     items batched per scheduled task, for fine-grained work where
     per-item scheduling overhead would dominate (e.g. per-successor

@@ -385,6 +385,51 @@ let test_experiments_store () =
       Alcotest.(check bool) "has entries" true
         (not (Astring_contains.contains out "entries        0 ")))
 
+let test_store_gc_lease () =
+  with_temp_dir (fun dir ->
+      ignore
+        (check_runs "populate"
+           (Printf.sprintf "certify -a yang_anderson -n 3 --store %s" dir)
+           0);
+      (* plant a live lease — this test runner's own pid, so not stale *)
+      let locks = Filename.concat dir "locks" in
+      (try Unix.mkdir locks 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let lease = Filename.concat locks "writer.lease" in
+      Out_channel.with_open_bin lease (fun oc ->
+          Out_channel.output_string oc
+            (Printf.sprintf
+               "pid %d\nhost %s\npurpose sweep\nsince %.3f\ntoken t\n"
+               (Unix.getpid ()) (Unix.gethostname ()) (Unix.gettimeofday ())));
+      let status, out = run_cmd (Printf.sprintf "store gc %s" dir) in
+      Alcotest.(check int) "gc refused" 1 status;
+      Alcotest.(check bool) "named refusal" true
+        (Astring_contains.contains out "refused");
+      Alcotest.(check bool) "suggests the overrides" true
+        (Astring_contains.contains out "--force");
+      let _, out =
+        check_runs "gc --force" (Printf.sprintf "store gc %s --force" dir) 0
+      in
+      Alcotest.(check bool) "force collects" true
+        (Astring_contains.contains out "6 kept");
+      Sys.remove lease)
+
+let test_certify_connect_usage () =
+  with_temp_dir (fun dir ->
+      let status, out =
+        run_cmd
+          (Printf.sprintf
+             "certify -a yang_anderson -n 3 --connect 1 --store %s" dir)
+      in
+      Alcotest.(check int) "exclusive flags" 2 status;
+      Alcotest.(check bool) "says exclusive" true
+        (Astring_contains.contains out "exclusive"));
+  (* nothing listens on port 1: unreachable server is exit 3 *)
+  let status, out = run_cmd "certify -a yang_anderson -n 3 --connect 1" in
+  Alcotest.(check int) "unreachable" 3 status;
+  Alcotest.(check bool) "names the server" true
+    (Astring_contains.contains out "cannot reach")
+
 (* the pipeline-family subcommands refuse RMW algorithms up front with a
    usage error; run/check still accept them *)
 let test_rmw_gate () =
@@ -438,6 +483,9 @@ let suite =
     Alcotest.test_case "certify --store --events" `Quick test_certify_store_events;
     Alcotest.test_case "store flags require --store" `Quick
       test_store_flags_require_store;
+    Alcotest.test_case "store gc lease refusal" `Quick test_store_gc_lease;
+    Alcotest.test_case "certify --connect usage" `Quick
+      test_certify_connect_usage;
     Alcotest.test_case "certify --store quarantine" `Quick
       test_certify_store_quarantine;
     Alcotest.test_case "experiments --store" `Slow test_experiments_store;

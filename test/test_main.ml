@@ -29,6 +29,7 @@ let () =
       ("fairness", Test_fairness.suite);
       ("experiments", Test_experiments.suite);
       ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
       ("faults", Test_faults.suite);
       ("lint", Test_lint.suite);
       ("mutate", Test_mutate.suite);
