@@ -8,6 +8,7 @@
      pipeline    construct -> encode -> decode for one permutation
      decode      decode a saved E_pi file back into an execution
      certify     the Theorem 7.5 certificate over a permutation family
+     work        one distributed-sweep worker over a shared store
      workload    arrival-pattern workloads and per-section costs
      adversary   randomized search for expensive schedules
      experiments regenerate the EXPERIMENTS.md tables
@@ -713,8 +714,39 @@ let certify_cmd =
                "Client identity for $(b,--connect) — the server schedules \
                 fairly across client names.")
   in
+  let retry_arg =
+    Arg.(value & opt int 0
+         & info [ "retry" ] ~docv:"N"
+             ~doc:
+               "With $(b,--connect): retry temporary failures — server \
+                unreachable, at capacity (429) or draining — up to $(docv) \
+                times with jittered exponential backoff before giving up \
+                with the usual exit code (75 for temp-fails, 3 for \
+                unreachable). Permanent errors never retry.")
+  in
+  let retry_backoff_arg =
+    Arg.(value & opt float 1.0
+         & info [ "retry-backoff" ] ~docv:"SECONDS"
+             ~doc:
+               "Base delay for $(b,--retry): attempt k waits about \
+                $(docv)*2^k seconds, jittered to [0.5x, 1.5x] so a fleet \
+                of clients de-synchronizes, capped at 60s. A \
+                server-provided retry-after hint raises the floor.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"K"
+             ~doc:
+               "With $(b,--store): first spawn $(docv) `mutexlb work` \
+                subprocesses that lease pending permutations from the \
+                shared store per-entry and fill it cooperatively, wait for \
+                them, then aggregate the certificate locally (healing any \
+                units a crashed worker left pending). The certificate and \
+                manifest are byte-identical to $(b,--workers) 0.")
+  in
   let run algo_name n seed perms jobs store resume events save_traces
-      pi_timeout checkpoint_every connect connect_host client_name =
+      pi_timeout checkpoint_every connect connect_host client_name retries
+      retry_backoff workers =
     apply_jobs jobs;
     if perms <= 0 then begin
       Printf.eprintf
@@ -733,6 +765,26 @@ let certify_cmd =
     if checkpoint_every < 1 then begin
       Printf.eprintf "certify: --checkpoint-every must be >= 1 (got %d)\n"
         checkpoint_every;
+      exit 2
+    end;
+    if retries < 0 || retry_backoff <= 0.0 then begin
+      Printf.eprintf
+        "certify: --retry must be >= 0 and --retry-backoff positive\n";
+      exit 2
+    end;
+    if retries > 0 && connect = None then begin
+      Printf.eprintf
+        "certify: --retry retries server temp-fails; it requires --connect\n";
+      exit 2
+    end;
+    if workers < 0 then begin
+      Printf.eprintf "certify: --workers must be >= 0 (got %d)\n" workers;
+      exit 2
+    end;
+    if workers > 0 && store = None then begin
+      Printf.eprintf
+        "certify: --workers spawns processes over a shared store; add \
+         --store DIR\n";
       exit 2
     end;
     let algo = find_algo algo_name in
@@ -784,61 +836,159 @@ let certify_cmd =
           Printf.eprintf "certify: granted a server job slot\n%!"
         | _ -> ()
       in
-      (match
-         Lb_serve.Client.submit ~host:connect_host ~port ~client:client_name
-           job ~on_event
-       with
-      | Error msg ->
-        Printf.eprintf "certify: cannot reach server at %s:%d: %s\n"
-          connect_host port msg;
-        exit 3
-      | Ok o -> (
-        let retry_hint =
-          match o.Lb_serve.Client.o_retry_after with
-          | Some ra -> Printf.sprintf " (retry after %.0fs)" ra
-          | None -> ""
-        in
-        match o.Lb_serve.Client.o_error with
-        | Some e ->
-          Printf.eprintf "certify: server error: %s%s\n" e retry_hint;
-          exit (if o.Lb_serve.Client.o_status = 429 then 75 else 1)
-        | None ->
-          if o.Lb_serve.Client.o_drained then begin
-            Printf.eprintf
-              "certify: server is draining; the sweep checkpointed and will \
-               resume%s\n"
-              retry_hint;
-            exit 75
+      (* One submission attempt. Permanent outcomes print and exit right
+         here; only temp-fails (unreachable, 429, drained) return to the
+         retry loop — anything else would re-submit a job the server
+         already answered. *)
+      let attempt () =
+        match
+          Lb_serve.Client.submit ~host:connect_host ~port ~client:client_name
+            job ~on_event
+        with
+        | Error msg ->
+          `Temp
+            ( 3,
+              None,
+              Printf.sprintf "cannot reach server at %s:%d: %s" connect_host
+                port msg )
+        | Ok o -> (
+          let retry_hint =
+            match o.Lb_serve.Client.o_retry_after with
+            | Some ra -> Printf.sprintf " (retry after %.0fs)" ra
+            | None -> ""
+          in
+          match o.Lb_serve.Client.o_error with
+          | Some e when o.Lb_serve.Client.o_status = 429 ->
+            `Temp
+              ( 75,
+                o.Lb_serve.Client.o_retry_after,
+                Printf.sprintf "server at capacity: %s%s" e retry_hint )
+          | Some e ->
+            Printf.eprintf "certify: server error: %s%s\n" e retry_hint;
+            exit 1
+          | None ->
+            if o.Lb_serve.Client.o_drained then
+              `Temp
+                ( 75,
+                  o.Lb_serve.Client.o_retry_after,
+                  "server is draining; the job checkpointed (or was \
+                   cancelled) and a re-submission will resume" ^ retry_hint
+                )
+            else (
+              match o.Lb_serve.Client.o_result with
+              | None ->
+                Printf.eprintf
+                  "certify: connection closed without a result (HTTP %d)\n"
+                  o.Lb_serve.Client.o_status;
+                exit 1
+              | Some r -> (
+                match get r "certificate" Option.some with
+                | Some (J.Obj _ as cert) ->
+                  (match get cert "text" J.as_string with
+                  | Some text -> print_endline text
+                  | None -> print_endline (J.to_string cert));
+                  Printf.eprintf "certify: served via %s path by %s:%d\n"
+                    (Option.value ~default:"?" (get r "path" J.as_string))
+                    connect_host port;
+                  (match get r "failed" J.as_int with
+                  | Some f when f > 0 -> exit 1
+                  | _ -> ());
+                  `Done
+                | _ ->
+                  Printf.printf
+                    "no certificate: every permutation in the family \
+                     failed\n";
+                  exit 1)))
+      in
+      (* Jittered exponential backoff: attempt k sleeps about
+         backoff*2^k seconds, jittered to [0.5x, 1.5x] so a fleet of
+         retrying clients de-synchronizes instead of re-stampeding the
+         server; a retry-after hint from the server raises the floor.
+         The jitter source is deliberately not the sweep seed — retry
+         timing must differ across identical commands. *)
+      let rng =
+        Lb_util.Rng.create
+          ((Unix.getpid () * 7919) lxor (int_of_float (Unix.gettimeofday () *. 1000.)))
+      in
+      let delay_for k hint =
+        let base = retry_backoff *. (2.0 ** float_of_int (min k 6)) in
+        let jittered = base *. (0.5 +. Lb_util.Rng.float rng) in
+        let capped = Float.min 60.0 jittered in
+        match hint with Some h -> Float.max h capped | None -> capped
+      in
+      let rec go k : unit =
+        match attempt () with
+        | `Done -> ()
+        | `Temp (code, hint, why) ->
+          if k >= retries then begin
+            Printf.eprintf "certify: %s%s\n" why
+              (if retries > 0 then
+                 Printf.sprintf " (giving up after %d attempts)" (k + 1)
+               else "");
+            exit code
           end
-          else (
-            match o.Lb_serve.Client.o_result with
-            | None ->
-              Printf.eprintf
-                "certify: connection closed without a result (HTTP %d)\n"
-                o.Lb_serve.Client.o_status;
-              exit 1
-            | Some r -> (
-              match get r "certificate" Option.some with
-              | Some (J.Obj _ as cert) ->
-                (match get cert "text" J.as_string with
-                | Some text -> print_endline text
-                | None -> print_endline (J.to_string cert));
-                Printf.eprintf "certify: served via %s path by %s:%d\n"
-                  (Option.value ~default:"?" (get r "path" J.as_string))
-                  connect_host port;
-                (match get r "failed" J.as_int with
-                | Some f when f > 0 -> exit 1
-                | _ -> ())
-              | _ ->
-                Printf.printf
-                  "no certificate: every permutation in the family failed\n";
-                exit 1))))
+          else begin
+            let d = delay_for k hint in
+            Printf.eprintf "certify: %s; retrying in %.1fs (attempt %d/%d)\n%!"
+              why d (k + 2) (retries + 1);
+            Unix.sleepf d;
+            go (k + 1)
+          end
+      in
+      go 0
     | None -> (
     match store with
     | None ->
       let cert = Lb_core.Pipeline.certify algo ~n ~perms:pis ~exhaustive () in
       Format.printf "%a@." Lb_core.Bounds.pp_certificate cert
     | Some dir ->
+      (* --workers K: pre-fill the store with K cooperating `mutexlb
+         work` subprocesses (per-entry claims, no writer lease), then
+         fall through to the plain local certify below, which mostly
+         serves hits — and recomputes anything a crashed worker left
+         pending, so this aggregate pass is also the healing pass.
+         Byte-identity with --workers 0 holds because workers only add
+         store entries the local sweep would have computed
+         identically. *)
+      if workers > 0 then begin
+        let exe = Sys.executable_name in
+        let args =
+          [
+            exe; "work"; "--store"; dir; "--algo"; algo_name; "--n";
+            string_of_int n; "--seed"; string_of_int seed; "--perms";
+            string_of_int perms;
+          ]
+          @ (if save_traces then [ "--save-traces" ] else [])
+          @
+          match pi_timeout with
+          | None -> []
+          | Some t -> [ "--pi-timeout"; Printf.sprintf "%g" t ]
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        let pids =
+          List.init workers (fun _ ->
+              Unix.create_process exe (Array.of_list args) Unix.stdin devnull
+                Unix.stderr)
+        in
+        Unix.close devnull;
+        Printf.eprintf "certify: spawned %d worker(s) over %s\n%!" workers dir;
+        List.iter
+          (fun pid ->
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED (0 | 1) -> ()
+            | _, Unix.WEXITED c ->
+              Printf.eprintf
+                "certify: worker %d exited %d; its claims will expire and \
+                 the aggregate pass recomputes its pending units\n%!"
+                pid c
+            | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+              Printf.eprintf
+                "certify: worker %d killed by signal %d; its claims will \
+                 expire and the aggregate pass recomputes its pending \
+                 units\n%!"
+                pid s)
+          pids
+      end;
       let st = Lb_store.Store.open_ ~dir in
       let events_oc =
         Option.map
@@ -941,7 +1091,212 @@ let certify_cmd =
     Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg
           $ store_arg $ resume_arg $ events_arg $ save_traces_arg
           $ pi_timeout_arg $ checkpoint_every_arg $ connect_arg
-          $ connect_host_arg $ client_arg)
+          $ connect_host_arg $ client_arg $ retry_arg $ retry_backoff_arg
+          $ workers_arg)
+
+(* -------------------------------- work -------------------------------- *)
+
+(* One distributed-sweep worker. K of these over the same --store DIR
+   converge on one sweep, coordinated only through per-entry claim
+   files — no server, no writer lease. Any of them (or a later plain
+   `certify --store DIR`) prints the byte-identical certificate. *)
+let work_cmd =
+  let perms_arg =
+    Arg.(value & opt int 24
+         & info [ "perms" ] ~docv:"K"
+             ~doc:
+               "Permutations in the family. Give every worker the same \
+                algo, n, seed and perms — the family is derived from \
+                them, and workers of different families would sweep past \
+                each other.")
+  in
+  let store_req_arg =
+    Arg.(required & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Shared store directory the workers converge on.")
+  in
+  let ttl_arg =
+    Arg.(value & opt float Lb_store.Store_claim.default_ttl
+         & info [ "claim-ttl" ] ~docv:"SECONDS"
+             ~doc:
+               "Per-entry claim expiry. A claim not heartbeat-refreshed \
+                for $(docv) seconds counts as abandoned and is stolen \
+                (epoch-fenced) by a live worker. Must comfortably exceed \
+                one unit's compute time, or live workers steal from each \
+                other — safe (identical bytes) but wasteful.")
+  in
+  let batch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "batch" ] ~docv:"K"
+             ~doc:
+               "Claims held at once (default 2x the worker's job count). \
+                Smaller batches spread entries across workers more evenly; \
+                larger ones amortize claim-directory scans.")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt int 64
+         & info [ "checkpoint-every" ] ~docv:"K"
+             ~doc:
+               "Rewrite the shared manifest after every $(docv) units this \
+                worker resolves (failures checkpoint eagerly regardless).")
+  in
+  let pi_timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "pi-timeout" ] ~docv:"SECONDS"
+             ~doc:
+               "Per-permutation wall-clock budget; an overrunning unit is \
+                quarantined exactly as `certify --resume` would.")
+  in
+  let kill_after_arg =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-kill-after" ] ~docv:"K"
+             ~doc:
+               "Chaos harness hook: SIGKILL this worker the moment it has \
+                computed its $(docv)-th unit, claims still in flight — \
+                simulating a mid-sweep crash at a deterministic point. \
+                Survivors must steal the expired claims and still produce \
+                byte-identical output.")
+  in
+  let run algo_name n seed perms jobs dir ttl batch checkpoint_every events
+      save_traces pi_timeout kill_after =
+    apply_jobs jobs;
+    if perms <= 0 then begin
+      Printf.eprintf "work: --perms must be >= 1 (got %d)\n" perms;
+      exit 2
+    end;
+    if ttl <= 0.0 then begin
+      Printf.eprintf "work: --claim-ttl must be positive\n";
+      exit 2
+    end;
+    (match batch with
+    | Some b when b < 1 ->
+      Printf.eprintf "work: --batch must be >= 1 (got %d)\n" b;
+      exit 2
+    | _ -> ());
+    if checkpoint_every < 1 then begin
+      Printf.eprintf "work: --checkpoint-every must be >= 1 (got %d)\n"
+        checkpoint_every;
+      exit 2
+    end;
+    (match pi_timeout with
+    | Some t when t <= 0.0 ->
+      Printf.eprintf "work: --pi-timeout must be positive\n";
+      exit 2
+    | _ -> ());
+    let algo = find_algo algo_name in
+    require_registers_only ~cmd:"work" algo;
+    let perms = clamp_perms ~n perms in
+    (* Same family selection as certify/serve — byte-identity starts
+       with sweeping the same permutations in the same order. *)
+    let pis, exhaustive = Lb_serve.Protocol.family ~n ~perms ~seed in
+    let st = Lb_store.Store.open_ ~dir in
+    let cancel = Lb_util.Pool.Cancel.create () in
+    ignore
+      (Sys.signal Sys.sigterm
+         (Sys.Signal_handle (fun _ -> Lb_util.Pool.Cancel.set cancel)));
+    let events_oc =
+      Option.map
+        (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+        events
+    in
+    let me = Unix.getpid () in
+    let ev_mutex = Mutex.create () in
+    let computed = Atomic.make 0 in
+    let on_event ev =
+      (* called from pool domains — serialize the JSONL stream *)
+      (match events_oc with
+      | Some oc ->
+        Mutex.protect ev_mutex (fun () ->
+            output_string oc (Lb_store.Sweep_dist.event_to_json ev);
+            output_char oc '\n';
+            flush oc)
+      | None -> ());
+      (match ev with
+      | Lb_store.Sweep_dist.Unit
+          { outcome = Lb_store.Sweep_dist.Computed | Lb_store.Sweep_dist.Failed _; _ } -> (
+        let c = Atomic.fetch_and_add computed 1 + 1 in
+        match kill_after with
+        | Some k when c >= k ->
+          Printf.eprintf "work[%d]: chaos kill point (%d units computed)\n%!"
+            me c;
+          Unix.kill me Sys.sigkill
+        | _ -> ())
+      | _ -> ());
+      match ev with
+      | Lb_store.Sweep_dist.Start { total; sweep_id } ->
+        Printf.eprintf "work[%d]: joined sweep %s: %d units\n%!" me sweep_id
+          total
+      | Lb_store.Sweep_dist.Stolen { key; epoch } ->
+        Printf.eprintf "work[%d]: stole expired claim on %s (epoch %d)\n%!"
+          me
+          (String.sub key 0 (min 12 (String.length key)))
+          epoch
+      | Lb_store.Sweep_dist.Fenced { key } ->
+        Printf.eprintf
+          "work[%d]: fenced off %s (own claim expired and was re-granted)\n%!"
+          me
+          (String.sub key 0 (min 12 (String.length key)))
+      | Lb_store.Sweep_dist.Checkpoint { resolved; total; _ } ->
+        Printf.eprintf "work[%d]: checkpoint: %d/%d resolved\n%!" me resolved
+          total
+      | _ -> ()
+    in
+    let finally () = Option.iter close_out events_oc in
+    Fun.protect ~finally (fun () ->
+        match
+          Lb_store.Sweep_dist.certify ~store:st ~ttl ?batch ~checkpoint_every
+            ~save_traces ?pi_timeout ~on_event ~cancel algo ~n ~perms:pis
+            ~exhaustive ()
+        with
+        | exception Lb_util.Pool.Cancelled ->
+          Printf.eprintf
+            "work[%d]: interrupted (SIGTERM); unstarted claims abandoned, \
+             manifest checkpointed — surviving workers (or a re-run) finish \
+             the sweep\n"
+            me;
+          exit 143
+        | cert, r ->
+          (match cert with
+          | Some c -> Format.printf "%a@." Lb_core.Bounds.pp_certificate c
+          | None ->
+            Printf.printf
+              "no certificate: every permutation in the family failed\n");
+          Printf.printf "store          %s\n" dir;
+          Printf.printf
+            "worker         %d hits, %d computed, %d stolen claims\n"
+            r.Lb_store.Sweep_dist.d_hits r.Lb_store.Sweep_dist.d_computed
+            r.Lb_store.Sweep_dist.d_stolen;
+          Printf.printf "manifest       %s\n"
+            r.Lb_store.Sweep_dist.d_manifest_path;
+          match r.Lb_store.Sweep_dist.d_failures with
+          | [] -> ()
+          | fs ->
+            Printf.printf "failure digest (%d quarantined):\n"
+              (List.length fs);
+            List.iteri
+              (fun i (f : Lb_store.Sweep.failure) ->
+                if i < 10 then
+                  Format.printf "  %a: %s@." Lb_core.Permutation.pp
+                    f.Lb_store.Sweep.f_pi f.Lb_store.Sweep.f_message)
+              fs;
+            if List.length fs > 10 then
+              Printf.printf "  ... and %d more (see manifest)\n"
+                (List.length fs - 10);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:
+         "Join (or start) a distributed certify sweep over a shared store. \
+          Run K of these with the same --algo/--n/--seed/--perms and the \
+          same --store DIR — on one machine or several sharing a \
+          filesystem — and they lease pending permutations per-entry, \
+          steal expired claims from crashed peers with epoch fencing, and \
+          converge on a certificate byte-identical to a single-worker \
+          `certify --store`.")
+    Term.(const run $ algo_arg $ n_arg $ seed_arg $ perms_arg $ jobs_arg
+          $ store_req_arg $ ttl_arg $ batch_arg $ checkpoint_every_arg
+          $ events_arg $ save_traces_arg $ pi_timeout_arg $ kill_after_arg)
 
 (* ------------------------------ workload ------------------------------ *)
 
@@ -1120,7 +1475,18 @@ let store_cmd =
            & info [ "wait" ] ~docv:"SECONDS"
                ~doc:"Wait up to $(docv) for the writer lease before refusing.")
     in
-    let run dir dry force wait =
+    let lease_ttl_arg =
+      Arg.(value & opt (some float) None
+           & info [ "lease-ttl" ] ~docv:"SECONDS"
+               ~doc:
+                 "Also treat a writer lease as stale when its file's mtime \
+                  is more than $(docv) seconds from now (either direction). \
+                  Breaks leases left by dead $(i,remote) hosts or rsync'd \
+                  stores, which pid-liveness probing cannot see. Live \
+                  holders refresh their lease on every checkpoint, so a \
+                  TTL comfortably above the checkpoint cadence is safe.")
+    in
+    let run dir dry force wait lease_ttl =
       let st = Lb_store.Store.open_ ~dir in
       (* current behavioral fingerprints, memoized per (algo, n) *)
       let fps : (string * int, string option) Hashtbl.t = Hashtbl.create 16 in
@@ -1139,11 +1505,15 @@ let store_cmd =
           Hashtbl.add fps (algo, n) fp;
           fp
       in
-      match Lb_store.Store_gc.run ~dry ~force ~wait ~current_fp st with
+      match
+        Lb_store.Store_gc.run ~dry ~force ~wait ?lease_ttl:lease_ttl
+          ~current_fp st
+      with
       | Error held ->
         Format.eprintf
-          "gc: refused: store writer lease held by %a — a sweep may be \
-           mid-flight. Retry with --wait SECONDS, or override with --force.@."
+          "gc: refused: store held by %a — a sweep may be mid-flight \
+           (writer lease or live per-entry worker claims). Retry with \
+           --wait SECONDS, or override with --force.@."
           Lb_store.Store_lock.pp_held held;
         exit 1
       | Ok r ->
@@ -1158,10 +1528,11 @@ let store_cmd =
           (if dry then "would be dropped" else "dropped");
         if not dry then
           Printf.printf
-            "gc trash       %d dir(s) purged, %d deferred to live readers \
-             (epoch %d)\n"
+            "gc trash       %d dir(s) purged, %d deferred to live readers, \
+             %d claim dir(s) swept (epoch %d)\n"
             r.Lb_store.Store_gc.g_trash_purged
-            r.Lb_store.Store_gc.g_trash_deferred r.Lb_store.Store_gc.g_epoch
+            r.Lb_store.Store_gc.g_trash_deferred
+            r.Lb_store.Store_gc.g_claims_swept r.Lb_store.Store_gc.g_epoch
     in
     Cmd.v
       (Cmd.info "gc"
@@ -1174,7 +1545,7 @@ let store_cmd =
             condemned entries are renamed into an epoch-stamped trash \
             directory and only purged once no registered reader predates \
             the condemnation.")
-      Term.(const run $ dir_arg $ dry_arg $ force_arg $ wait_arg)
+      Term.(const run $ dir_arg $ dry_arg $ force_arg $ wait_arg $ lease_ttl_arg)
   in
   Cmd.group
     (Cmd.info "store"
@@ -1758,7 +2129,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; check_cmd; construct_cmd; pipeline_cmd;
-            decode_cmd; certify_cmd; workload_cmd; adversary_cmd;
+            decode_cmd; certify_cmd; work_cmd; workload_cmd; adversary_cmd;
             experiments_cmd; store_cmd; lint_cmd; chaos_cmd; mutate_cmd;
             serve_cmd;
           ]))

@@ -82,7 +82,8 @@ let analyze ~settings ~passes (algo : Algorithm.t) n =
       findings @ extra )
 
 let run ?(settings = Automaton.default_settings)
-    ?(passes = default_passes) ?(sizes = default_sizes) ?jobs ~allow algos =
+    ?(passes = default_passes) ?(sizes = default_sizes) ?jobs ?cancel ~allow
+    algos =
   let items =
     List.concat_map
       (fun (algo : Algorithm.t) ->
@@ -93,7 +94,7 @@ let run ?(settings = Automaton.default_settings)
       algos
   in
   let results =
-    Lb_util.Pool.map ?jobs
+    Lb_util.Pool.map ?jobs ?cancel
       (fun (algo, n) -> analyze ~settings ~passes algo n)
       items
   in

@@ -46,11 +46,14 @@ val run :
   ?passes:Pass.t list ->
   ?sizes:int list ->
   ?jobs:int ->
+  ?cancel:Lb_util.Pool.Cancel.t ->
   allow:(string -> string list) ->
   Algorithm.t list ->
   report
 (** [allow name] is the list of rule ids expected (and tolerated) for
     algorithm [name]. [jobs] defaults to {!Lb_util.Pool.default_jobs}.
+    [cancel] stops the sweep cooperatively between (algorithm, size)
+    units, raising [Lb_util.Pool.Cancelled] — the serve drain path.
     Deterministic: the report is identical for every job count. *)
 
 val failures : report -> Finding.t list

@@ -83,9 +83,9 @@ let outcome_ok cell outcome =
   | Detects allowed -> List.mem outcome allowed
   | Any -> not (String.length outcome >= 12 && String.sub outcome 0 12 = "engine_error")
 
-let run ?jobs ?(max_states = 200_000) ?deadline cells =
+let run ?jobs ?cancel ?(max_states = 200_000) ?deadline cells =
   let rows =
-    Lb_util.Pool.map ?jobs
+    Lb_util.Pool.map ?jobs ?cancel
       (fun cell ->
         let outcome =
           try run_cell ~max_states ?deadline cell

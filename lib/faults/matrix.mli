@@ -73,11 +73,19 @@ val random_cells : seed:int -> count:int -> cell list
 (** [count] fuzz cells with {!Fault.generate}d plans over a fixed
     algorithm pool, expectation {!Any}. Reproducible from [seed]. *)
 
-val run : ?jobs:int -> ?max_states:int -> ?deadline:float -> cell list -> t
+val run :
+  ?jobs:int ->
+  ?cancel:Lb_util.Pool.Cancel.t ->
+  ?max_states:int ->
+  ?deadline:float ->
+  cell list ->
+  t
 (** Evaluate the cells (fanned out over {!Lb_util.Pool}, order
     preserved). [max_states] (default [200_000]) bounds each
     model-check cell; [deadline] (seconds, default none) bounds each
-    cell's wall-clock — see the determinism caveat above. *)
+    cell's wall-clock — see the determinism caveat above. [cancel]
+    stops between cells with [Lb_util.Pool.Cancelled] — the serve
+    drain path. *)
 
 val format_version : int
 (** Schema version stamped into {!to_json} reports. *)

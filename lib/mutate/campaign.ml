@@ -232,7 +232,7 @@ let stack ?(config = default) ?(short_circuit = true) ?(baseline = []) algo ~n =
 
 (* ----------------------------- the campaign --------------------------- *)
 
-let run ?(config = default) ?jobs ?short_circuit ~allow algos =
+let run ?(config = default) ?jobs ?cancel ?short_circuit ~allow algos =
   let units =
     List.concat_map
       (fun (a : Algorithm.t) ->
@@ -244,7 +244,7 @@ let run ?(config = default) ?jobs ?short_circuit ~allow algos =
   (* Stage 1 — per (algorithm, size): explore the lint automaton once to
      discover sites, and compute the baseline rule set. *)
   let prepped =
-    Lb_util.Pool.map ?jobs
+    Lb_util.Pool.map ?jobs ?cancel
       (fun (a, n) ->
         let auto = Lb_analysis.Automaton.explore a ~n in
         let ops = Op.sites ~kinds:config.kinds auto in
@@ -259,7 +259,7 @@ let run ?(config = default) ?jobs ?short_circuit ~allow algos =
   in
   (* Stage 2 — every mutant through the staged stack. *)
   let rows =
-    Lb_util.Pool.map ?jobs
+    Lb_util.Pool.map ?jobs ?cancel
       (fun ((a : Algorithm.t), n, op, baseline) ->
         let m = Mutant.make a ~n op in
         let legs = stack ~config ?short_circuit ~baseline m.Mutant.algo ~n in

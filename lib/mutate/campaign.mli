@@ -114,6 +114,7 @@ val baseline_rules :
 val run :
   ?config:config ->
   ?jobs:int ->
+  ?cancel:Lb_util.Pool.Cancel.t ->
   ?short_circuit:bool ->
   allow:(string -> (string * string) list) ->
   Algorithm.t list ->
@@ -121,8 +122,10 @@ val run :
 (** Run the campaign. [allow name] is the survivor allowlist for
     algorithm [name]: [(operator id, reason)] pairs. Sites are
     discovered per (algorithm, size) from the lint automaton; both the
-    discovery sweep and the mutant runs fan out over the pool.
-    Deterministic: the report is identical at every job count. *)
+    discovery sweep and the mutant runs fan out over the pool, and both
+    stop cooperatively (raising [Lb_util.Pool.Cancelled]) when [cancel]
+    fires — the serve drain path. Deterministic: the report is
+    identical at every job count. *)
 
 val total : t -> int
 val kills : t -> (layer * int) list

@@ -240,8 +240,32 @@ let run_certify st ~cancel ~send spec =
                 Lb_store.Store_lock.pp_held h))
     end
 
-let run_check st ~send k_algos ~n ~rounds ~max_states =
-  ignore st;
+(* Non-certify jobs have no checkpoint to resume from, so draining
+   them is a plain abort: cooperative (between pool units — a single
+   model-check cell or pipeline leg still runs to completion), with a
+   [drained] event marked non-resumable so the client exits 75 and the
+   caller re-submits elsewhere. *)
+let drained_event ~kind ~grace =
+  Json.Obj
+    [
+      ("event", Json.String "drained");
+      ("kind", Json.String kind);
+      ("resumable", Json.Bool false);
+      ("retry_after", Json.Float grace);
+    ]
+
+let cancellable st ~cancel ~send ~kind f =
+  match f () with
+  | () -> ()
+  | exception Pool.Cancelled ->
+    send (drained_event ~kind ~grace:st.cfg.grace)
+  | exception e when Pool.Cancel.requested cancel ->
+    (* An engine surfacing the drain as its own error (deadline,
+       torn pool) still reports as drained, not as a job failure. *)
+    ignore e;
+    send (drained_event ~kind ~grace:st.cfg.grace)
+
+let run_check st ~cancel ~send k_algos ~n ~rounds ~max_states =
   match Protocol.resolve_algos k_algos with
   | Error msg -> send (error_event "check" msg)
   | Ok algos -> (
@@ -251,9 +275,11 @@ let run_check st ~send k_algos ~n ~rounds ~max_states =
     | [] ->
       send (error_event "check" (Printf.sprintf "no listed algorithm supports n=%d" n))
     | algos ->
+      cancellable st ~cancel ~send ~kind:"check" @@ fun () ->
       let reports =
         List.map
           (fun algo ->
+            if Pool.Cancel.requested cancel then raise Pool.Cancelled;
             let r = Lb_mutex.Model_check.explore algo ~n ~rounds ~max_states in
             let certified =
               Lb_mutex.Model_check.certifying r
@@ -278,13 +304,13 @@ let run_check st ~send k_algos ~n ~rounds ~max_states =
            (List.for_all fst reports)
            [ ("reports", Json.List (List.map snd reports)) ]))
 
-let run_lint st ~send l_algos ~sizes =
-  ignore st;
+let run_lint st ~cancel ~send l_algos ~sizes =
   match Protocol.resolve_algos l_algos with
   | Error msg -> send (error_event "lint" msg)
   | Ok algos ->
+    cancellable st ~cancel ~send ~kind:"lint" @@ fun () ->
     let report =
-      Lb_analysis.Driver.run ~sizes
+      Lb_analysis.Driver.run ~sizes ~cancel
         ~allow:Lb_algos.Registry.expected_findings algos
     in
     send
@@ -292,25 +318,26 @@ let run_lint st ~send l_algos ~sizes =
          (Lb_analysis.Driver.clean report)
          [ ("report", embed_json (Lb_analysis.Driver.to_json report)) ])
 
-let run_chaos st ~send ~max_states ~random ~seed =
-  ignore st;
+let run_chaos st ~cancel ~send ~max_states ~random ~seed =
   let cells =
     Lb_faults.Matrix.shipped
     @ (if random > 0 then Lb_faults.Matrix.random_cells ~seed ~count:random
        else [])
   in
-  let t = Lb_faults.Matrix.run ~max_states cells in
+  cancellable st ~cancel ~send ~kind:"chaos" @@ fun () ->
+  let t = Lb_faults.Matrix.run ~cancel ~max_states cells in
   send
     (result_event "chaos" t.Lb_faults.Matrix.honest
        [ ("matrix", embed_json (Lb_faults.Matrix.to_json t)) ])
 
-let run_mutate st ~send m_algos =
-  ignore st;
+let run_mutate st ~cancel ~send m_algos =
   match Protocol.resolve_algos ~default_all:false m_algos with
   | Error msg -> send (error_event "mutate" msg)
   | Ok algos ->
+    cancellable st ~cancel ~send ~kind:"mutate" @@ fun () ->
     let t =
-      Lb_mutate.Campaign.run ~allow:Lb_algos.Registry.expected_survivors algos
+      Lb_mutate.Campaign.run ~cancel
+        ~allow:Lb_algos.Registry.expected_survivors algos
     in
     send
       (result_event "mutate"
@@ -321,11 +348,14 @@ let run_job st ~cancel ~send job =
   match (job : Protocol.job) with
   | Protocol.Certify spec -> run_certify st ~cancel ~send spec
   | Protocol.Check { k_algos; k_n; k_rounds; k_max_states } ->
-    run_check st ~send k_algos ~n:k_n ~rounds:k_rounds ~max_states:k_max_states
-  | Protocol.Lint { l_algos; l_sizes } -> run_lint st ~send l_algos ~sizes:l_sizes
+    run_check st ~cancel ~send k_algos ~n:k_n ~rounds:k_rounds
+      ~max_states:k_max_states
+  | Protocol.Lint { l_algos; l_sizes } ->
+    run_lint st ~cancel ~send l_algos ~sizes:l_sizes
   | Protocol.Chaos { h_max_states; h_random; h_seed } ->
-    run_chaos st ~send ~max_states:h_max_states ~random:h_random ~seed:h_seed
-  | Protocol.Mutate { m_algos } -> run_mutate st ~send m_algos
+    run_chaos st ~cancel ~send ~max_states:h_max_states ~random:h_random
+      ~seed:h_seed
+  | Protocol.Mutate { m_algos } -> run_mutate st ~cancel ~send m_algos
 
 (* ------------------------------- requests ------------------------------ *)
 

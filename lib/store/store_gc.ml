@@ -5,6 +5,7 @@ type report = {
   g_condemned : (string * reason) list;
   g_trash_purged : int;
   g_trash_deferred : int;
+  g_claims_swept : int;
   g_epoch : int;
   g_dry : bool;
 }
@@ -76,8 +77,30 @@ let purge_trash st =
       else (purged, deferred + 1))
     (0, 0) (trash_epochs st)
 
+(* Remove per-sweep claim directories wholesale. Only called from the
+   destructive pass, which refused to start (absent --force) while any
+   in-TTL claim existed — so everything here is expired debris: claim
+   and quit files of dead workers, and .failed quarantine records whose
+   failures a future sweep will deterministically reproduce. Returns
+   the number of sweep directories swept. *)
+let sweep_claim_dirs st =
+  let root = Filename.concat (Store.dir st) "claims" in
+  match Sys.readdir root with
+  | names ->
+    Array.fold_left
+      (fun n name ->
+        let dir = Filename.concat root name in
+        if Sys.is_directory dir then begin
+          remove_tree dir;
+          n + 1
+        end
+        else n)
+      0 names
+  | exception Sys_error _ -> 0
+
 let destructive_pass ~current_fp st =
   ignore (Store_lock.reap_dead_readers st);
+  let claims_swept = sweep_claim_dirs st in
   let kept, condemned = scan ~current_fp st in
   let e =
     if condemned = [] then Store_lock.epoch st
@@ -99,11 +122,31 @@ let destructive_pass ~current_fp st =
     g_condemned = condemned;
     g_trash_purged = purged;
     g_trash_deferred = deferred;
+    g_claims_swept = claims_swept;
     g_epoch = e;
     g_dry = false;
   }
 
-let run ?(dry = false) ?(force = false) ?(wait = 0.0) ~current_fp st =
+(* Distributed workers hold no writer lease — their footprint is the
+   per-entry claim files. A destructive pass under live claims could
+   condemn an entry a worker is about to trust, so in-TTL claims refuse
+   the pass exactly like a held writer lease (rendered through the same
+   [held] shape). Expired claim debris, by contrast, is reaped. *)
+let live_claim_holder ?(claim_ttl = Store_claim.default_ttl) st =
+  match Store_claim.live_claims st ~ttl:claim_ttl with
+  | [] -> None
+  | claims ->
+    Some
+      {
+        Store_lock.h_pid = 0;
+        h_host = Unix.gethostname ();
+        h_purpose =
+          Printf.sprintf "work (%d live per-entry claims)" (List.length claims);
+        h_since = 0.0;
+      }
+
+let run ?(dry = false) ?(force = false) ?(wait = 0.0) ?lease_ttl ?claim_ttl
+    ~current_fp st =
   if dry then begin
     let kept, condemned = scan ~current_fp st in
     Ok
@@ -112,15 +155,19 @@ let run ?(dry = false) ?(force = false) ?(wait = 0.0) ~current_fp st =
         g_condemned = condemned;
         g_trash_purged = 0;
         g_trash_deferred = List.length (trash_epochs st);
+        g_claims_swept = 0;
         g_epoch = Store_lock.epoch st;
         g_dry = true;
       }
   end
   else
-    match Store_lock.acquire_writer ~wait st ~purpose:"gc" with
-    | Error h when not force -> Error h
-    | acquired ->
-      let lease = match acquired with Ok w -> Some w | Error _ -> None in
-      Fun.protect
-        ~finally:(fun () -> Option.iter Store_lock.release_writer lease)
-        (fun () -> Ok (destructive_pass ~current_fp st))
+    match live_claim_holder ?claim_ttl st with
+    | Some h when not force -> Error h
+    | Some _ | None -> (
+      match Store_lock.acquire_writer ~wait ?ttl:lease_ttl st ~purpose:"gc" with
+      | Error h when not force -> Error h
+      | acquired ->
+        let lease = match acquired with Ok w -> Some w | Error _ -> None in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Store_lock.release_writer lease)
+          (fun () -> Ok (destructive_pass ~current_fp st)))

@@ -40,6 +40,9 @@ type report = {
   g_trash_deferred : int;
       (** trash directories kept because a live registered reader
           predates them *)
+  g_claims_swept : int;
+      (** per-sweep claim directories removed (expired distributed-sweep
+          debris; always [0] on dry runs) *)
   g_epoch : int;  (** epoch after the pass (unchanged on dry runs) *)
   g_dry : bool;
 }
@@ -48,12 +51,18 @@ val run :
   ?dry:bool ->
   ?force:bool ->
   ?wait:float ->
+  ?lease_ttl:float ->
+  ?claim_ttl:float ->
   current_fp:(algo:string -> n:int -> string option) ->
   Store.t ->
   (report, Store_lock.held) result
 (** [current_fp ~algo ~n] is the live build's fingerprint for that
     (algorithm, size), or [None] if the algorithm is unknown or the
     size unsupported (the CLI passes a registry probe; tests can pass
-    anything). [Error] is the refusal path: the writer lease is held
-    (and [force] was not given) — the caller renders it as a named
+    anything). [lease_ttl] arms {!Store_lock}'s mtime-based stale-lease
+    fallback, so leases from dead remote hosts are breakable. [Error]
+    is the refusal path: the writer lease is held, or a distributed
+    worker holds an in-TTL {!Store_claim} per-entry claim ([claim_ttl],
+    default {!Store_claim.default_ttl}, decides freshness) — and
+    [force] was not given. The caller renders the holder as a named
     error and exits nonzero. *)

@@ -70,6 +70,20 @@ let read_lease path =
   | s -> `Parsed (held_of_string s)
   | exception Sys_error _ -> `Vanished
 
+(* TTL fallback for leases whose pid liveness we cannot probe — a dead
+   remote host, an rsync'd store. Age is measured from the lease file's
+   mtime (the shared filesystem's clock) in *either* direction: a
+   skewed holder that stamped its lease in the future must expire too,
+   or it would hold the store forever. A live holder keeps its lease
+   fresh with {!refresh_writer}. *)
+let lease_expired ~ttl path =
+  match ttl with
+  | None -> false
+  | Some t -> (
+    match Unix.stat path with
+    | st -> abs_float (Unix.gettimeofday () -. st.Unix.st_mtime) > t
+    | exception Unix.Unix_error _ -> false)
+
 type writer = { w_store : Store.t; w_token : string; mutable w_live : bool }
 
 (* The lease body carries a per-acquisition token so release can verify
@@ -92,7 +106,7 @@ let token_of_string s =
       else None)
     (String.split_on_char '\n' s)
 
-let try_acquire_writer st ~purpose =
+let try_acquire_writer ?ttl st ~purpose =
   Lb_util.Fsio.mkdir_p (locks_dir st);
   let path = lease_path st in
   let token =
@@ -132,7 +146,9 @@ let try_acquire_writer st ~purpose =
       | None ->
         Error { h_pid = 0; h_host = host; h_purpose = "unknown"; h_since = 0.0 })
     | `Parsed (Some h) ->
-      if h.h_host = host && not (pid_alive_here h.h_pid) then break ()
+      if (h.h_host = host && not (pid_alive_here h.h_pid))
+         || lease_expired ~ttl path
+      then break ()
       else Error h
     | `Parsed None ->
       let age =
@@ -144,10 +160,10 @@ let try_acquire_writer st ~purpose =
       else
         Error { h_pid = 0; h_host = host; h_purpose = "unparsable"; h_since = 0.0 })
 
-let acquire_writer ?(wait = 0.0) st ~purpose =
+let acquire_writer ?(wait = 0.0) ?ttl st ~purpose =
   let deadline = Unix.gettimeofday () +. wait in
   let rec go () =
-    match try_acquire_writer st ~purpose with
+    match try_acquire_writer ?ttl st ~purpose with
     | Ok w -> Ok w
     | Error h ->
       if Unix.gettimeofday () >= deadline then Error h
@@ -169,16 +185,33 @@ let release_writer w =
     | exception Sys_error _ -> ()
   end
 
-let with_writer ?wait st ~purpose f =
-  match acquire_writer ?wait st ~purpose with
+let refresh_writer w =
+  if w.w_live then begin
+    let path = lease_path w.w_store in
+    match Lb_util.Fsio.read ~path () with
+    | s when token_of_string s = Some w.w_token -> (
+      (* utimes stamps the filesystem's current time; verifying the
+         token first means a broken-and-retaken lease is never
+         freshened on a successor's behalf. *)
+      try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ())
+    | _ -> ()
+    | exception Sys_error _ -> ()
+  end
+
+let with_writer ?wait ?ttl st ~purpose f =
+  match acquire_writer ?wait ?ttl st ~purpose with
   | Error h -> raise (Busy h)
   | Ok w -> Fun.protect ~finally:(fun () -> release_writer w) f
 
-let writer_held st =
-  match read_lease (lease_path st) with
+let writer_held ?ttl st =
+  let path = lease_path st in
+  match read_lease path with
   | `Vanished | `Parsed None -> None
   | `Parsed (Some h) ->
-    if h.h_host = host && not (pid_alive_here h.h_pid) then None else Some h
+    if (h.h_host = host && not (pid_alive_here h.h_pid))
+       || lease_expired ~ttl path
+    then None
+    else Some h
 
 (* -------------------------------- epoch ------------------------------- *)
 

@@ -58,12 +58,19 @@ type writer
     releases implicitly only via the staleness rule, so prefer
     {!with_writer}. *)
 
-val try_acquire_writer : Store.t -> purpose:string -> (writer, held) result
-(** One attempt: take the lease, breaking it first if stale. [Error]
-    carries the live holder. *)
+val try_acquire_writer :
+  ?ttl:float -> Store.t -> purpose:string -> (writer, held) result
+(** One attempt: take the lease, breaking it first if stale. A lease is
+    stale when its recorded pid is provably dead on this host, or —
+    with [ttl] — when the lease file's mtime is more than [ttl] seconds
+    from now in {e either} direction (covering dead {e remote} holders
+    and clock-skewed or rsync'd lease files stamped in the future; a
+    live holder keeps its mtime current via {!refresh_writer}). No
+    [ttl] preserves the pid-liveness-only behavior. [Error] carries the
+    live holder. *)
 
 val acquire_writer :
-  ?wait:float -> Store.t -> purpose:string -> (writer, held) result
+  ?wait:float -> ?ttl:float -> Store.t -> purpose:string -> (writer, held) result
 (** Poll {!try_acquire_writer} (50 ms cadence) for up to [wait] seconds
     (default [0.0] — a single attempt). *)
 
@@ -71,13 +78,21 @@ val release_writer : writer -> unit
 (** Unlink the lease. Idempotent. Only removes a lease this process
     still owns (a broken-and-retaken lease is never clobbered). *)
 
+val refresh_writer : writer -> unit
+(** Heartbeat: re-stamp the lease file's mtime with the filesystem's
+    current time, so a TTL-armed contender ({!try_acquire_writer}
+    [?ttl]) never breaks a live holder. Token-checked — a lease broken
+    and retaken by a successor is never freshened. The sweep engine
+    calls this on every checkpoint. *)
+
 val with_writer :
-  ?wait:float -> Store.t -> purpose:string -> (unit -> 'a) -> 'a
+  ?wait:float -> ?ttl:float -> Store.t -> purpose:string -> (unit -> 'a) -> 'a
 (** Acquire (waiting up to [wait]), run, release — raising {!Busy} if
     the lease never freed. *)
 
-val writer_held : Store.t -> held option
-(** The current lease holder, ignoring stale leases. *)
+val writer_held : ?ttl:float -> Store.t -> held option
+(** The current lease holder, ignoring stale leases (same [ttl] rule as
+    {!try_acquire_writer}). *)
 
 type reader
 

@@ -45,6 +45,18 @@ let () =
            limit)
     | _ -> None)
 
+(* Quarantine messages are part of the manifest bytes, so every engine
+   that records a failure — this one, and the distributed workers in
+   {!Sweep_dist} — must render identically. Deterministic by
+   construction: no elapsed times, pids or addresses. *)
+let failure_message = function
+  | Lb_core.Pipeline.Check_failed { stage; message; _ } ->
+    Printf.sprintf "%s: %s" stage message
+  | Pi_timeout { limit; _ } ->
+    Printf.sprintf "per-pi wall-clock limit exceeded (%gs)" limit
+  | Failure m -> m
+  | e -> Printexc.to_string e
+
 let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
     ?(save_traces = false) ?pi_timeout ?(on_event = fun _ -> ()) ?cancel ?lease
     ?(lease_wait = 60.0) (algo : Algorithm.t) ~n ~perms () =
@@ -132,7 +144,12 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
              outcomes);
     }
   in
-  let checkpoint_locked () = Manifest.save ~path:mpath (manifest_locked ()) in
+  let checkpoint_locked () =
+    Manifest.save ~path:mpath (manifest_locked ());
+    (* Keep the lease's mtime fresh so TTL-armed contenders never
+       mistake a long-running live sweep for a dead remote one. *)
+    Option.iter Store_lock.refresh_writer owned_lease
+  in
   let locked f =
     Mutex.lock lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
@@ -190,17 +207,7 @@ let sweep ~store ?(resume = false) ?jobs ?(checkpoint_every = 64)
         | `Absent -> ());
         match compute () with
         | rc -> (Computed, Some rc)
-        | exception e when resume ->
-          let msg =
-            match e with
-            | Lb_core.Pipeline.Check_failed { stage; message; _ } ->
-              Printf.sprintf "%s: %s" stage message
-            | Pi_timeout { limit; _ } ->
-              Printf.sprintf "per-pi wall-clock limit exceeded (%gs)" limit
-            | Failure m -> m
-            | e -> Printexc.to_string e
-          in
-          (Failed msg, None))
+        | exception e when resume -> (Failed (failure_message e), None))
     in
     locked (fun () ->
         outcomes.(i) <- Some outcome;

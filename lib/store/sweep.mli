@@ -71,6 +71,11 @@ exception Pi_timeout of { pi : Lb_core.Permutation.t; limit : float }
 
 type failure = { f_pi : Lb_core.Permutation.t; f_message : string }
 
+val failure_message : exn -> string
+(** The deterministic quarantine message recorded for a failed unit —
+    shared with the distributed engine ({!Sweep_dist}) so both record
+    byte-identical manifests for the same failing family. *)
+
 type report = {
   records : Lb_core.Pipeline.record list;
       (** successful units, in family order *)

@@ -30,6 +30,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("store", Test_store.suite);
       ("serve", Test_serve.suite);
+      ("distrib", Test_distrib.suite);
       ("faults", Test_faults.suite);
       ("lint", Test_lint.suite);
       ("mutate", Test_mutate.suite);

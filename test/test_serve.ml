@@ -641,6 +641,61 @@ let test_server_drain_and_resume () =
     (Json.member "ok" result = Some (Json.Bool true));
   stop_server d2
 
+(* Satellite: non-certify jobs (check/lint/chaos/mutate) have no durable
+   checkpoint, but a drain must still cancel them cooperatively — the
+   client gets a `drained` event flagged resumable:false (so scripted
+   clients exit 75 and re-submit from scratch) instead of hanging until
+   the job finishes or dying with a torn connection. *)
+let test_server_drain_cancels_nonresumable () =
+  let store_dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf store_dir) @@ fun () ->
+  let d, port = start_server ~jobs:1 ~grace:0.5 ~store_dir () in
+  (* a chaos matrix is long enough to still be running when the drain
+     lands, and checks its cancel token between cells *)
+  let job =
+    Json.Obj
+      [
+        ("kind", Json.String "chaos");
+        ("max_states", Json.Int 60_000);
+        ("random", Json.Int 2);
+        ("seed", Json.Int 3);
+      ]
+  in
+  let granted = Atomic.make false in
+  let drained_flag = Atomic.make None in
+  let outcome = ref None in
+  let d_sub =
+    Domain.spawn (fun () ->
+        let o =
+          submit_ok ~client:"dave" ~port job ~on_event:(fun j ->
+              if json_str j "event" = Some "granted" then
+                Atomic.set granted true;
+              if json_str j "event" = Some "drained" then
+                Atomic.set drained_flag (Json.member "resumable" j))
+        in
+        outcome := Some o)
+  in
+  let rec wait_granted tries =
+    if tries = 0 then Alcotest.fail "job never granted"
+    else if not (Atomic.get granted) then begin
+      Unix.sleepf 0.02;
+      wait_granted (tries - 1)
+    end
+  in
+  wait_granted 500;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Domain.join d_sub;
+  Domain.join d;
+  let o = Option.get !outcome in
+  if o.Lb_serve.Client.o_drained then
+    Alcotest.(check bool) "drain event flagged non-resumable" true
+      (Atomic.get drained_flag = Some (Json.Bool false))
+  else
+    (* the matrix can finish before the drain lands on a fast machine;
+       a clean result is then the correct outcome *)
+    Alcotest.(check bool) "finished cleanly instead" true
+      (o.Lb_serve.Client.o_result <> None)
+
 (* --------------------------- torture test ------------------------------ *)
 
 let test_concurrent_store_torture () =
@@ -741,6 +796,8 @@ let suite =
       test_server_fairness;
     Alcotest.test_case "server: drain checkpoints, restart resumes" `Slow
       test_server_drain_and_resume;
+    Alcotest.test_case "server: drain cancels non-resumable jobs" `Slow
+      test_server_drain_cancels_nonresumable;
     Alcotest.test_case "store: reader/writer torture" `Slow
       test_concurrent_store_torture;
   ]
